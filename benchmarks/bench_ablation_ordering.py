@@ -1,0 +1,59 @@
+"""Ablation: variable ordering (the [19] heuristic the paper relies on).
+
+The paper interleaves bitslices "a standard variable-ordering
+heuristic for datapaths".  This bench quantifies what that buys on the
+typed FIFO: with slot-major (blocked) order the per-slot constraints
+stop interacting and even the monolithic iterate stays linear — the
+exponential blowup the implicit methods fix is *created* by the good
+ordering, which is itself needed for the datapath logic elsewhere.
+"""
+
+import pytest
+
+from repro.bench import chosen_scale, run_case
+from repro.core import Options
+from repro.models import typed_fifo
+
+SCALE = chosen_scale()
+DEPTH = 8 if SCALE == "paper" else 5
+
+
+@pytest.mark.parametrize("interleave", [True, False],
+                         ids=["interleaved", "blocked"])
+@pytest.mark.parametrize("method", ["bkwd", "xici"])
+def bench_ablation_ordering(benchmark, method, interleave):
+    def run():
+        problem = typed_fifo(depth=DEPTH, width=8, interleave=interleave)
+        return run_case(problem, method, "-",
+                        "interleaved" if interleave else "blocked",
+                        options=Options(max_nodes=4_000_000,
+                                        time_limit=120.0))
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = row.result
+    assert result.verified
+    benchmark.extra_info["iterate_nodes"] = result.max_iterate_nodes
+    print(f"\n  {method}/{'interleaved' if interleave else 'blocked'}: "
+          f"iterate {result.max_iterate_profile}")
+
+
+def bench_ablation_ordering_story(benchmark):
+    """The numbers behind the narrative, in one run."""
+
+    def run():
+        rows = {}
+        for interleave in (True, False):
+            problem = typed_fifo(depth=DEPTH, width=8,
+                                 interleave=interleave)
+            rows[interleave] = run_case(
+                problem, "bkwd", "-", str(interleave),
+                options=Options(max_nodes=4_000_000, time_limit=120.0))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    interleaved = rows[True].result.max_iterate_nodes
+    blocked = rows[False].result.max_iterate_nodes
+    print(f"\n  monolithic iterate: interleaved {interleaved} vs "
+          f"blocked {blocked}")
+    # Interleaving is what makes the monolithic conjunction explode.
+    assert interleaved > blocked

@@ -1,0 +1,76 @@
+"""Ablation: the exact termination test's knobs.
+
+Section V: "We have not ... experimented with choosing the best
+variable to use for cofactoring in the termination test", and
+Section III.B notes checking one implication would suffice by
+monotonicity "the current implementation does not exploit this
+optimization".  Both knobs, plus the Step-3 realization (Theorem 3
+simplification vs direct pairwise ORs vs none), are swept here with
+the tautology-engine effort counters as the measure.
+"""
+
+import pytest
+
+from repro.bench import chosen_scale, run_case
+from repro.core import Options
+from repro.models import moving_average, pipelined_processor
+
+SCALE = chosen_scale()
+
+WORKLOAD = ((lambda: pipelined_processor(num_regs=2, datapath=2))
+            if SCALE == "paper"
+            else (lambda: moving_average(depth=4, width=8)))
+
+VARIANTS = {
+    "paper-default": Options(),
+    "var-lowest-level": Options(var_choice="lowest-level"),
+    "var-most-common": Options(var_choice="most-common-top"),
+    "step3-direct": Options(pairwise_step3="direct"),
+    "step3-off": Options(pairwise_step3="off"),
+    "monotone-shortcut": Options(exploit_monotonicity=True),
+    "constrain-simplifier": Options(simplifier="constrain"),
+}
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def bench_ablation_termination(benchmark, variant):
+    def run():
+        options = VARIANTS[variant]
+        options.max_nodes = 4_000_000
+        options.time_limit = 300.0
+        return run_case(WORKLOAD(), "xici", "-", variant, options=options)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = row.result
+    assert result.verified, (variant, result.outcome)
+    stats = result.extra["tautology_stats"]
+    benchmark.extra_info["tautology_calls"] = stats.calls
+    benchmark.extra_info["shannon_expansions"] = stats.shannon_expansions
+    benchmark.extra_info["cache_hits"] = stats.cache_hits
+    benchmark.extra_info["iterations"] = result.iterations
+    print(f"\n  {variant}: taut-calls {stats.calls}, shannon "
+          f"{stats.shannon_expansions}, cache-hits {stats.cache_hits}, "
+          f"simplifications {stats.simplifications}")
+
+
+def bench_ablation_monotone_halves_work(benchmark):
+    """The unexploited optimization should roughly halve the number of
+    tautology queries at the final (converged) iteration."""
+
+    def run():
+        full = run_case(WORKLOAD(), "xici", "-", "full",
+                        options=Options(max_nodes=4_000_000,
+                                        time_limit=300.0))
+        mono = run_case(WORKLOAD(), "xici", "-", "mono",
+                        options=Options(exploit_monotonicity=True,
+                                        max_nodes=4_000_000,
+                                        time_limit=300.0))
+        return full, mono
+
+    full, mono = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert full.result.verified and mono.result.verified
+    full_calls = full.result.extra["tautology_stats"].calls
+    mono_calls = mono.result.extra["tautology_stats"].calls
+    print(f"\n  tautology calls: both-directions {full_calls}, "
+          f"one-direction {mono_calls}")
+    assert mono_calls <= full_calls

@@ -1,0 +1,109 @@
+"""Extra workloads from the paper's introduction.
+
+"The straightforward algorithms appear generally unable to handle
+designs much more complex than dining philosophers or rings of mutual
+exclusion elements" — so here are exactly those two designs, both as a
+baseline sanity check (everything should handle them) and as the
+cleanest live demonstration of the termination-test story: on the
+token ring, the reconstruction of the original ICI's fast test *never*
+detects convergence, while the exact test of Section III.B does.
+"""
+
+import pytest
+
+from repro.bench import chosen_scale, run_case
+from repro.core import Options, Outcome
+from repro.models import alternating_bit, dining_philosophers, \
+    msi_coherence, mutex_ring
+
+SCALE = chosen_scale()
+RING_SIZES = (4, 8) if SCALE == "paper" else (3, 5)
+PHIL_SIZES = (4, 7) if SCALE == "paper" else (3, 4)
+CACHE_SIZES = (4, 8) if SCALE == "paper" else (3, 4)
+ABP_WIDTHS = (8,) if SCALE == "paper" else (4,)
+
+
+@pytest.mark.parametrize("method", ["fwd", "bkwd", "xici"])
+@pytest.mark.parametrize("size", RING_SIZES)
+def bench_mutex_ring(benchmark, size, method):
+    def run():
+        return run_case(mutex_ring(num_nodes=size), method, "-",
+                        f"ring-{size}")
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert row.result.verified
+    benchmark.extra_info["iterate_nodes"] = row.result.max_iterate_nodes
+    print(f"\n  ring {size}/{method}: iterate "
+          f"{row.result.max_iterate_profile}")
+
+
+@pytest.mark.parametrize("method", ["fwd", "bkwd", "ici", "xici"])
+@pytest.mark.parametrize("size", PHIL_SIZES)
+def bench_philosophers(benchmark, size, method):
+    def run():
+        return run_case(dining_philosophers(num_phils=size), method, "-",
+                        f"phil-{size}")
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert row.result.verified
+    print(f"\n  philosophers {size}/{method}: iterate "
+          f"{row.result.max_iterate_profile}")
+
+
+@pytest.mark.parametrize("method", ["fwd", "bkwd", "ici", "xici"])
+@pytest.mark.parametrize("size", CACHE_SIZES)
+def bench_msi_coherence(benchmark, size, method):
+    """The paper's motivating domain in miniature: MSI coherence."""
+
+    def run():
+        return run_case(msi_coherence(num_caches=size), method, "-",
+                        f"msi-{size}")
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert row.result.verified
+    print(f"\n  msi {size}/{method}: iterate "
+          f"{row.result.max_iterate_profile}")
+
+
+@pytest.mark.parametrize("method", ["bkwd", "ici", "xici"])
+@pytest.mark.parametrize("width", ABP_WIDTHS)
+def bench_alternating_bit(benchmark, width, method):
+    """The link-level protocol kernel (alternating bit)."""
+
+    def run():
+        return run_case(alternating_bit(width=width), method, "-",
+                        f"abp-{width}")
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert row.result.verified
+    assert row.result.iterations <= 3
+    print(f"\n  abp {width}/{method}: iterate "
+          f"{row.result.max_iterate_profile}")
+
+
+#: Sizes where the positional representations provably keep shifting
+#: (at 3 nodes the fast test happens to find its witness).
+RING_STORY_SIZES = (4, 6) if SCALE == "paper" else (4,)
+
+
+@pytest.mark.parametrize("size", RING_STORY_SIZES)
+def bench_ring_termination_story(benchmark, size):
+    """ICI's fast test spins; XICI's exact test converges — the
+    Section III.B motivation as a benchmark."""
+
+    def run():
+        ici = run_case(mutex_ring(num_nodes=size), "ici", "-",
+                       f"ring-{size}",
+                       options=Options(max_iterations=50))
+        xici = run_case(mutex_ring(num_nodes=size), "xici", "-",
+                        f"ring-{size}",
+                        options=Options(max_iterations=50))
+        return ici, xici
+
+    ici, xici = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  ring {size}: ICI {ici.result.outcome} after "
+          f"{ici.result.iterations} iterations; XICI "
+          f"{xici.result.outcome} after {xici.result.iterations}")
+    assert ici.result.outcome == Outcome.NO_CONVERGENCE
+    assert xici.result.verified
+    assert xici.result.iterations <= 5

@@ -1,0 +1,65 @@
+"""Figure 1's knob: the GrowThreshold sweep (paper Section V).
+
+Figure 1 hard-codes ``GrowThreshold = 1.5`` and the paper notes "We
+have not ... investigated finding the best GrowThreshold": "a smaller
+threshold holds BDD size down, but can get caught in a local minimum,
+whereas any threshold greater than 1 could theoretically allow us to
+build exponentially-sized BDDs."  This bench performs that
+investigation on the unassisted moving-average filter.
+"""
+
+import pytest
+
+from repro.bench import chosen_scale, run_case
+from repro.core import Options
+from repro.models import moving_average
+
+SCALE = chosen_scale()
+DEPTH = 8 if SCALE == "paper" else 4
+THRESHOLDS = (1.0, 1.25, 1.5, 2.0, 4.0)
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def bench_fig1_growthreshold(benchmark, threshold):
+    def run():
+        options = Options(grow_threshold=threshold,
+                          max_nodes=4_000_000, time_limit=120.0)
+        return run_case(moving_average(depth=DEPTH, width=8), "xici",
+                        "2", str(DEPTH), options=options)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = row.result
+    assert result.verified, result.outcome
+    stats = result.extra["evaluation_stats"]
+    benchmark.extra_info["iterate_nodes"] = result.max_iterate_nodes
+    benchmark.extra_info["iterations"] = result.iterations
+    benchmark.extra_info["merges"] = stats.merges
+    benchmark.extra_info["peak_nodes"] = result.peak_nodes
+    print(f"\n  threshold {threshold}: iterate "
+          f"{result.max_iterate_profile}, merges {stats.merges}, "
+          f"iterations {result.iterations}, peak {result.peak_nodes}")
+
+
+def bench_fig1_threshold_monotonicity(benchmark):
+    """Sanity on the knob's direction: very large thresholds merge at
+    least as aggressively (fewer, bigger conjuncts) as tiny ones."""
+
+    def run():
+        rows = {}
+        for threshold in (1.0, 1e9):
+            options = Options(grow_threshold=threshold,
+                              max_nodes=4_000_000, time_limit=120.0)
+            rows[threshold] = run_case(
+                moving_average(depth=DEPTH, width=8), "xici", "2",
+                str(DEPTH), options=options)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    conservative = rows[1.0].result
+    aggressive = rows[1e9].result
+    assert conservative.verified and aggressive.verified
+    merge_counts = {
+        t: rows[t].result.extra["evaluation_stats"].merges
+        for t in rows}
+    print(f"\n  merges: {merge_counts}")
+    assert merge_counts[1e9] >= merge_counts[1.0]

@@ -1,0 +1,109 @@
+"""Microbenchmarks of the BDD substrate itself.
+
+Unlike the table benches (one verification run per cell), these use
+pytest-benchmark the conventional way — many rounds of a small
+operation — to give the package a performance baseline: ITE-heavy
+construction (N-queens), quantification, relational products,
+Restrict, the early-exit intersection test, and garbage collection.
+"""
+
+import pytest
+
+from repro.bdd import BDD, sat_count
+from repro.expr import BitVec
+
+import sys
+sys.path.insert(0, __file__.rsplit("/", 2)[0] + "/examples")
+from queens_bdd import queens_constraint  # noqa: E402
+
+
+def bench_queens_construction(benchmark):
+    def build():
+        manager = BDD()
+        return queens_constraint(manager, 6)
+
+    constraint = benchmark(build)
+    assert sat_count(constraint) == 4  # 6-queens has 4 solutions
+
+
+def _word_setup(width=12):
+    manager = BDD()
+    bits_a, bits_b = [], []
+    for i in range(width):
+        bits_a.append(manager.new_var(f"a{i}"))
+        bits_b.append(manager.new_var(f"b{i}"))
+    return manager, BitVec(bits_a), BitVec(bits_b)
+
+
+def bench_adder_equality(benchmark):
+    def build():
+        manager, a, b = _word_setup()
+        return a.add(b).eq(b.add(a))
+
+    result = benchmark(build)
+    assert result.is_true  # addition commutes
+
+
+def bench_quantification(benchmark):
+    manager, a, b = _word_setup()
+    relation = a.add(BitVec.constant(manager, 12, 5)).eq(b)
+    names = [f"a{i}" for i in range(12)]
+
+    def quantify():
+        return relation.exists(names)
+
+    result = benchmark(quantify)
+    assert result.is_true  # every b is reachable from some a
+
+
+def bench_relational_product(benchmark):
+    manager, a, b = _word_setup()
+    step = a.inc().eq(b)
+    window = a.ule_const(1000)
+    names = [f"a{i}" for i in range(12)]
+
+    def relprod():
+        return window.and_exists(step, names)
+
+    result = benchmark(relprod)
+    assert not result.is_false
+
+
+def bench_restrict(benchmark):
+    manager, a, b = _word_setup()
+    f = a.add(b).ule_const(2000)
+    care = a.ule_const(100)
+
+    def restrict():
+        return f.restrict(care)
+
+    result = benchmark(restrict)
+    assert not result.is_false
+
+
+def bench_intersects_early_exit(benchmark):
+    manager, a, b = _word_setup()
+    f = a.ule(b)
+    g = b.ule(a)
+
+    def check():
+        return f.intersects(g)  # witness found on the first path
+
+    assert benchmark(check)
+
+
+def bench_garbage_collection(benchmark):
+    def collect():
+        manager = BDD()
+        keep = []
+        vars_ = [manager.new_var(f"x{i}") for i in range(16)]
+        for i in range(8):
+            acc = vars_[i]
+            for v in vars_[i + 1:]:
+                acc = acc ^ v
+            if i % 2:
+                keep.append(acc)  # half survives, half is garbage
+        return manager.garbage_collect()
+
+    freed = benchmark(collect)
+    assert freed >= 0

@@ -1,0 +1,57 @@
+"""Table 1 (first block): 8-bit wide typed FIFO buffer.
+
+Paper rows reproduced: Fwd/Bkwd need iterates whose size grows
+exponentially with queue depth (543 nodes at depth 5, 32767 at depth
+10 — we match those numbers *exactly*); ICI/XICI keep one 9-node BDD
+per slot (41 and 81 shared nodes), converging in a single iteration.
+"""
+
+import pytest
+
+from repro.bench import chosen_scale, run_case
+from repro.models import typed_fifo
+
+from conftest import run_cell
+
+SCALE = chosen_scale()
+DEPTHS = (5, 10) if SCALE == "paper" else (3, 5)
+METHODS = ("fwd", "bkwd", "ici", "xici")
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("depth", DEPTHS)
+def bench_table1_fifo_cell(benchmark, depth, method):
+    row = run_cell(
+        benchmark,
+        lambda: run_case(typed_fifo(depth=depth, width=8), method,
+                         "1-fifo", str(depth)))
+    result = row.result
+    if method in ("ici", "xici"):
+        # The implicit methods keep exactly one small conjunct per slot.
+        assert result.iterations == 1
+        assert result.max_iterate_nodes == 8 * depth + 1
+        assert f"({depth} x 9 nodes)" in result.max_iterate_profile
+    else:
+        # Monolithic iterates: the exact paper numbers.
+        expected = {3: 87, 5: 543, 10: 32767}[depth]
+        assert result.max_iterate_nodes == expected
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def bench_table1_fifo_blowup_ratio(benchmark, depth):
+    """The headline contrast in one number: monolithic vs implicit."""
+
+    def run():
+        mono = run_case(typed_fifo(depth=depth, width=8), "bkwd",
+                        "1-fifo", str(depth))
+        impl = run_case(typed_fifo(depth=depth, width=8), "xici",
+                        "1-fifo", str(depth))
+        return mono, impl
+
+    mono, impl = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = mono.result.max_iterate_nodes / impl.result.max_iterate_nodes
+    benchmark.extra_info["blowup_ratio"] = round(ratio, 1)
+    print(f"\n  depth {depth}: monolithic/implicit iterate ratio = "
+          f"{ratio:.1f}x")
+    # The ratio itself grows with depth — that is the exponential story.
+    assert ratio > depth / 2

@@ -1,0 +1,61 @@
+"""Table 1 (second block): processors sending messages through a
+network — the only block with the FD baseline.
+
+Paper rows reproduced: the monolithic iterate grows much faster with
+the processor count than the implicit one; ICI/XICI keep exactly one
+(uniform, small) conjunct per processor; FD stores only the network
+bits plus small counter-defining functions but pays forward-traversal
+iteration counts.
+"""
+
+import pytest
+
+from repro.bench import chosen_scale, run_case
+from repro.models import message_network
+
+from conftest import run_cell
+
+SCALE = chosen_scale()
+SIZES = (4, 7) if SCALE == "paper" else (2, 3)
+METHODS = ("fwd", "bkwd", "fd", "ici", "xici")
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("num_procs", SIZES)
+def bench_table1_network_cell(benchmark, num_procs, method):
+    row = run_cell(
+        benchmark,
+        lambda: run_case(message_network(num_procs=num_procs), method,
+                         "1-network", str(num_procs)))
+    result = row.result
+    if method in ("ici", "xici"):
+        assert result.iterations == 1
+    if method == "ici":
+        # One uniform conjunct per processor, like the paper's "4 x 62".
+        # (XICI may merge conjuncts at small n, where products are cheap.)
+        assert f"({num_procs} x " in result.max_iterate_profile
+    if method == "fd":
+        fwd = run_case(message_network(num_procs=num_procs), "fwd",
+                       "1-network", str(num_procs))
+        # FD pays forward iteration counts but stores far less.
+        assert result.iterations == fwd.result.iterations
+        assert result.max_iterate_nodes < fwd.result.max_iterate_nodes
+
+
+@pytest.mark.parametrize("num_procs", SIZES)
+def bench_table1_network_scaling(benchmark, num_procs):
+    """Per-processor conjunct size vs monolithic size, one number."""
+
+    def run():
+        mono = run_case(message_network(num_procs=num_procs), "bkwd",
+                        "1-network", str(num_procs))
+        impl = run_case(message_network(num_procs=num_procs), "xici",
+                        "1-network", str(num_procs))
+        return mono, impl
+
+    mono, impl = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = mono.result.max_iterate_nodes / impl.result.max_iterate_nodes
+    benchmark.extra_info["blowup_ratio"] = round(ratio, 2)
+    print(f"\n  n={num_procs}: monolithic/implicit iterate ratio = "
+          f"{ratio:.2f}x")
+    assert mono.result.max_iterate_nodes >= impl.result.max_iterate_nodes

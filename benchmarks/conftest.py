@@ -1,0 +1,49 @@
+"""Shared benchmark plumbing.
+
+Each benchmark cell runs one (model, method) verification exactly once
+(``pedantic(rounds=1)`` — these are macro-benchmarks, not microseconds)
+and prints its measured row next to the paper's row.  Run with ``-s``
+to see the tables; machine-readable numbers also land in
+``benchmark.extra_info``.
+
+Scale: quick by default; ``REPRO_FULL=1`` switches to the paper's
+parameters (expect minutes per cell in pure Python).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import pytest
+
+from repro.bench import ReportRow
+from repro.core import Options
+
+
+def run_cell(benchmark, make_row: Callable[[], ReportRow],
+             expect: str = "verified") -> ReportRow:
+    """Execute one table cell under pytest-benchmark and validate it.
+
+    ``expect`` is ``"verified"``, ``"violated"``, ``"exhausted"`` (the
+    paper's Exceeded rows) or ``"any"``.
+    """
+    row = benchmark.pedantic(make_row, rounds=1, iterations=1,
+                             warmup_rounds=0)
+    result = row.result
+    benchmark.extra_info["outcome"] = result.outcome
+    benchmark.extra_info["iterations"] = result.iterations
+    benchmark.extra_info["max_iterate_nodes"] = result.max_iterate_nodes
+    benchmark.extra_info["profile"] = result.max_iterate_profile
+    benchmark.extra_info["peak_nodes"] = result.peak_nodes
+    if row.paper is not None:
+        benchmark.extra_info["paper_nodes"] = row.paper.nodes
+        benchmark.extra_info["paper_iterations"] = row.paper.iterations
+    print()
+    print(row.format())
+    if expect == "verified":
+        assert result.verified, result.outcome
+    elif expect == "violated":
+        assert result.violated, result.outcome
+    elif expect == "exhausted":
+        assert result.exhausted, result.outcome
+    return row

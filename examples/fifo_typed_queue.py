@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""The paper's typed-FIFO example: watch the blowup, then avoid it.
+
+Sweeps queue depth and prints the size of the largest iterate under
+the conventional backward traversal vs the implicit-conjunction
+methods — the opening contrast of the paper's Table 1.
+
+Run:  python examples/fifo_typed_queue.py [--width 8] [--depths 2 4 6 8]
+"""
+
+import argparse
+
+from repro.core import Options, verify
+from repro.models import typed_fifo
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--width", type=int, default=8,
+                        help="item width in bits (paper: 8)")
+    parser.add_argument("--depths", type=int, nargs="+",
+                        default=[2, 3, 4, 5],
+                        help="queue depths to sweep")
+    parser.add_argument("--bound", type=int, default=None,
+                        help="type constraint (default 2**(width-1))")
+    args = parser.parse_args()
+
+    print(f"{args.width}-bit typed FIFO: every item must stay <= "
+          f"{args.bound if args.bound is not None else 1 << (args.width - 1)}")
+    print(f"{'depth':>6}  {'Bkwd iterate':>14}  {'XICI iterate':>14}  "
+          f"{'XICI profile'}")
+    for depth in args.depths:
+        mono = verify(typed_fifo(depth=depth, width=args.width,
+                                 bound=args.bound), "bkwd")
+        impl = verify(typed_fifo(depth=depth, width=args.width,
+                                 bound=args.bound), "xici")
+        assert mono.verified and impl.verified
+        print(f"{depth:>6}  {mono.max_iterate_nodes:>14}  "
+              f"{impl.max_iterate_nodes:>14}  "
+              f"{impl.max_iterate_profile}")
+    print("\nThe monolithic iterate doubles with every extra slot; the")
+    print("implicit conjunction adds one 9-node BDD per slot.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""N-queens with raw BDDs — a pure :mod:`repro.bdd` workout.
+
+No state machines here; this is the classic BDD stress test: build the
+constraint function one clause at a time, count solutions exactly with
+:func:`repro.bdd.sat_count`, and extract one placement with
+:func:`repro.bdd.pick_one`.  (8 queens has 92 solutions — a handy
+self-check for any BDD package, and this package's microbenchmarks
+build the same function.)
+
+Run:  python examples/queens_bdd.py [--n 6]
+"""
+
+import argparse
+
+from repro.bdd import BDD, Function, pick_one, sat_count
+
+
+def queens_constraint(manager: BDD, n: int) -> Function:
+    """One variable per square; True iff the board is a valid placement."""
+    square = [[manager.new_var(f"q{r}_{c}") for c in range(n)]
+              for r in range(n)]
+    constraint = manager.true
+    for r in range(n):
+        # At least one queen per row...
+        constraint = constraint & manager.disj(square[r])
+        for c in range(n):
+            attacks = []
+            attacks.extend(square[r][k] for k in range(n) if k != c)
+            attacks.extend(square[k][c] for k in range(n) if k != r)
+            for k in range(1, n):
+                for dr, dc in ((k, k), (k, -k), (-k, k), (-k, -k)):
+                    rr, cc = r + dr, c + dc
+                    if 0 <= rr < n and 0 <= cc < n:
+                        attacks.append(square[rr][cc])
+            # ...and a queen on (r, c) excludes every attacked square.
+            no_attack = ~manager.disj(attacks)
+            constraint = constraint & square[r][c].implies(no_attack)
+    return constraint
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=6)
+    args = parser.parse_args()
+    manager = BDD()
+    constraint = queens_constraint(manager, args.n)
+    print(f"{args.n}-queens BDD: {constraint.size()} nodes "
+          f"({manager.num_nodes_allocated} allocated)")
+    solutions = sat_count(constraint)
+    print(f"solutions: {solutions}")
+    placement = pick_one(constraint)
+    if placement is None:
+        print("no placement exists")
+        return
+    print("one placement:")
+    for r in range(args.n):
+        row = "".join(
+            " Q" if placement.get(f"q{r}_{c}", False) else " ."
+            for c in range(args.n))
+        print("  " + row)
+
+
+if __name__ == "__main__":
+    main()

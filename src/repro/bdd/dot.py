@@ -1,0 +1,51 @@
+"""Graphviz DOT export for debugging and documentation figures."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .manager import Function
+
+__all__ = ["to_dot"]
+
+
+def to_dot(functions: Sequence[Function],
+           labels: Sequence[str] = ()) -> str:
+    """Render one or more BDDs (with shared nodes) as a DOT digraph.
+
+    Complemented edges are drawn dotted; low edges dashed.  Roots get
+    labelled entry arrows.
+    """
+    if not functions:
+        return "digraph bdd {\n}\n"
+    manager = functions[0].bdd
+    lines: List[str] = ["digraph bdd {", '  rankdir="TB";']
+    seen = set()
+    stack = [fn.edge >> 1 for fn in functions]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if node == 0:
+            lines.append('  n0 [shape=box, label="1"];')
+            continue
+        level = manager._level[node]
+        name = manager._var_names[level]
+        lines.append(f'  n{node} [shape=circle, label="{name}"];')
+        for edge, style in ((manager._high[node], "solid"),
+                            (manager._low[node], "dashed")):
+            child = edge >> 1
+            extra = ", arrowhead=odot" if edge & 1 else ""
+            lines.append(
+                f'  n{node} -> n{child} [style={style}{extra}];')
+            stack.append(child)
+    for index, fn in enumerate(functions):
+        label = labels[index] if index < len(labels) else f"f{index}"
+        root = fn.edge >> 1
+        extra = " arrowhead=odot," if fn.edge & 1 else ""
+        lines.append(f'  r{index} [shape=plaintext, label="{label}"];')
+        lines.append(f'  r{index} -> n{root} [{extra.strip(",")}];'
+                     if extra else f'  r{index} -> n{root};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

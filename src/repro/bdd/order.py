@@ -1,0 +1,51 @@
+"""Variable-ordering helpers.
+
+The paper's examples rely on the standard datapath heuristic of
+*interleaving bitslices* (Jeong et al. [19]): bit k of every word is
+declared before bit k+1 of any word, so related bits sit next to each
+other in the order.  These helpers compute declaration orders; actual
+declaration happens in the FSM builder, because order is fixed at
+variable creation time in our manager (no dynamic reordering — the
+paper does not reorder either).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["interleaved", "blocked"]
+
+#: A vector spec: (base name, bit width).
+VectorSpec = Tuple[str, int]
+
+
+def bit_name(base: str, index: int) -> str:
+    """Canonical name of one bit of a vector."""
+    return f"{base}[{index}]"
+
+
+def interleaved(specs: Sequence[VectorSpec]) -> List[str]:
+    """Bit-sliced (interleaved) declaration order for several vectors.
+
+    ``interleaved([("a", 2), ("b", 2)])`` yields
+    ``a[0] b[0] a[1] b[1]`` — bit k of every vector before bit k+1.
+    Vectors of unequal width simply drop out of slices they don't have.
+    """
+    if not specs:
+        return []
+    max_width = max(width for _, width in specs)
+    names = []
+    for bit in range(max_width):
+        for base, width in specs:
+            if bit < width:
+                names.append(bit_name(base, bit))
+    return names
+
+
+def blocked(specs: Sequence[VectorSpec]) -> List[str]:
+    """Vector-at-a-time (non-interleaved) declaration order."""
+    names = []
+    for base, width in specs:
+        for bit in range(width):
+            names.append(bit_name(base, bit))
+    return names

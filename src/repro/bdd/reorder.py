@@ -1,0 +1,76 @@
+"""Variable-order search — an offline sifting-style optimizer.
+
+The paper (like us) fixes variable orders up front with the
+interleaved-bitslice heuristic; David Long's package could also sift
+dynamically.  We provide the offline equivalent: given a set of
+functions, :func:`improve_order` hill-climbs over adjacent
+transpositions (each trial evaluated by rebuilding the functions in a
+scratch manager via :func:`~repro.bdd.transfer.copy_function`) and
+returns the best order found.  :meth:`BDD.reorder` then applies an
+order to a live manager in place.
+
+This is a tool for experiments and model development, not a hot-path
+optimization: every trial costs a full rebuild of the function set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .manager import BDD, Function
+from .transfer import copy_function
+
+__all__ = ["improve_order", "order_cost"]
+
+
+def order_cost(functions: Sequence[Function],
+               order: Sequence[str]) -> int:
+    """Shared node count of ``functions`` rebuilt under ``order``."""
+    if not functions:
+        return 0
+    scratch = BDD()
+    for name in order:
+        scratch.new_var(name)
+    copies = [copy_function(fn, scratch) for fn in functions]
+    return scratch.count_nodes(copies)
+
+
+def improve_order(functions: Sequence[Function],
+                  max_passes: int = 3,
+                  start_order: Optional[Sequence[str]] = None
+                  ) -> Tuple[List[str], int]:
+    """Hill-climb adjacent swaps; returns ``(best_order, best_cost)``.
+
+    The search covers only the functions' combined support (other
+    manager variables keep their relative positions when the result is
+    fed to :meth:`BDD.reorder`: extend it yourself or reorder a manager
+    that holds exactly these variables).  Each pass sweeps all adjacent
+    pairs once and keeps every improving swap; passes stop early when a
+    sweep finds nothing.
+    """
+    if not functions:
+        return ([], 0)
+    manager = functions[0].bdd
+    support: set = set()
+    for fn in functions:
+        support |= fn.support()
+    if start_order is None:
+        order = [name for name in manager.var_names if name in support]
+    else:
+        if set(start_order) != support:
+            raise ValueError("start_order must cover exactly the support")
+        order = list(start_order)
+    best_cost = order_cost(functions, order)
+    for _ in range(max_passes):
+        improved = False
+        for index in range(len(order) - 1):
+            trial = list(order)
+            trial[index], trial[index + 1] = trial[index + 1], trial[index]
+            cost = order_cost(functions, trial)
+            if cost < best_cost:
+                best_cost = cost
+                order = trial
+                improved = True
+        if not improved:
+            break
+    return (order, best_cost)

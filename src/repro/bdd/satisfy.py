@@ -1,0 +1,113 @@
+"""Satisfying-assignment utilities: counting, picking, enumerating.
+
+These back the counterexample machinery (a violation trace is a chain
+of picked assignments) and the explicit-state cross-validation oracle.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterator, Optional, Sequence
+
+from .manager import Function
+
+__all__ = ["sat_count", "pick_one", "iter_assignments"]
+
+
+def sat_count(fn: Function, nvars: Optional[int] = None) -> int:
+    """Number of satisfying assignments over ``nvars`` variables.
+
+    ``nvars`` defaults to the number of variables declared in the
+    manager.  Counts are exact (Python integers).
+    """
+    manager = fn.bdd
+    if nvars is None:
+        nvars = manager.num_vars
+    cache: Dict[int, Fraction] = {}
+
+    def fraction_true(edge: int) -> Fraction:
+        """Fraction of the full assignment space mapped to True."""
+        if edge == 0:
+            return Fraction(1)
+        if edge == 1:
+            return Fraction(0)
+        node = edge >> 1
+        sign = edge & 1
+        cached = cache.get(node)
+        if cached is None:
+            high = fraction_true(manager._high[node])
+            low = fraction_true(manager._low[node])
+            cached = (high + low) / 2
+            cache[node] = cached
+        return (1 - cached) if sign else cached
+
+    total = fraction_true(fn.edge) * (2 ** nvars)
+    if total.denominator != 1:
+        raise ValueError(
+            f"nvars={nvars} too small for the support of this function")
+    return int(total)
+
+
+def pick_one(fn: Function,
+             care_names: Optional[Sequence[str]] = None) -> Optional[Dict[str, bool]]:
+    """Return one satisfying assignment, or None if unsatisfiable.
+
+    The assignment covers the function's support plus any requested
+    ``care_names`` (filled with False where the function doesn't care).
+    """
+    if fn.is_false:
+        return None
+    manager = fn.bdd
+    assignment: Dict[str, bool] = {}
+    edge = fn.edge
+    while edge > 1:
+        node = edge >> 1
+        sign = edge & 1
+        name = manager._var_names[manager._level[node]]
+        high = manager._high[node] ^ sign
+        low = manager._low[node] ^ sign
+        if high != 1:  # high branch satisfiable
+            assignment[name] = True
+            edge = high
+        else:
+            assignment[name] = False
+            edge = low
+    if care_names:
+        for name in care_names:
+            assignment.setdefault(name, False)
+    return assignment
+
+
+def iter_assignments(fn: Function,
+                     names: Sequence[str]) -> Iterator[Dict[str, bool]]:
+    """Enumerate all satisfying assignments over exactly ``names``.
+
+    Variables outside ``names`` must not appear in the support.
+    """
+    extra = fn.support() - frozenset(names)
+    if extra:
+        raise ValueError(f"support contains unexpected variables: {extra}")
+    manager = fn.bdd
+    ordered = sorted(names, key=manager.level_of)
+
+    def recurse(edge: int, index: int) -> Iterator[Dict[str, bool]]:
+        if edge == 1:
+            return
+        if index == len(ordered):
+            yield {}
+            return
+        name = ordered[index]
+        level = manager.level_of(name)
+        node = edge >> 1
+        sign = edge & 1
+        if edge > 1 and manager._level[node] == level:
+            high = manager._high[node] ^ sign
+            low = manager._low[node] ^ sign
+        else:
+            high = low = edge
+        for value, branch in ((False, low), (True, high)):
+            for rest in recurse(branch, index + 1):
+                rest[name] = value
+                yield rest
+
+    yield from recurse(fn.edge, 0)

@@ -1,0 +1,128 @@
+"""Simultaneous multi-care-set simplification (paper Section V).
+
+The paper's future-work section describes the exact failure mode this
+module fixes:
+
+    "we frequently encounter a situation where we wish to simplify a
+    BDD f by two other BDDs c1 and c2.  Simplifying f by either c1 or
+    c2, however, results in a several-fold increase in the size of f,
+    and then simplifying the large resulting BDD by the other c shrinks
+    the final result to something much smaller than the original f.
+    ... We really wish to simplify by c1 and c2, which gives a smaller
+    care-set, but we can't afford to build the BDD for c1 and c2.
+    What's needed, therefore, is a routine that simplifies using
+    multiple BDDs simultaneously."
+
+:func:`restrict_multi` is that routine: a Restrict-style traversal that
+carries the care set as an *implicit conjunction* — a tuple of BDDs
+cofactored in lockstep with ``f`` — so the conjunction is never built.
+A branch whose care tuple contains the constant False is entirely
+don't-care and contributes no nodes at all.
+
+Soundness: the result agrees with ``f`` wherever **all** care BDDs are
+true.  When a traversal reaches a variable that ``f`` does not depend
+on, each care BDD is existentially quantified independently; that
+over-approximates the joint care set (quantification does not
+distribute over conjunction), which can only make the result agree
+with ``f`` on *more* points — still sound, merely less aggressive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .manager import BDD, Function
+
+__all__ = ["restrict_multi"]
+
+#: Sentinel: this whole branch is outside the care set.
+_FREE = -1
+
+
+def restrict_multi(fn: Function, cares: Sequence[Function]) -> Function:
+    """Simplify ``fn`` against the implicit conjunction of ``cares``.
+
+    Equivalent in contract to ``fn.restrict(c1 & c2 & ...)`` — the
+    result agrees with ``fn`` wherever every care BDD holds — but the
+    conjunction of the care BDDs is never constructed.
+
+    An empty or all-True care list returns ``fn`` unchanged; a care
+    list whose conjunction is empty returns ``fn`` unchanged (any
+    result would be legal; we pick the cheapest).
+    """
+    manager = fn.bdd
+    care_edges = []
+    for care in cares:
+        manager._check_manager(care)
+        if care.edge == 1:  # constant False: empty joint care set
+            return fn
+        if care.edge != 0:  # drop constant True
+            care_edges.append(care.edge)
+    if not care_edges:
+        return fn
+    state = _MultiRestrict(manager)
+    result = state.run(fn.edge, tuple(sorted(set(care_edges))))
+    if result == _FREE:
+        return fn
+    return Function(manager, result)
+
+
+class _MultiRestrict:
+    def __init__(self, manager: BDD) -> None:
+        self.manager = manager
+        self.cache: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+
+    def run(self, f: int, cares: Tuple[int, ...]) -> int:
+        # Drop satisfied care constraints; detect dead branches.
+        live: List[int] = []
+        for care in cares:
+            if care == 1:
+                return _FREE
+            if care != 0:
+                live.append(care)
+        if not live:
+            return f
+        if f <= 1:
+            return f
+        cares = tuple(sorted(set(live)))
+        sign = f & 1
+        f_reg = f ^ sign
+        key = (f_reg, cares)
+        cached = self.cache.get(key)
+        if cached is None:
+            cached = self._recurse(f_reg, cares)
+            self.cache[key] = cached
+        if cached == _FREE:
+            return _FREE
+        return cached ^ sign
+
+    def _recurse(self, f: int, cares: Tuple[int, ...]) -> int:
+        manager = self.manager
+        lf = manager._level[f >> 1]
+        lc = min(manager._level[c >> 1] for c in cares)
+        if lc < lf:
+            # f does not depend on the top care variable: quantify it
+            # out of each care BDD independently (sound
+            # over-approximation of the joint care set).
+            quantified = []
+            for care in cares:
+                node = care >> 1
+                if manager._level[node] == lc:
+                    high, low = manager._cofactors(care)
+                    quantified.append(manager._or(high, low))
+                else:
+                    quantified.append(care)
+            return self.run(f, tuple(quantified))
+        level = lf
+        f1, f0 = manager._cofactors(f)
+        cares1 = tuple(manager._cofactors_at(c, level)[0] for c in cares)
+        cares0 = tuple(manager._cofactors_at(c, level)[1] for c in cares)
+        r1 = self.run(f1, cares1)
+        r0 = self.run(f0, cares0)
+        if r1 == _FREE and r0 == _FREE:
+            return _FREE
+        if r1 == _FREE:
+            return r0
+        if r0 == _FREE:
+            return r1
+        return manager._mk(level, r1, r0)

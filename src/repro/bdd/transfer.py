@@ -1,0 +1,80 @@
+"""Copying functions between managers — ordering experiments.
+
+Variable order is fixed at creation time in this package (as in the
+paper's experiments), so studying how a *different* order would treat
+the same functions requires rebuilding them in a second manager.
+:func:`copy_function` does that structurally, and
+:func:`order_sensitivity` packages the common experiment: how big is
+this set of functions under each candidate order?
+
+This is how the ablation benches measure the cost of giving up the
+interleaved-bitslice heuristic without rebuilding whole models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .manager import BDD, Function
+
+__all__ = ["copy_function", "order_sensitivity"]
+
+
+def copy_function(fn: Function, target: BDD,
+                  rename: Optional[Dict[str, str]] = None) -> Function:
+    """Rebuild ``fn`` inside ``target`` (any variable order).
+
+    Every variable in ``fn``'s support must already exist in ``target``
+    (after applying ``rename``, if given).  The rebuild is a structural
+    bottom-up traversal; the target manager's order decides the size of
+    the result.
+    """
+    source = fn.bdd
+    rename = rename or {}
+    cache: Dict[int, int] = {0: 0}
+
+    def target_var(level: int) -> Function:
+        name = source._var_names[level]
+        return target.var(rename.get(name, name))
+
+    def rebuild(edge: int) -> int:
+        node = edge >> 1
+        sign = edge & 1
+        cached = cache.get(node)
+        if cached is None:
+            high = rebuild(source._high[node])
+            low = rebuild(source._low[node])
+            var = target_var(source._level[node])
+            cached = target._ite(var.edge, high, low)
+            cache[node] = cached
+        return cached ^ sign
+
+    return Function(target, rebuild(fn.edge))
+
+
+def order_sensitivity(functions: Sequence[Function],
+                      orders: Dict[str, Sequence[str]]
+                      ) -> Dict[str, int]:
+    """Shared size of ``functions`` under each candidate order.
+
+    ``orders`` maps a label to a variable-name sequence; each must
+    cover the union of the functions' supports.  Returns
+    ``{label: shared node count}``.
+    """
+    if not functions:
+        return {label: 0 for label in orders}
+    support = set()
+    for fn in functions:
+        support |= fn.support()
+    results: Dict[str, int] = {}
+    for label, order in orders.items():
+        missing = support - set(order)
+        if missing:
+            raise ValueError(
+                f"order {label!r} misses variables: {sorted(missing)}")
+        target = BDD()
+        for name in order:
+            target.new_var(name)
+        copies = [copy_function(fn, target) for fn in functions]
+        results[label] = target.count_nodes(copies)
+    return results

@@ -1,0 +1,25 @@
+"""Benchmark harness (S8): paper data and table runners."""
+
+from .paperdata import PAPER_ROWS, PaperRow, lookup
+from .tables import DEFAULT_BUDGET, PAPER_BUDGET, ReportRow, \
+    TableReport, chosen_scale, default_budget, \
+    run_case, table1_fifo, table1_movavg, table1_network, \
+    table2_movavg_unassisted, table3_pipeline
+
+__all__ = [
+    "PAPER_ROWS",
+    "PaperRow",
+    "lookup",
+    "DEFAULT_BUDGET",
+    "PAPER_BUDGET",
+    "default_budget",
+    "ReportRow",
+    "TableReport",
+    "chosen_scale",
+    "run_case",
+    "table1_fifo",
+    "table1_network",
+    "table1_movavg",
+    "table2_movavg_unassisted",
+    "table3_pipeline",
+]

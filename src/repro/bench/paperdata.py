@@ -1,0 +1,122 @@
+"""The paper's reported results, transcribed from Tables 1-3.
+
+Each benchmark prints its measured row next to the corresponding paper
+row.  Absolute times/memory are meaningless to compare (Sun 4/75 + a C
+BDD package vs pure Python), but iteration counts and BDD node counts
+are implementation-independent, and the *shape* — which methods blow
+up, which stay flat — is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = ["PaperRow", "PAPER_ROWS", "lookup"]
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of a paper table."""
+
+    table: str       # "1-fifo", "1-network", "1-movavg", "2", "3"
+    size: str        # e.g. "5", "8", "2R,3B"
+    method: str      # Fwd / Bkwd / FD / ICI / XICI
+    time: str        # paper's Time column (m:ss) or "" if exceeded
+    iterations: Optional[int]
+    mem_kb: Optional[int]
+    nodes: Optional[int]
+    profile: str = ""   # parenthesized per-conjunct sizes, verbatim
+    note: str = ""      # e.g. "Exceeded 60MB."
+
+
+PAPER_ROWS = [
+    # ----- Table 1: typed FIFO, 8-bit wide ---------------------------------
+    PaperRow("1-fifo", "5", "Fwd", "0:03", 6, 936, 543),
+    PaperRow("1-fifo", "5", "Bkwd", "0:01", 1, 936, 543),
+    PaperRow("1-fifo", "5", "ICI", "0:00", 1, 552, 41, "(5 x 9 nodes)"),
+    PaperRow("1-fifo", "5", "XICI", "0:00", 1, 556, 41, "(5 x 9 nodes)"),
+    PaperRow("1-fifo", "10", "Fwd", "5:37", 11, 13048, 32767),
+    PaperRow("1-fifo", "10", "Bkwd", "1:56", 1, 10008, 32767),
+    PaperRow("1-fifo", "10", "ICI", "0:03", 1, 1016, 81, "(10 x 9 nodes)"),
+    PaperRow("1-fifo", "10", "XICI", "0:03", 1, 1020, 81, "(10 x 9 nodes)"),
+    # ----- Table 1: processors sending messages through network ------------
+    PaperRow("1-network", "4", "Fwd", "0:04", 9, 1264, 1198),
+    PaperRow("1-network", "4", "Bkwd", "0:02", 1, 1136, 994),
+    PaperRow("1-network", "4", "FD", "0:13", 9, 1028, 41),
+    PaperRow("1-network", "4", "ICI", "0:02", 1, 1008, 245,
+             "(4 x 62 nodes)"),
+    PaperRow("1-network", "4", "XICI", "0:02", 1, 1008, 245,
+             "(4 x 62 nodes)"),
+    PaperRow("1-network", "7", "Fwd", "11:53", 15, 29324, 88647),
+    PaperRow("1-network", "7", "Bkwd", "2:15", 1, 14412, 61861),
+    PaperRow("1-network", "7", "FD", "3:20", 15, 2652, 169),
+    PaperRow("1-network", "7", "ICI", "0:14", 1, 3152, 1086,
+             "(7 x 156 nodes)"),
+    PaperRow("1-network", "7", "XICI", "0:22", 1, 3660, 1086,
+             "(7 x 156 nodes)"),
+    # ----- Table 1: moving-average filter, with assisting invariants -------
+    PaperRow("1-movavg", "4", "Fwd", "0:54", 3, 10976, 11267),
+    PaperRow("1-movavg", "4", "Bkwd", "0:04", 1, 1248, 490),
+    PaperRow("1-movavg", "4", "ICI", "0:03", 1, 832, 146, "(102, 45)"),
+    PaperRow("1-movavg", "4", "XICI", "0:03", 1, 832, 146, "(102, 45)"),
+    PaperRow("1-movavg", "8", "Fwd", "", None, None, None,
+             note="Exceeded 60MB."),
+    PaperRow("1-movavg", "8", "Bkwd", "", None, None, None,
+             note="Exceeded 40 minutes."),
+    PaperRow("1-movavg", "8", "ICI", "0:25", 1, 3880, 638,
+             "(390, 169, 81)"),
+    PaperRow("1-movavg", "8", "XICI", "0:28", 1, 3880, 638,
+             "(390, 169, 81)"),
+    PaperRow("1-movavg", "16", "ICI", "3:26", 1, 27416, 2558,
+             "(1501, 629, 290, 141)"),
+    PaperRow("1-movavg", "16", "XICI", "3:41", 1, 27416, 2558,
+             "(1501, 629, 290, 141)"),
+    # ----- Table 2: moving-average filter WITHOUT assisting invariants -----
+    PaperRow("2", "4", "Fwd", "0:52", 3, 6880, 11267),
+    PaperRow("2", "4", "Bkwd", "0:04", 1, 1248, 490),
+    PaperRow("2", "4", "ICI", "0:04", 1, 1248, 490),
+    PaperRow("2", "4", "XICI", "0:03", 2, 932, 146, "(45, 102)"),
+    PaperRow("2", "8", "Fwd", "", None, None, None,
+             note="Exceeded 60MB."),
+    PaperRow("2", "8", "Bkwd", "", None, None, None,
+             note="Exceeded 40 minutes."),
+    PaperRow("2", "8", "ICI", "", None, None, None,
+             note="Exceeded 40 minutes."),
+    PaperRow("2", "8", "XICI", "0:31", 3, 5676, 638, "(61, 169, 390)"),
+    PaperRow("2", "16", "XICI", "5:45", 4, 28544, 2558,
+             "(141, 290, 629, 1501)"),
+    # ----- Table 3: pipelined processor -------------------------------------
+    PaperRow("3", "2R,1B", "Fwd", "5:11", 4, 49644, 284745),
+    PaperRow("3", "2R,1B", "Bkwd", "0:27", 4, 4080, 10745),
+    PaperRow("3", "2R,1B", "ICI", "0:27", 4, 4080, 10745),
+    PaperRow("3", "2R,1B", "XICI", "0:31", 4, 4084, 10745),
+    PaperRow("3", "2R,2B", "Fwd", "", None, None, None,
+             note="Exceeded 60MB."),
+    PaperRow("3", "2R,2B", "Bkwd", "", None, None, None,
+             note="Exceeded 60MB."),
+    PaperRow("3", "2R,2B", "ICI", "", None, None, None,
+             note="Exceeded 60MB."),
+    PaperRow("3", "2R,2B", "XICI", "1:48", 4, 7316, 8485,
+             "(45, 441, 1345, 6657)"),
+    PaperRow("3", "2R,3B", "XICI", "13:35", 4, 59480, 57510,
+             "(189, 2503, 9591, 45230)"),
+    PaperRow("3", "4R,1B", "Fwd", "", None, None, None,
+             note="Exceeded 60MB."),
+    PaperRow("3", "4R,1B", "Bkwd", "", None, None, None,
+             note="Exceeded 60MB."),
+    PaperRow("3", "4R,1B", "ICI", "", None, None, None,
+             note="Exceeded 60MB."),
+    PaperRow("3", "4R,1B", "XICI", "7:06", 4, 24156, 12947,
+             "(45, 849, 1290, 10767)"),
+    # ----- Section IV.B in-text: hand-built assisting invariants, 2R/3B ----
+    PaperRow("3", "2R,3B", "XICI+inv", "6:19", 2, 25592, 6602),
+]
+
+_INDEX: Dict[Tuple[str, str, str], PaperRow] = {
+    (row.table, row.size, row.method): row for row in PAPER_ROWS}
+
+
+def lookup(table: str, size: str, method: str) -> Optional[PaperRow]:
+    """Find the paper's row for a given table/size/method, if any."""
+    return _INDEX.get((table, size, method))

@@ -1,0 +1,255 @@
+"""Benchmark harness: run table rows and print paper-vs-measured.
+
+Every table/figure of the paper's evaluation maps to one ``table_*``
+function here.  Each returns a :class:`TableReport` whose rows pair a
+measured :class:`~repro.core.VerificationResult` with the paper's
+reported row (when the size was run in the paper).
+
+Scale control: functions take a ``scale`` argument —
+
+* ``"quick"`` (default): reduced parameters that finish in seconds in
+  pure Python while preserving every qualitative contrast.
+* ``"paper"``: the paper's exact parameters.  Expect minutes; rows the
+  paper reports as exceeded are run under explicit node/time budgets
+  so they terminate with the same verdict.
+
+Set the environment variable ``REPRO_FULL=1`` to make the pytest
+benchmarks use ``"paper"`` scale.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core import Options, Problem, VerificationResult, verify
+from ..models import message_network, moving_average, pipelined_processor, \
+    typed_fifo
+from .paperdata import PaperRow, lookup
+
+__all__ = ["TableReport", "ReportRow", "chosen_scale",
+           "default_budget", "PAPER_BUDGET",
+           "table1_fifo", "table1_network", "table1_movavg",
+           "table2_movavg_unassisted", "table3_pipeline",
+           "run_case", "DEFAULT_BUDGET"]
+
+#: Budget standing in for the paper's "Exceeded 60MB / 40 minutes".
+DEFAULT_BUDGET = Options(max_nodes=2_000_000, time_limit=90.0)
+#: Paper-scale default: pure Python needs roomier ceilings to finish
+#: the rows the paper's C implementation finished.
+PAPER_BUDGET = Options(max_nodes=10_000_000, time_limit=900.0)
+
+
+def chosen_scale() -> str:
+    """The scale selected by the REPRO_FULL environment variable."""
+    return "paper" if os.environ.get("REPRO_FULL") else "quick"
+
+
+def default_budget(scale: str = "quick") -> Options:
+    """The budget matching a scale (fresh copy; callers may mutate)."""
+    base = PAPER_BUDGET if scale == "paper" else DEFAULT_BUDGET
+    return Options(max_nodes=base.max_nodes, time_limit=base.time_limit)
+
+
+@dataclass
+class ReportRow:
+    """One measured row, with its paper counterpart if it exists."""
+
+    size: str
+    method: str
+    result: VerificationResult
+    paper: Optional[PaperRow]
+
+    def format(self) -> str:
+        r = self.result
+        if r.exhausted:
+            measured = f"{r.outcome} (peak {r.peak_nodes} nodes)"
+        else:
+            measured = (f"{r.time_string()}  iter={r.iterations:>2}  "
+                        f"mem={r.estimated_memory_kb}K  "
+                        f"nodes={r.max_iterate_profile}")
+        line = f"  {self.size:>7}  {self.method:>9}  {measured}"
+        if self.paper is not None:
+            p = self.paper
+            if p.note:
+                ref = p.note
+            else:
+                profile = f" {p.profile}" if p.profile else ""
+                ref = (f"{p.time}  iter={p.iterations:>2}  "
+                       f"mem={p.mem_kb}K  nodes={p.nodes}{profile}")
+            line += f"\n  {'':7}  {'':9}  paper: {ref}"
+        return line
+
+
+@dataclass
+class TableReport:
+    """A rendered table: title plus measured/paper row pairs."""
+
+    title: str
+    rows: List[ReportRow] = field(default_factory=list)
+
+    def format(self) -> str:
+        header = f"== {self.title} =="
+        return "\n".join([header] + [row.format() for row in self.rows])
+
+    def row(self, size: str, method: str) -> ReportRow:
+        for row in self.rows:
+            if row.size == size and row.method == method:
+                return row
+        raise KeyError((size, method))
+
+
+def run_case(problem: Problem, method: str, table: str, size: str,
+             options: Optional[Options] = None, assisted: bool = False,
+             method_label: Optional[str] = None,
+             monolithic: bool = False) -> ReportRow:
+    """Run one (problem, method) cell and pair it with the paper row.
+
+    ``monolithic=True`` hands the engine the property as a *single*
+    conjunct.  This reproduces the paper's protocol for the original
+    ICI method on Tables 2 and 3, where no user-supplied conjunction
+    exists: "Failure to do so reduces the algorithm to the ordinary
+    backward traversal" — and indeed the paper's ICI rows there equal
+    its Bkwd rows exactly.
+    """
+    if options is None:
+        options = DEFAULT_BUDGET
+    if monolithic:
+        merged = problem.machine.manager.conj(problem.conjuncts(assisted))
+        problem = Problem(
+            name=problem.name, machine=problem.machine,
+            good_conjuncts=[merged],
+            fd_dependent_bits=problem.fd_dependent_bits,
+            description=problem.description,
+            parameters=dict(problem.parameters, monolithic=True))
+        assisted = False
+    result = verify(problem, method, options, assisted=assisted)
+    label = method_label if method_label is not None else result.method
+    return ReportRow(size=size, method=label, result=result,
+                     paper=lookup(table, size, label))
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+def table1_fifo(scale: str = "quick",
+                methods: Sequence[str] = ("fwd", "bkwd", "ici", "xici")
+                ) -> TableReport:
+    """Table 1, first block: 8-bit wide typed FIFO buffer."""
+    depths = [5, 10] if scale == "paper" else [3, 5]
+    report = TableReport("Table 1: 8-bit wide typed FIFO buffer "
+                         f"({scale} scale)")
+    for depth in depths:
+        for method in methods:
+            problem = typed_fifo(depth=depth, width=8)
+            report.rows.append(
+                run_case(problem, method, "1-fifo", str(depth),
+                         options=default_budget(scale)))
+    return report
+
+
+def table1_network(scale: str = "quick",
+                   methods: Sequence[str] = ("fwd", "bkwd", "fd", "ici",
+                                             "xici")) -> TableReport:
+    """Table 1, second block: processors sending messages through a
+    network (with the FD baseline)."""
+    sizes = [4, 7] if scale == "paper" else [2, 3]
+    report = TableReport("Table 1: processors sending messages through "
+                         f"network ({scale} scale)")
+    for n in sizes:
+        for method in methods:
+            problem = message_network(num_procs=n)
+            report.rows.append(
+                run_case(problem, method, "1-network", str(n),
+                         options=default_budget(scale)))
+    return report
+
+
+def table1_movavg(scale: str = "quick",
+                  methods: Sequence[str] = ("fwd", "bkwd", "ici", "xici")
+                  ) -> TableReport:
+    """Table 1, third block: moving-average filter WITH the
+    user-supplied assisting invariants."""
+    if scale == "paper":
+        cases = [(4, methods), (8, methods), (16, ("ici", "xici"))]
+    else:
+        cases = [(2, methods), (4, methods), (8, ("ici", "xici"))]
+    report = TableReport("Table 1: 8-bit wide moving average filter, "
+                         f"assisted ({scale} scale)")
+    for depth, depth_methods in cases:
+        for method in depth_methods:
+            problem = moving_average(depth=depth, width=8)
+            assisted = method in ("ici", "xici")
+            report.rows.append(
+                run_case(problem, method, "1-movavg", str(depth),
+                         assisted=assisted,
+                         options=default_budget(scale)))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Table 2
+# ---------------------------------------------------------------------------
+
+def table2_movavg_unassisted(scale: str = "quick") -> TableReport:
+    """Table 2: the same filter with NO assisting invariants — only the
+    new method survives the larger depths, deriving the invariants
+    automatically."""
+    if scale == "paper":
+        cases = [(4, ("fwd", "bkwd", "ici", "xici")),
+                 (8, ("fwd", "bkwd", "ici", "xici")),
+                 (16, ("xici",))]
+    else:
+        cases = [(2, ("fwd", "bkwd", "ici", "xici")),
+                 (4, ("fwd", "bkwd", "ici", "xici")),
+                 (8, ("xici",))]
+    report = TableReport("Table 2: moving average filter without "
+                         f"assisting invariants ({scale} scale)")
+    for depth, methods in cases:
+        for method in methods:
+            problem = moving_average(depth=depth, width=8)
+            report.rows.append(
+                run_case(problem, method, "2", str(depth),
+                         monolithic=(method == "ici"),
+                         options=default_budget(scale)))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Table 3
+# ---------------------------------------------------------------------------
+
+def table3_pipeline(scale: str = "quick",
+                    include_assisted: bool = True) -> TableReport:
+    """Table 3: pipelined vs non-pipelined processor, plus the in-text
+    hand-assisted 2R/3B run."""
+    if scale == "paper":
+        cases = [((2, 1), ("fwd", "bkwd", "ici", "xici")),
+                 ((2, 2), ("fwd", "bkwd", "ici", "xici")),
+                 ((2, 3), ("bkwd", "xici")),
+                 ((4, 1), ("bkwd", "xici"))]
+        assisted_case = (2, 3)
+    else:
+        cases = [((2, 1), ("fwd", "bkwd", "ici", "xici")),
+                 ((2, 2), ("bkwd", "xici")),
+                 ((2, 3), ("bkwd",))]
+        assisted_case = (2, 1)
+    report = TableReport(f"Table 3: pipelined processor ({scale} scale)")
+    for (regs, width), methods in cases:
+        size = f"{regs}R,{width}B"
+        for method in methods:
+            problem = pipelined_processor(num_regs=regs, datapath=width)
+            report.rows.append(
+                run_case(problem, method, "3", size,
+                         monolithic=(method == "ici"),
+                         options=default_budget(scale)))
+    if include_assisted:
+        regs, width = assisted_case
+        size = f"{regs}R,{width}B"
+        problem = pipelined_processor(num_regs=regs, datapath=width)
+        report.rows.append(
+            run_case(problem, "xici", "3", size, assisted=True,
+                     method_label="XICI+inv"))
+    return report

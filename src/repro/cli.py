@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro``.
+
+Three subcommands:
+
+* ``verify`` — run one verification method on one model::
+
+      python -m repro verify --model fifo --depth 5 --method xici
+      python -m repro verify --model pipeline --regs 2 --bits 1 \\
+          --method xici --bug no-bypass --show-trace
+
+* ``tables`` — regenerate the paper's tables (paper-vs-measured)::
+
+      python -m repro tables --table 1-fifo
+      python -m repro tables --table all --scale paper
+
+* ``models`` — list available models and their parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .core import Options, Problem, verify
+from .models import alternating_bit, dining_philosophers, \
+    message_network, moving_average, msi_coherence, mutex_ring, \
+    pipelined_processor, typed_fifo
+from .bench.tables import table1_fifo, table1_movavg, table1_network, \
+    table2_movavg_unassisted, table3_pipeline
+
+__all__ = ["main"]
+
+_MODEL_HELP = {
+    "fifo": "typed FIFO queue (--depth, --width, --bug)",
+    "network": "processors + message network (--procs, --bug)",
+    "movavg": "moving-average filter (--depth, --width, --bug)",
+    "pipeline": "pipelined processor (--regs, --bits, --bug no-bypass|"
+                "wrong-bypass)",
+    "ring": "token-ring mutual exclusion (--nodes, --bug)",
+    "philosophers": "dining philosophers (--phils, --bug)",
+    "coherence": "MSI cache coherence (--caches, --bug no-invalidate|"
+                 "double-owner)",
+    "abp": "alternating-bit link protocol (--width, --bug)",
+}
+
+_TABLES: Dict[str, Callable[[str], object]] = {
+    "1-fifo": table1_fifo,
+    "1-network": table1_network,
+    "1-movavg": table1_movavg,
+    "2": table2_movavg_unassisted,
+    "3": table3_pipeline,
+}
+
+
+def _build_problem(args: argparse.Namespace) -> Problem:
+    bug = args.bug
+    flag = bool(bug)
+    if args.model == "fifo":
+        return typed_fifo(depth=args.depth, width=args.width, buggy=flag)
+    if args.model == "network":
+        return message_network(num_procs=args.procs, buggy=flag)
+    if args.model == "movavg":
+        return moving_average(depth=args.depth, width=args.width,
+                              buggy=flag)
+    if args.model == "pipeline":
+        return pipelined_processor(num_regs=args.regs, datapath=args.bits,
+                                   buggy=bug or "")
+    if args.model == "ring":
+        return mutex_ring(num_nodes=args.nodes, buggy=flag)
+    if args.model == "philosophers":
+        return dining_philosophers(num_phils=args.phils, buggy=flag)
+    if args.model == "coherence":
+        return msi_coherence(num_caches=args.caches, buggy=bug or "")
+    if args.model == "abp":
+        return alternating_bit(width=args.width, buggy=flag)
+    raise ValueError(f"unknown model {args.model!r}")
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    problem = _build_problem(args)
+    options = Options(
+        max_nodes=args.max_nodes,
+        time_limit=args.time_limit,
+        grow_threshold=args.grow_threshold,
+        evaluator=args.evaluator,
+        simplifier=args.simplifier,
+        use_bounded_and=args.bounded_and,
+        back_image_mode=args.back_image,
+        exploit_monotonicity=args.monotone,
+        auto_decompose=args.auto_decompose,
+    )
+    result = verify(problem, args.method, options, assisted=args.assisted)
+    print(f"model     : {problem.name} — {problem.description}")
+    print(f"method    : {result.method}"
+          + (" (+assisting invariants)" if args.assisted else ""))
+    print(f"outcome   : {result.outcome}")
+    print(f"iterations: {result.iterations}")
+    print(f"time      : {result.elapsed_seconds:.2f}s")
+    print(f"largest iterate: {result.max_iterate_profile} nodes")
+    print(f"peak table: {result.peak_nodes} nodes "
+          f"(~{result.estimated_memory_kb}K)")
+    if result.trace is not None and args.show_trace:
+        print(f"counterexample ({len(result.trace)} states):")
+        print(result.trace.pretty())
+    if result.violated:
+        return 1
+    if result.exhausted:
+        return 2
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    names = list(_TABLES) if args.table == "all" else [args.table]
+    for name in names:
+        report = _TABLES[name](scale=args.scale)
+        print(report.format())
+        print()
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .fsm import analyze
+    problem = _build_problem(args)
+    report = analyze(problem.machine, explore=args.explore)
+    print(report.format())
+    print(f"  property conjuncts: {len(problem.good_conjuncts)}")
+    if problem.assisting_invariants:
+        print(f"  assisting invariants: "
+              f"{len(problem.assisting_invariants)}")
+    return 0
+
+
+def _cmd_models(_args: argparse.Namespace) -> int:
+    print("available models:")
+    for name, help_text in _MODEL_HELP.items():
+        print(f"  {name:<13} {help_text}")
+    print("\nmethods: fwd bkwd fd ici xici")
+    return 0
+
+
+def _add_verify_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "verify", help="run one verification method on one model")
+    parser.add_argument("--model", required=True, choices=sorted(_MODEL_HELP))
+    parser.add_argument("--method", default="xici",
+                        choices=["fwd", "bkwd", "fd", "ici", "xici"])
+    parser.add_argument("--assisted", action="store_true",
+                        help="add the model's assisting invariants")
+    parser.add_argument("--bug", default=None,
+                        help="inject a model-specific bug")
+    parser.add_argument("--show-trace", action="store_true")
+    # model parameters
+    parser.add_argument("--depth", type=int, default=4)
+    parser.add_argument("--width", type=int, default=8)
+    parser.add_argument("--procs", type=int, default=3)
+    parser.add_argument("--regs", type=int, default=2)
+    parser.add_argument("--bits", type=int, default=1)
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--phils", type=int, default=4)
+    parser.add_argument("--caches", type=int, default=3)
+    # engine knobs
+    parser.add_argument("--max-nodes", type=int, default=None)
+    parser.add_argument("--time-limit", type=float, default=None)
+    parser.add_argument("--grow-threshold", type=float, default=1.5)
+    parser.add_argument("--evaluator", default="greedy",
+                        choices=["greedy", "matching"])
+    parser.add_argument("--simplifier", default="restrict",
+                        choices=["restrict", "constrain", "multiway"])
+    parser.add_argument("--bounded-and", action="store_true")
+    parser.add_argument("--back-image", default="compose",
+                        choices=["compose", "relational"])
+    parser.add_argument("--monotone", action="store_true",
+                        help="one-directional termination test")
+    parser.add_argument("--auto-decompose", action="store_true",
+                        help="split monolithic property conjuncts "
+                             "into independent factors first")
+    parser.set_defaults(func=_cmd_verify)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Implicitly conjoined BDDs (Hu/York/Dill, DAC 1994)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_verify_parser(subparsers)
+
+    tables = subparsers.add_parser(
+        "tables", help="regenerate the paper's tables")
+    tables.add_argument("--table", default="all",
+                        choices=sorted(_TABLES) + ["all"])
+    tables.add_argument("--scale", default="quick",
+                        choices=["quick", "paper"])
+    tables.set_defaults(func=_cmd_tables)
+
+    models = subparsers.add_parser("models", help="list available models")
+    models.set_defaults(func=_cmd_models)
+
+    info = subparsers.add_parser(
+        "info", help="structural report on one model")
+    info.add_argument("--model", required=True,
+                      choices=sorted(_MODEL_HELP))
+    info.add_argument("--explore", action="store_true",
+                      help="add a bounded explicit-state sweep")
+    info.add_argument("--bug", default=None)
+    for flag, default in (("--depth", 4), ("--width", 8), ("--procs", 3),
+                          ("--regs", 2), ("--bits", 1), ("--nodes", 4),
+                          ("--phils", 4), ("--caches", 3)):
+        info.add_argument(flag, type=int, default=default)
+    info.set_defaults(func=_cmd_info)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

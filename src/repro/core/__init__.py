@@ -1,0 +1,32 @@
+"""Verification engines (S5): the paper's five methods plus plumbing."""
+
+from .options import Options
+from .problem import Problem
+from .result import Outcome, RunRecorder, VerificationResult
+from .forward import verify_forward
+from .backward import verify_backward
+from .fd import DEPENDENCY_FAILED, extract_dependencies, verify_fd
+from .ici import verify_ici
+from .xici import verify_xici
+from .runner import METHODS, verify
+from .implicit_trace import find_failing_conjunct, \
+    implicit_backward_counterexample
+
+__all__ = [
+    "Options",
+    "Problem",
+    "Outcome",
+    "RunRecorder",
+    "VerificationResult",
+    "verify_forward",
+    "verify_backward",
+    "verify_fd",
+    "verify_ici",
+    "verify_xici",
+    "extract_dependencies",
+    "DEPENDENCY_FAILED",
+    "METHODS",
+    "verify",
+    "find_failing_conjunct",
+    "implicit_backward_counterexample",
+]

@@ -1,0 +1,87 @@
+"""Engine configuration knobs.
+
+Defaults reproduce the paper's settings; everything the paper marks as
+tunable (GrowThreshold, cofactor-variable choice, simplifier, the
+unexploited monotonicity optimization) is a field here so the ablation
+benches can sweep it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..iclist.evaluate import GROW_THRESHOLD
+
+__all__ = ["Options"]
+
+
+@dataclass
+class Options:
+    """Options shared by all verification engines.
+
+    Budget fields emulate the paper's resource ceilings ("Exceeded
+    60MB", "Exceeded 40 minutes"): when hit, the engine reports a
+    budget outcome instead of running forever.
+    """
+
+    #: Hard cap on allocated BDD nodes (None = unlimited).
+    max_nodes: Optional[int] = None
+    #: Wall-clock limit in seconds (None = unlimited).
+    time_limit: Optional[float] = None
+    #: Iteration cap; a safety net, mostly for the reconstruction of the
+    #: original ICI method whose termination test may fail to converge.
+    max_iterations: int = 10_000
+    #: Extract a concrete counterexample trace on violation.
+    want_trace: bool = True
+    #: Garbage-collect the node table at iterate boundaries once it
+    #: exceeds this size (None disables collection).
+    gc_min_nodes: Optional[int] = 200_000
+
+    # -- image computation ---------------------------------------------------
+    #: Node limit when clustering the partitioned transition relation.
+    cluster_limit: int = 2500
+    #: BackImage strategy: "compose" (vector compose + forall, the
+    #: default) or "relational" (dual of PreImage over the partitioned
+    #: relation; smaller intermediates for very large iterates).
+    back_image_mode: str = "compose"
+    #: Forward traversal: compute the image of the new frontier only
+    #: (``R_{i+1} = R_i or Image(R_i - R_{i-1})``) instead of the whole
+    #: reached set — same fixpoint, often cheaper steps.
+    use_frontier: bool = False
+
+    # -- implicit-conjunction engines ---------------------------------------
+    #: Figure 1's GrowThreshold.
+    grow_threshold: float = GROW_THRESHOLD
+    #: Conjunction-evaluation policy: "greedy" (Figure 1) or "matching"
+    #: (Theorem 2's exact pairwise cover).
+    evaluator: str = "greedy"
+    #: Abort pairwise products that exceed a useful size (Section V wish).
+    use_bounded_and: bool = False
+    #: BDDSimplify operator: "restrict" (paper) or "constrain".
+    simplifier: str = "restrict"
+    #: Only simplify a conjunct by smaller peers (Section III.A).
+    simplify_only_by_smaller: bool = True
+    #: Cofactor-variable choice in the termination test (Step 4).
+    var_choice: str = "first-top"
+    #: Step 3 realization: "simplify" (Theorem 3), "direct", or "off".
+    pairwise_step3: str = "simplify"
+    #: Use one-directional implication for termination (the paper's
+    #: unimplemented monotonicity optimization).
+    exploit_monotonicity: bool = False
+    #: Split each initial property conjunct into independent factors
+    #: before starting (XICI only) — lets a *monolithic* property enter
+    #: the implicit-conjunction machinery with no user assistance.
+    auto_decompose: bool = False
+
+    def validate(self) -> None:
+        """Sanity-check option combinations."""
+        if self.evaluator not in ("greedy", "matching"):
+            raise ValueError(f"unknown evaluator {self.evaluator!r}")
+        if self.grow_threshold <= 0:
+            raise ValueError("grow_threshold must be positive")
+        if self.max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        if self.back_image_mode not in ("compose", "relational"):
+            raise ValueError(
+                f"unknown back_image_mode {self.back_image_mode!r}")

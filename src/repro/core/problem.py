@@ -1,0 +1,47 @@
+"""A verification problem: machine + property (+ optional hints).
+
+Models produce one of these; the runner feeds it to any engine.  The
+property arrives as a *list* of conjuncts because that is its natural
+form (an output-equality property is a conjunction of per-bit
+equivalences) — the monolithic engines conjoin it themselves, exactly
+as a conventional verifier would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..bdd.manager import Function
+from ..fsm.machine import Machine
+
+__all__ = ["Problem"]
+
+
+@dataclass
+class Problem:
+    """One verification task, ready for any engine.
+
+    * ``good_conjuncts`` — the property ``G`` as implicit conjuncts.
+    * ``assisting_invariants`` — optional user-supplied lemmas (the
+      paper's "assisting invariants"); verifying the strengthened set
+      ``G and lemmas`` implies the original property.
+    * ``fd_dependent_bits`` — optional declaration for the FD engine.
+    """
+
+    name: str
+    machine: Machine
+    good_conjuncts: List[Function]
+    assisting_invariants: List[Function] = field(default_factory=list)
+    fd_dependent_bits: Optional[List[str]] = None
+    description: str = ""
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    def conjuncts(self, assisted: bool = False) -> List[Function]:
+        """The property list, optionally strengthened by the lemmas."""
+        if assisted:
+            if not self.assisting_invariants:
+                raise ValueError(
+                    f"problem {self.name!r} has no assisting invariants")
+            return list(self.good_conjuncts) + list(self.assisting_invariants)
+        return list(self.good_conjuncts)

@@ -1,0 +1,159 @@
+"""Uniform result record for all engines — one row of the paper's tables.
+
+The paper reports, per run: Time, Iter, Mem, and "BDD Nodes" (the
+largest number of nodes representing any iterate ``R_i``/``G_i``, with
+per-conjunct sizes in parentheses for the implicit methods).
+:class:`VerificationResult` carries exactly those, plus the verdict,
+the counterexample (if any), and engine-specific extras.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..bdd.manager import BDD, BudgetExceededError
+from ..fsm.trace import Trace
+from .options import Options
+
+__all__ = ["VerificationResult", "Outcome", "RunRecorder"]
+
+
+class Outcome:
+    """String constants for the verdict field."""
+
+    VERIFIED = "verified"
+    VIOLATED = "violated"
+    NODE_BUDGET = "node budget exceeded"
+    TIME_BUDGET = "time budget exceeded"
+    NO_CONVERGENCE = "iteration cap reached"
+
+
+@dataclass
+class VerificationResult:
+    """Everything a table row (and a user) needs about one run."""
+
+    method: str
+    model: str
+    outcome: str
+    holds: Optional[bool]
+    iterations: int
+    elapsed_seconds: float
+    peak_nodes: int
+    estimated_memory_kb: int
+    max_iterate_nodes: int
+    max_iterate_profile: str
+    iterate_profiles: List[str] = field(default_factory=list)
+    trace: Optional[Trace] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def verified(self) -> bool:
+        """True exactly when the property was proven to hold."""
+        return self.outcome == Outcome.VERIFIED
+
+    @property
+    def violated(self) -> bool:
+        """True exactly when a counterexample exists."""
+        return self.outcome == Outcome.VIOLATED
+
+    @property
+    def exhausted(self) -> bool:
+        """True when a resource budget stopped the run."""
+        return self.outcome in (Outcome.NODE_BUDGET, Outcome.TIME_BUDGET,
+                                Outcome.NO_CONVERGENCE)
+
+    def time_string(self) -> str:
+        """Minutes:seconds, like the paper's Time column."""
+        total = int(round(self.elapsed_seconds))
+        return f"{total // 60}:{total % 60:02d}"
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        if self.exhausted:
+            return f"{self.method}: {self.outcome}"
+        verdict = "holds" if self.verified else "VIOLATED"
+        return (f"{self.method}: {verdict} after {self.iterations} "
+                f"iterations in {self.elapsed_seconds:.2f}s; largest "
+                f"iterate {self.max_iterate_profile} nodes")
+
+
+class RunRecorder:
+    """Shared engine bookkeeping: timing, budgets, iterate profiles.
+
+    Engines wrap their main loop in :meth:`budgeted`; a
+    :class:`BudgetExceededError` raised anywhere inside (including deep
+    in the BDD manager) is converted into a budget outcome.
+    """
+
+    def __init__(self, method: str, model: str, manager: BDD,
+                 options: Options) -> None:
+        options.validate()
+        self.method = method
+        self.model = model
+        self.manager = manager
+        self.options = options
+        self.iterations = 0
+        self.iterate_profiles: List[str] = []
+        self.max_iterate_nodes = 0
+        self.max_iterate_profile = "0"
+        self.extra: Dict[str, Any] = {}
+        self._start = time.monotonic()
+        self._saved_budget = (manager.max_nodes, manager._deadline,
+                              manager.auto_gc_min_nodes)
+        if options.max_nodes is not None:
+            manager.max_nodes = options.max_nodes
+        if options.time_limit is not None:
+            manager._deadline = self._start + options.time_limit
+        manager.auto_gc_min_nodes = options.gc_min_nodes
+
+    def record_iterate(self, nodes: int, profile: str) -> None:
+        """Log the size of one iterate R_i / G_i.
+
+        Also the engines' garbage-collection point: every iterate
+        boundary is operation-free, so edges held only in manager
+        caches can be reclaimed safely.
+        """
+        self.iterate_profiles.append(profile)
+        if nodes > self.max_iterate_nodes:
+            self.max_iterate_nodes = nodes
+            self.max_iterate_profile = profile
+        self.manager.auto_collect()
+
+    def check_time(self) -> None:
+        """Engine-level wall-clock check (manager checks are coarse)."""
+        if self.options.time_limit is not None \
+                and time.monotonic() - self._start > self.options.time_limit:
+            raise BudgetExceededError("time", self.options.time_limit)
+
+    def budget_outcome(self, error: BudgetExceededError) -> str:
+        """Map a budget error to its outcome string."""
+        return (Outcome.NODE_BUDGET if error.kind == "node"
+                else Outcome.TIME_BUDGET)
+
+    def finish_budget(self, error: BudgetExceededError) -> VerificationResult:
+        """Finish a run that hit a resource budget."""
+        return self.finish(self.budget_outcome(error), holds=None)
+
+    def finish(self, outcome: str, holds: Optional[bool],
+               trace: Optional[Trace] = None) -> VerificationResult:
+        """Assemble the result and restore the manager's budgets."""
+        elapsed = time.monotonic() - self._start
+        (self.manager.max_nodes, self.manager._deadline,
+         self.manager.auto_gc_min_nodes) = self._saved_budget
+        return VerificationResult(
+            method=self.method,
+            model=self.model,
+            outcome=outcome,
+            holds=holds,
+            iterations=self.iterations,
+            elapsed_seconds=elapsed,
+            peak_nodes=self.manager.peak_nodes,
+            estimated_memory_kb=self.manager.estimated_memory_bytes() // 1024,
+            max_iterate_nodes=self.max_iterate_nodes,
+            max_iterate_profile=self.max_iterate_profile,
+            iterate_profiles=self.iterate_profiles,
+            trace=trace,
+            extra=self.extra,
+        )

@@ -1,0 +1,7 @@
+"""Explicit-state checker (substrate S6) — the cross-validation oracle."""
+
+from .enumerate import ExplicitResult, explicit_check, \
+    explicit_reachable, explicit_shortest_violation
+
+__all__ = ["ExplicitResult", "explicit_check", "explicit_reachable",
+           "explicit_shortest_violation"]

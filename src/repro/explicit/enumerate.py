@@ -1,0 +1,189 @@
+"""Explicit-state reachability — an independent oracle (substrate S6).
+
+The paper notes that "a brute-force approach that stores states
+explicitly in a hash table [13] has generally out-performed BDD-based
+approaches" on their large examples.  We build the brute-force checker
+over the very same :class:`~repro.fsm.Machine` objects, but driving it
+with *concrete evaluation only* (walking BDDs under total assignments,
+never performing symbolic operations).  Agreement between this checker
+and the symbolic engines on small instances is therefore a strong
+cross-validation of the whole symbolic stack, and the test suite leans
+on it heavily.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..bdd.manager import Function
+from ..bdd.satisfy import iter_assignments
+from ..fsm.machine import Machine
+
+__all__ = ["ExplicitResult", "explicit_reachable", "explicit_check",
+           "explicit_shortest_violation"]
+
+State = Tuple[bool, ...]
+
+
+@dataclass
+class ExplicitResult:
+    """Outcome of an explicit-state search."""
+
+    holds: bool
+    num_states: int
+    num_transitions: int
+    violating_state: Optional[Dict[str, bool]]
+    depth: int
+    truncated: bool
+
+
+def _state_tuple(machine: Machine, assignment: Dict[str, bool]) -> State:
+    return tuple(assignment[name] for name in machine.current_names)
+
+
+def _state_dict(machine: Machine, state: State) -> Dict[str, bool]:
+    return dict(zip(machine.current_names, state))
+
+
+def _allowed_inputs(machine: Machine,
+                    state: Dict[str, bool]) -> List[Dict[str, bool]]:
+    """All input assignments the assumption permits in this state."""
+    if not machine.input_names:
+        return [{}] if machine.assumption.evaluate(state) else []
+    cube = machine.manager.cube(state)
+    allowed = machine.assumption.constrain(cube)
+    return list(iter_assignments(allowed, machine.input_names))
+
+
+def explicit_reachable(machine: Machine,
+                       max_states: int = 200_000) -> Tuple[Set[State], bool]:
+    """BFS over concrete states; returns (states, truncated)."""
+    frontier: deque = deque()
+    seen: Set[State] = set()
+    for assignment in iter_assignments(machine.init, machine.current_names):
+        state = _state_tuple(machine, assignment)
+        if state not in seen:
+            seen.add(state)
+            frontier.append(state)
+    truncated = False
+    while frontier:
+        state = frontier.popleft()
+        state_dict = _state_dict(machine, state)
+        for inputs in _allowed_inputs(machine, state_dict):
+            successor = machine.step(state_dict, inputs)
+            key = _state_tuple(machine, successor)
+            if key not in seen:
+                if len(seen) >= max_states:
+                    truncated = True
+                    frontier.clear()
+                    break
+                seen.add(key)
+                frontier.append(key)
+    return seen, truncated
+
+
+def explicit_check(machine: Machine, good_conjuncts: Sequence[Function],
+                   max_states: int = 200_000) -> ExplicitResult:
+    """BFS with on-the-fly property checking (shortest violation)."""
+    frontier: deque = deque()
+    seen: Set[State] = set()
+    transitions = 0
+    depth_of: Dict[State, int] = {}
+
+    def violates(state_dict: Dict[str, bool]) -> bool:
+        return any(not conjunct.evaluate(state_dict)
+                   for conjunct in good_conjuncts)
+
+    for assignment in iter_assignments(machine.init, machine.current_names):
+        state = _state_tuple(machine, assignment)
+        if state in seen:
+            continue
+        seen.add(state)
+        depth_of[state] = 0
+        state_dict = _state_dict(machine, state)
+        if violates(state_dict):
+            return ExplicitResult(holds=False, num_states=len(seen),
+                                  num_transitions=0,
+                                  violating_state=state_dict, depth=0,
+                                  truncated=False)
+        frontier.append(state)
+    truncated = False
+    max_depth = 0
+    while frontier:
+        state = frontier.popleft()
+        state_dict = _state_dict(machine, state)
+        for inputs in _allowed_inputs(machine, state_dict):
+            transitions += 1
+            successor = machine.step(state_dict, inputs)
+            key = _state_tuple(machine, successor)
+            if key in seen:
+                continue
+            if len(seen) >= max_states:
+                truncated = True
+                frontier.clear()
+                break
+            seen.add(key)
+            depth = depth_of[state] + 1
+            depth_of[key] = depth
+            max_depth = max(max_depth, depth)
+            if violates(successor):
+                return ExplicitResult(holds=False, num_states=len(seen),
+                                      num_transitions=transitions,
+                                      violating_state=successor,
+                                      depth=depth, truncated=truncated)
+            frontier.append(key)
+    return ExplicitResult(holds=True, num_states=len(seen),
+                          num_transitions=transitions,
+                          violating_state=None, depth=max_depth,
+                          truncated=truncated)
+
+
+def explicit_shortest_violation(
+        machine: Machine, good_conjuncts: Sequence[Function],
+        max_states: int = 200_000) -> Optional[List[Dict[str, bool]]]:
+    """Shortest concrete path from an initial state to a violation.
+
+    Returns the state sequence (inclusive of both ends), or None if
+    the property holds on the explored space.  BFS guarantees
+    minimality, which the tests use to validate that the symbolic
+    forward counterexamples are shortest too.
+    """
+    parent: Dict[State, Optional[State]] = {}
+    frontier: deque = deque()
+
+    def violates(state_dict: Dict[str, bool]) -> bool:
+        return any(not conjunct.evaluate(state_dict)
+                   for conjunct in good_conjuncts)
+
+    def path_to(state: State) -> List[Dict[str, bool]]:
+        chain: List[State] = []
+        cursor: Optional[State] = state
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = parent[cursor]
+        chain.reverse()
+        return [_state_dict(machine, s) for s in chain]
+
+    for assignment in iter_assignments(machine.init, machine.current_names):
+        state = _state_tuple(machine, assignment)
+        if state in parent:
+            continue
+        parent[state] = None
+        if violates(_state_dict(machine, state)):
+            return path_to(state)
+        frontier.append(state)
+    while frontier:
+        state = frontier.popleft()
+        state_dict = _state_dict(machine, state)
+        for inputs in _allowed_inputs(machine, state_dict):
+            successor = machine.step(state_dict, inputs)
+            key = _state_tuple(machine, successor)
+            if key in parent or len(parent) >= max_states:
+                continue
+            parent[key] = state
+            if violates(successor):
+                return path_to(key)
+            frontier.append(key)
+    return None

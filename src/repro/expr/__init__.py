@@ -1,0 +1,5 @@
+"""Word-level expression layer over BDDs (substrate S2)."""
+
+from .bitvec import BitVec, popcount, sum_vectors
+
+__all__ = ["BitVec", "popcount", "sum_vectors"]

@@ -1,0 +1,290 @@
+"""Symbolic bit-vectors over BDDs (the "Ever"-style word level, S2).
+
+The paper's examples are datapath designs — typed FIFO queues, adder
+trees, register files — described at the word level and compiled to
+per-bit Boolean functions.  :class:`BitVec` is that compilation layer:
+a fixed-width unsigned vector whose bits are :class:`~repro.bdd.Function`
+objects, least-significant bit first.
+
+Design notes
+------------
+* Widths are explicit.  ``add``/``sub`` wrap at the operand width;
+  ``add_full`` widens by one bit, which is what the moving-average
+  filter's adder tree needs (an n-bit + n-bit sum is n+1 bits).
+* Comparisons return a plain :class:`Function`.
+* ``==`` is deliberately *not* overloaded to build hardware; use
+  :meth:`eq`.  Overloading ``==`` on a vector would silently break
+  hashing and list membership.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bdd.manager import BDD, Function
+
+__all__ = ["BitVec", "popcount", "sum_vectors"]
+
+
+class BitVec:
+    """Fixed-width unsigned symbolic bit-vector (LSB first)."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: Sequence[Function]) -> None:
+        if not bits:
+            raise ValueError("BitVec needs at least one bit")
+        manager = bits[0].bdd
+        for bit in bits:
+            manager._check_manager(bit)
+        self.bits: Tuple[Function, ...] = tuple(bits)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def constant(cls, manager: BDD, width: int, value: int) -> "BitVec":
+        """A constant vector; ``value`` must fit in ``width`` bits."""
+        if value < 0 or value >> width:
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        return cls([manager.true if (value >> i) & 1 else manager.false
+                    for i in range(width)])
+
+    # -- basic structure --------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Number of bits."""
+        return len(self.bits)
+
+    @property
+    def manager(self) -> BDD:
+        """The owning BDD manager."""
+        return self.bits[0].bdd
+
+    def __getitem__(self, index: int) -> Function:
+        return self.bits[index]
+
+    def __iter__(self):
+        return iter(self.bits)
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def __repr__(self) -> str:
+        return f"BitVec(width={self.width})"
+
+    def resize(self, width: int) -> "BitVec":
+        """Zero-extend or truncate to ``width`` bits."""
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if width <= self.width:
+            return BitVec(self.bits[:width])
+        pad = [self.manager.false] * (width - self.width)
+        return BitVec(list(self.bits) + pad)
+
+    def concat(self, high: "BitVec") -> "BitVec":
+        """This vector in the low bits, ``high`` above it."""
+        return BitVec(list(self.bits) + list(high.bits))
+
+    # -- bitwise ----------------------------------------------------------
+
+    def _match(self, other: "BitVec") -> None:
+        if self.width != other.width:
+            raise ValueError(
+                f"width mismatch: {self.width} vs {other.width}")
+
+    def __and__(self, other: "BitVec") -> "BitVec":
+        self._match(other)
+        return BitVec([a & b for a, b in zip(self.bits, other.bits)])
+
+    def __or__(self, other: "BitVec") -> "BitVec":
+        self._match(other)
+        return BitVec([a | b for a, b in zip(self.bits, other.bits)])
+
+    def __xor__(self, other: "BitVec") -> "BitVec":
+        self._match(other)
+        return BitVec([a ^ b for a, b in zip(self.bits, other.bits)])
+
+    def __invert__(self) -> "BitVec":
+        return BitVec([~a for a in self.bits])
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def _ripple_add(self, other: "BitVec",
+                    carry_in: Optional[Function] = None
+                    ) -> Tuple[List[Function], Function]:
+        self._match(other)
+        manager = self.manager
+        carry = carry_in if carry_in is not None else manager.false
+        out: List[Function] = []
+        for a, b in zip(self.bits, other.bits):
+            axb = a ^ b
+            out.append(axb ^ carry)
+            carry = (a & b) | (carry & axb)
+        return out, carry
+
+    def add(self, other: "BitVec") -> "BitVec":
+        """Sum modulo 2**width (carry-out dropped)."""
+        bits, _ = self._ripple_add(other)
+        return BitVec(bits)
+
+    def add_full(self, other: "BitVec") -> "BitVec":
+        """Full-width sum: result is one bit wider than the operands."""
+        bits, carry = self._ripple_add(other)
+        return BitVec(bits + [carry])
+
+    def sub(self, other: "BitVec") -> "BitVec":
+        """Difference modulo 2**width (two's complement)."""
+        bits, _ = self._ripple_add(~other, carry_in=self.manager.true)
+        return BitVec(bits)
+
+    def inc(self) -> "BitVec":
+        """This vector plus one, modulo 2**width."""
+        return self.add(BitVec.constant(self.manager, self.width, 1))
+
+    def dec(self) -> "BitVec":
+        """This vector minus one, modulo 2**width."""
+        return self.sub(BitVec.constant(self.manager, self.width, 1))
+
+    def shift_right(self, amount: int) -> "BitVec":
+        """Logical right shift by a constant; width shrinks.
+
+        This is the paper's "3-bit discard" in the moving-average
+        filter: dividing an (n+3)-bit sum by 8.
+        """
+        if amount < 0:
+            raise ValueError("shift amount must be non-negative")
+        if amount >= self.width:
+            return BitVec([self.manager.false])
+        return BitVec(self.bits[amount:])
+
+    def shift_right_one_keep_width(self) -> "BitVec":
+        """The SR instruction of the pipelined processor: ``x >> 1``
+        with a zero shifted into the top bit (width preserved)."""
+        return BitVec(list(self.bits[1:]) + [self.manager.false])
+
+    # -- comparisons -----------------------------------------------------
+
+    def eq(self, other: "BitVec") -> Function:
+        """Bitwise equality as a single function."""
+        return self.manager.conj(self.eq_bits(other))
+
+    def eq_bits(self, other: "BitVec") -> List[Function]:
+        """Per-bit equality functions — the natural implicit conjuncts.
+
+        This is how properties reach the ICI/XICI engines *without*
+        user assistance: an output-equality property is already a
+        conjunction of per-bit equivalences.
+        """
+        self._match(other)
+        return [a.iff(b) for a, b in zip(self.bits, other.bits)]
+
+    def ne(self, other: "BitVec") -> Function:
+        """Bitwise disequality."""
+        return ~self.eq(other)
+
+    def eq_const(self, value: int) -> Function:
+        """Equality with an integer constant."""
+        return self.eq(BitVec.constant(self.manager, self.width, value))
+
+    def ule(self, other: "BitVec") -> Function:
+        """Unsigned ``self <= other``."""
+        self._match(other)
+        result = self.manager.true
+        for a, b in zip(self.bits, other.bits):
+            # From LSB up: le = (a < b) or (a == b) and le_below
+            result = (~a & b) | (a.iff(b) & result)
+        return result
+
+    def ult(self, other: "BitVec") -> Function:
+        """Unsigned ``self < other``."""
+        return ~other.ule(self)
+
+    def uge(self, other: "BitVec") -> Function:
+        """Unsigned ``self >= other``."""
+        return other.ule(self)
+
+    def ugt(self, other: "BitVec") -> Function:
+        """Unsigned ``self > other``."""
+        return other.ult(self)
+
+    def ule_const(self, value: int) -> Function:
+        """Unsigned comparison with a constant (e.g. the FIFO's type
+        constraint ``x <= 128``)."""
+        return self.ule(BitVec.constant(self.manager, self.width, value))
+
+    def ult_const(self, value: int) -> Function:
+        """Unsigned strict comparison with a constant."""
+        return self.ult(BitVec.constant(self.manager, self.width, value))
+
+    def is_zero(self) -> Function:
+        """Whether every bit is clear."""
+        return ~self.manager.disj(self.bits)
+
+    def max_with(self, other: "BitVec") -> "BitVec":
+        """Elementwise unsigned maximum."""
+        return BitVec.mux(self.uge(other), self, other)
+
+    def min_with(self, other: "BitVec") -> "BitVec":
+        """Elementwise unsigned minimum."""
+        return BitVec.mux(self.ule(other), self, other)
+
+    # -- selection ---------------------------------------------------------
+
+    @staticmethod
+    def mux(select: Function, if_true: "BitVec",
+            if_false: "BitVec") -> "BitVec":
+        """Two-way word multiplexer."""
+        if_true._match(if_false)
+        manager = if_true.manager
+        return BitVec([manager.ite(select, a, b)
+                       for a, b in zip(if_true.bits, if_false.bits)])
+
+    @staticmethod
+    def select(cases: Sequence[Tuple[Function, "BitVec"]],
+               default: "BitVec") -> "BitVec":
+        """Priority selector: first case whose guard holds, else default."""
+        result = default
+        for guard, value in reversed(cases):
+            result = BitVec.mux(guard, value, result)
+        return result
+
+    # -- evaluation ---------------------------------------------------------
+
+    def value_on(self, assignment: Dict[str, bool]) -> int:
+        """Concrete integer value under a total assignment."""
+        value = 0
+        for index, bit in enumerate(self.bits):
+            if bit.evaluate(assignment):
+                value |= 1 << index
+        return value
+
+
+def popcount(flags: Sequence[Function]) -> BitVec:
+    """Number of true functions among ``flags`` as a bit-vector.
+
+    Used by the network example's property: each processor's counter
+    must equal the *count* of its outstanding messages.  Built as a
+    balanced adder tree for compact BDDs.
+    """
+    if not flags:
+        raise ValueError("popcount needs at least one flag")
+    vectors = [BitVec([flag]) for flag in flags]
+    return sum_vectors(vectors)
+
+
+def sum_vectors(vectors: Sequence[BitVec]) -> BitVec:
+    """Widening sum of several vectors via a balanced tree of adders."""
+    if not vectors:
+        raise ValueError("sum_vectors needs at least one vector")
+    layer = list(vectors)
+    while len(layer) > 1:
+        nxt: List[BitVec] = []
+        for i in range(0, len(layer) - 1, 2):
+            a, b = layer[i], layer[i + 1]
+            width = max(a.width, b.width)
+            nxt.append(a.resize(width).add_full(b.resize(width)))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    return layer[0]

@@ -1,0 +1,22 @@
+"""Symbolic FSM layer (substrate S3): machines, builder, images, traces."""
+
+from .machine import Machine, StateBit
+from .builder import Builder
+from .image import ImageComputer, back_image, image, pre_image
+from .trace import Step, Trace, backward_counterexample, \
+    forward_counterexample
+from .analysis import MachineReport, analyze
+
+__all__ = [
+    "Machine",
+    "StateBit",
+    "Builder",
+    "ImageComputer",
+    "back_image",
+    "pre_image",
+    "image",
+    "Step",
+    "Trace",
+    "forward_counterexample",
+    "backward_counterexample",
+]

@@ -1,0 +1,105 @@
+"""Structural analysis of symbolic machines.
+
+Answers the questions you ask before pointing a verifier at a model:
+how big is the state space, how big are the next-state functions, how
+are the variables grouped and ordered, and (for small instances) what
+do the concrete reachable states look like.  Backs the CLI's ``info``
+subcommand and the examples' ``--diagram`` inventories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bdd.sizing import shared_size
+from .machine import Machine
+
+__all__ = ["MachineReport", "analyze"]
+
+
+@dataclass
+class VectorInfo:
+    """One named vector of bits (register or input)."""
+
+    name: str
+    width: int
+    kind: str               # "register" | "input"
+    next_fn_nodes: int = 0  # shared BDD size of the next functions
+
+
+@dataclass
+class MachineReport:
+    """Everything :func:`analyze` finds out about a machine."""
+
+    name: str
+    state_bits: int
+    input_bits: int
+    vectors: List[VectorInfo] = field(default_factory=list)
+    delta_nodes: int = 0           # shared size of all next functions
+    assumption_nodes: int = 0
+    init_nodes: int = 0
+    variable_order: Tuple[str, ...] = ()
+    reachable_states: Optional[int] = None   # filled by explicit sweep
+    diameter: Optional[int] = None
+
+    def format(self) -> str:
+        lines = [f"machine {self.name}: {self.state_bits} state bits, "
+                 f"{self.input_bits} input bits"]
+        lines.append(f"  next-state logic: {self.delta_nodes} shared "
+                     f"BDD nodes; assumption {self.assumption_nodes}; "
+                     f"init {self.init_nodes}")
+        for vector in self.vectors:
+            extra = (f", next fns {vector.next_fn_nodes} nodes"
+                     if vector.kind == "register" else "")
+            lines.append(f"  {vector.kind:<8} {vector.name:<12} "
+                         f"{vector.width:>3} bit(s){extra}")
+        if self.reachable_states is not None:
+            lines.append(f"  reachable states: {self.reachable_states} "
+                         f"(diameter {self.diameter})")
+        return "\n".join(lines)
+
+
+def _group_vectors(names) -> List[Tuple[str, int]]:
+    groups: Dict[str, int] = {}
+    order: List[str] = []
+    for name in names:
+        base = name.split("[", 1)[0] if "[" in name else name
+        if base not in groups:
+            groups[base] = 0
+            order.append(base)
+        groups[base] += 1
+    return [(base, groups[base]) for base in order]
+
+
+def analyze(machine: Machine, explore: bool = False,
+            max_states: int = 50_000) -> MachineReport:
+    """Build a :class:`MachineReport`; ``explore=True`` adds a bounded
+    explicit-state sweep (reachable-state count and diameter)."""
+    report = MachineReport(
+        name=machine.name,
+        state_bits=machine.num_state_bits,
+        input_bits=len(machine.input_names),
+        delta_nodes=shared_size(list(machine.delta.values())),
+        assumption_nodes=machine.assumption.size(),
+        init_nodes=machine.init.size(),
+        variable_order=machine.manager.var_names,
+    )
+    for base, width in _group_vectors(machine.current_names):
+        bits = [f"{base}[{i}]" for i in range(width)] \
+            if f"{base}[0]" in machine.delta else [base]
+        fns = [machine.delta[bit] for bit in bits if bit in machine.delta]
+        report.vectors.append(VectorInfo(
+            name=base, width=width, kind="register",
+            next_fn_nodes=shared_size(fns) if fns else 0))
+    for base, width in _group_vectors(machine.input_names):
+        report.vectors.append(VectorInfo(
+            name=base, width=width, kind="input"))
+    if explore:
+        from ..explicit.enumerate import explicit_check
+        sweep = explicit_check(machine, [machine.manager.true],
+                               max_states=max_states)
+        if not sweep.truncated:
+            report.reachable_states = sweep.num_states
+            report.diameter = sweep.depth
+    return report

@@ -1,0 +1,207 @@
+"""Declarative construction of symbolic machines.
+
+The builder plays the role of the Ever front end [18]: you declare
+inputs and registers (with explicit control over variable order, since
+order decides everything for BDDs), wire up next-state logic with
+:class:`~repro.expr.BitVec` expressions, and :meth:`Builder.build`
+produces an immutable :class:`~repro.fsm.Machine`.
+
+Ordering control
+----------------
+``declare`` takes a *group* of vectors and optionally interleaves their
+bitslices (the paper's datapath heuristic [19]).  Each register bit's
+primed (next-state) variable is allocated immediately after its current
+variable, the standard pairing for image computations.  Groups are laid
+out in declaration order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..bdd.manager import BDD, Function
+from ..bdd.order import bit_name
+from ..expr.bitvec import BitVec
+from .machine import Machine, StateBit
+
+__all__ = ["Builder"]
+
+#: Spec for one vector in a declaration group: (name, width, kind).
+Spec = Tuple[str, int, str]
+
+_KINDS = ("input", "reg")
+
+
+class Builder:
+    """Accumulates declarations and logic, then builds a Machine."""
+
+    def __init__(self, name: str = "machine",
+                 manager: Optional[BDD] = None) -> None:
+        self.name = name
+        self.manager = manager if manager is not None else BDD()
+        self._input_names: List[str] = []
+        self._reg_bits: List[str] = []          # current-state bit names
+        self._next_name: Dict[str, str] = {}    # cur bit -> primed bit
+        self._next_fn: Dict[str, Function] = {}  # cur bit -> next function
+        self._init_value: Dict[str, Optional[bool]] = {}
+        self._init_exprs: List[Function] = []
+        self._assumptions: List[Function] = []
+        self._vectors: Dict[str, BitVec] = {}
+        self._kinds: Dict[str, str] = {}
+
+    # -- declarations ----------------------------------------------------
+
+    def declare(self, specs: Sequence[Spec],
+                interleave: bool = False) -> Dict[str, BitVec]:
+        """Declare a group of vectors, controlling their relative order.
+
+        ``specs`` is a list of ``(name, width, kind)`` with kind
+        ``"input"`` or ``"reg"``.  With ``interleave=True`` the group is
+        laid out bitslice-major (bit 0 of every vector, then bit 1, ...).
+        Returns a dict of the declared vectors (current-state functions
+        for registers).
+        """
+        for vec_name, width, kind in specs:
+            if kind not in _KINDS:
+                raise ValueError(f"unknown kind {kind!r} for {vec_name!r}")
+            if vec_name in self._vectors:
+                raise ValueError(f"vector {vec_name!r} already declared")
+            if width <= 0:
+                raise ValueError(f"vector {vec_name!r} needs width >= 1")
+        bits: Dict[str, List[Function]] = {name: [] for name, _, _ in specs}
+        if interleave:
+            max_width = max(width for _, width, _ in specs)
+            for bit in range(max_width):
+                for vec_name, width, kind in specs:
+                    if bit < width:
+                        bits[vec_name].append(
+                            self._declare_bit(vec_name, bit, kind))
+        else:
+            for vec_name, width, kind in specs:
+                for bit in range(width):
+                    bits[vec_name].append(
+                        self._declare_bit(vec_name, bit, kind))
+        result = {}
+        for vec_name, _, kind in specs:
+            vector = BitVec(bits[vec_name])
+            self._vectors[vec_name] = vector
+            self._kinds[vec_name] = kind
+            result[vec_name] = vector
+        return result
+
+    def _declare_bit(self, vec_name: str, bit: int, kind: str) -> Function:
+        name = bit_name(vec_name, bit)
+        fn = self.manager.new_var(name)
+        if kind == "input":
+            self._input_names.append(name)
+        else:
+            primed = self.manager.new_var(name + "'")
+            self._reg_bits.append(name)
+            self._next_name[name] = primed.top_var  # its own name
+            self._init_value[name] = None
+        return fn
+
+    def inputs(self, name: str, width: int) -> BitVec:
+        """Declare one input vector (its own order group)."""
+        return self.declare([(name, width, "input")])[name]
+
+    def input_bit(self, name: str) -> Function:
+        """Declare a single-bit input."""
+        return self.inputs(name, 1)[0]
+
+    def registers(self, name: str, width: int,
+                  init: Optional[int] = None) -> BitVec:
+        """Declare one register vector (its own order group)."""
+        vector = self.declare([(name, width, "reg")])[name]
+        if init is not None:
+            self.init_const(vector, init)
+        return vector
+
+    def register_bit(self, name: str,
+                     init: Optional[bool] = None) -> Function:
+        """Declare a single-bit register."""
+        vector = self.registers(name, 1)
+        if init is not None:
+            self.init_const(vector, int(init))
+        return vector[0]
+
+    def vector(self, name: str) -> BitVec:
+        """Look up a previously declared vector."""
+        return self._vectors[name]
+
+    # -- behaviour ---------------------------------------------------------
+
+    def next(self, register: Union[BitVec, Function],
+             value: Union[BitVec, Function]) -> None:
+        """Set the next-state function(s) of a register (vector or bit)."""
+        if isinstance(register, Function):
+            register = BitVec([register])
+        if isinstance(value, Function):
+            value = BitVec([value])
+        if register.width != value.width:
+            raise ValueError(
+                f"next-state width mismatch: register {register.width}, "
+                f"value {value.width}")
+        for reg_bit, val_bit in zip(register.bits, value.bits):
+            name = reg_bit.top_var
+            if name not in self._next_name:
+                raise ValueError(
+                    f"{name!r} is not a declared register bit")
+            if name in self._next_fn:
+                raise ValueError(f"next-state of {name!r} set twice")
+            self._next_fn[name] = val_bit
+
+    def hold(self, register: Union[BitVec, Function]) -> None:
+        """Register keeps its value every cycle."""
+        self.next(register, register)
+
+    def init_const(self, register: Union[BitVec, Function],
+                   value: int) -> None:
+        """Pin a register's initial value to a constant."""
+        if isinstance(register, Function):
+            register = BitVec([register])
+        if value < 0 or value >> register.width:
+            raise ValueError(
+                f"init value {value} does not fit in {register.width} bits")
+        for index, reg_bit in enumerate(register.bits):
+            name = reg_bit.top_var
+            if name not in self._init_value:
+                raise ValueError(f"{name!r} is not a declared register bit")
+            self._init_value[name] = bool((value >> index) & 1)
+
+    def init_expr(self, predicate: Function) -> None:
+        """Add an arbitrary constraint on the initial states."""
+        self.manager._check_manager(predicate)
+        self._init_exprs.append(predicate)
+
+    def assume(self, predicate: Function) -> None:
+        """Constrain the inputs (an environment assumption)."""
+        self.manager._check_manager(predicate)
+        self._assumptions.append(predicate)
+
+    # -- finalization ----------------------------------------------------------
+
+    def build(self) -> Machine:
+        """Produce the machine; every register bit needs a next function."""
+        missing = [n for n in self._reg_bits if n not in self._next_fn]
+        if missing:
+            raise ValueError(
+                f"registers without next-state functions: {missing[:5]}"
+                + ("..." if len(missing) > 5 else ""))
+        state_bits = [StateBit(name=n, next_name=self._next_name[n],
+                               next_fn=self._next_fn[n],
+                               init_value=self._init_value[n])
+                      for n in self._reg_bits]
+        init = self.manager.true
+        for name in self._reg_bits:
+            value = self._init_value[name]
+            if value is not None:
+                var = self.manager.var(name)
+                init = init & (var if value else ~var)
+        for expr in self._init_exprs:
+            init = init & expr
+        assumption = self.manager.conj(self._assumptions)
+        machine = Machine(self.manager, state_bits, self._input_names,
+                          assumption, init, name=self.name)
+        machine.check()
+        return machine

@@ -1,0 +1,202 @@
+"""Image operators — the paper's Definition 1.
+
+* ``Image(tau, Z)``: states reachable from Z in one transition.
+* ``PreImage(tau, Z)``: states that *can* reach Z in one transition.
+* ``BackImage(tau, Z)``: states that *must* be in Z after any
+  transition — the workhorse of backward traversal.
+
+For our functional machines, with next-state functions ``delta`` and
+input assumption ``A``:
+
+* ``BackImage(Z) = forall i. A(s, i) -> Z[s := delta(s, i)]``
+* ``PreImage(Z)  = exists i. A(s, i) and Z[s := delta(s, i)]``
+
+so the duality ``BackImage(Z) = not PreImage(not Z)`` noted in the
+paper holds by construction, and Theorem 1
+(``BackImage(Y and Z) = BackImage(Y) and BackImage(Z)``) follows from
+compose and forall distributing over conjunction.
+
+``Image`` needs the transition *relation*; we use the partitioned form
+with clustered conjuncts and early quantification (Burch–Clarke–Long
+[4]) so the monolithic relation is never built.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bdd.manager import Function
+from .machine import Machine
+
+__all__ = ["back_image", "pre_image", "image", "ImageComputer"]
+
+
+def back_image(machine: Machine, z: Function, mode: str = "compose",
+               cluster_limit: int = 2500) -> Function:
+    """States all of whose (allowed) successors lie in ``z``.
+
+    ``z`` must range over current-state variables only.  Two
+    computation strategies with identical results:
+
+    * ``"compose"`` (default) — substitute the next-state functions
+      into ``z`` (simultaneous vector compose) and universally
+      quantify the inputs.  Cheapest for small ``z``; one conjunct at
+      a time, this is what makes Theorem 1 free.
+    * ``"relational"`` — the duality the paper notes,
+      ``BackImage(Z) = not PreImage(not Z)``, computed over the
+      clustered partitioned transition relation with early
+      quantification.  Often far smaller intermediates when ``z`` is
+      large, because the conjuncts of the relation are consumed
+      incrementally instead of being substituted all at once.
+    """
+    if mode == "compose":
+        composed = z.compose(machine.delta)
+        constrained = machine.assumption.implies(composed)
+        return constrained.forall(machine.input_names)
+    if mode != "relational":
+        raise ValueError(f"unknown back_image mode {mode!r}")
+    # not PreImage(not z): rename the complement to primed variables,
+    # then one relational product per cluster, quantifying inputs and
+    # primed variables as they die.
+    target = (~z).rename(machine.prime_map())
+    source = machine.assumption & target
+    quantify = list(machine.input_names) + list(machine.next_names)
+    pre_not = clustered_image(source, machine.transition_partition(),
+                              quantify, {}, cluster_limit)
+    return ~pre_not
+
+
+def pre_image(machine: Machine, z: Function) -> Function:
+    """States with at least one allowed successor in ``z``."""
+    composed = z.compose(machine.delta)
+    constrained = machine.assumption & composed
+    return constrained.exists(machine.input_names)
+
+
+class ImageComputer:
+    """Forward image with clustered partitioned transition relation.
+
+    Clusters the per-bit conjuncts ``s' <-> delta_s`` greedily up to a
+    node limit, and schedules early quantification: a variable is
+    quantified out in the first step after which no later cluster (nor
+    the machine's assumption) mentions it.
+    """
+
+    def __init__(self, machine: Machine,
+                 cluster_limit: int = 2500) -> None:
+        self.machine = machine
+        self.manager = machine.manager
+        self.cluster_limit = cluster_limit
+        self._clusters = self._build_clusters()
+        self._schedule = self._build_schedule()
+
+    def _build_clusters(self) -> List[Function]:
+        clusters: List[Function] = []
+        current: Optional[Function] = None
+        for part in self.machine.transition_partition():
+            if current is None:
+                current = part
+                continue
+            merged = current & part
+            if merged.size() > self.cluster_limit:
+                clusters.append(current)
+                current = part
+            else:
+                current = merged
+        if current is not None:
+            clusters.append(current)
+        return clusters
+
+    def _build_schedule(self) -> List[Tuple[Function, List[str]]]:
+        """Pair each cluster with the variables dying after it."""
+        machine = self.machine
+        quantifiable = set(machine.current_names) | set(machine.input_names)
+        supports = [cluster.support() for cluster in self._clusters]
+        # The assumption is conjoined with R up front, so its support is
+        # "used" before any cluster.
+        schedule: List[Tuple[Function, List[str]]] = []
+        remaining: List[set] = [set() for _ in self._clusters]
+        later: set = set()
+        for index in range(len(self._clusters) - 1, -1, -1):
+            remaining[index] = set(later)
+            later |= set(supports[index])
+        for index, cluster in enumerate(self._clusters):
+            dying = [name for name in supports[index]
+                     if name in quantifiable
+                     and name not in remaining[index]]
+            schedule.append((cluster, sorted(dying)))
+        return schedule
+
+    def image(self, reached: Function) -> Function:
+        """One forward step: successors of ``reached``."""
+        machine = self.machine
+        current = reached & machine.assumption
+        consumed = set(current.support())
+        for cluster, dying in self._schedule:
+            current = current.and_exists(cluster, dying)
+        # Quantify anything left over (state/input vars no cluster uses,
+        # e.g. bits of an unused input field).
+        leftovers = [name for name
+                     in set(machine.current_names) | set(machine.input_names)
+                     if name in current.support()]
+        if leftovers:
+            current = current.exists(leftovers)
+        return current.rename(machine.unprime_map())
+
+
+def clustered_image(source: Function, parts: Sequence[Function],
+                    quantify_names: Sequence[str],
+                    rename_map: Dict[str, str],
+                    cluster_limit: int = 2500) -> Function:
+    """Generic one-shot relational image with clustering/early quant.
+
+    Conjoins ``source`` with the transition ``parts`` while
+    existentially quantifying ``quantify_names`` as early as possible,
+    then renames by ``rename_map``.  Used by the FD engine, whose
+    per-iteration transition parts change (dependent variables are
+    substituted out), so nothing can be precomputed.
+    """
+    manager = source.bdd
+    # Greedy clustering.
+    clusters: List[Function] = []
+    current: Optional[Function] = None
+    for part in parts:
+        if current is None:
+            current = part
+        else:
+            merged = current & part
+            if merged.size() > cluster_limit:
+                clusters.append(current)
+                current = part
+            else:
+                current = merged
+    if current is not None:
+        clusters.append(current)
+    # Early-quantification schedule.
+    quantifiable = set(quantify_names)
+    supports = [cluster.support() for cluster in clusters]
+    remaining: set = set()
+    dying_after: List[List[str]] = [[] for _ in clusters]
+    for index in range(len(clusters) - 1, -1, -1):
+        dying_after[index] = sorted(
+            name for name in supports[index]
+            if name in quantifiable and name not in remaining)
+        remaining |= set(supports[index])
+    result = source
+    for cluster, dying in zip(clusters, dying_after):
+        result = result.and_exists(cluster, dying)
+    leftovers = [name for name in quantifiable
+                 if name in result.support()]
+    if leftovers:
+        result = result.exists(leftovers)
+    return result.rename(rename_map)
+
+
+def image(machine: Machine, reached: Function,
+          cluster_limit: int = 2500) -> Function:
+    """One-shot forward image (builds a fresh :class:`ImageComputer`).
+
+    Engines that iterate should hold an :class:`ImageComputer` so the
+    clustering and schedule are computed once.
+    """
+    return ImageComputer(machine, cluster_limit).image(reached)

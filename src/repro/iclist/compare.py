@@ -1,0 +1,54 @@
+"""Exact comparison of implicitly conjoined lists (Section III.B).
+
+The decomposition, verbatim from the paper: ``X = Y`` iff ``X => Y``
+and ``Y => X``; ``X => Y`` iff ``X => Yj`` for every j; and checking
+``X => Y1`` "is equivalent to checking whether
+``not X1 or ... or not Xn or Y1`` is a tautology" — an implicit
+*disjunction*, handled by :class:`~repro.iclist.TautologyChecker`.
+
+Complement edges make building the ``not Xi`` disjuncts free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .conjlist import ConjList
+from .tautology import TautologyChecker
+
+__all__ = ["implies_list", "lists_equal"]
+
+
+def implies_list(antecedent: ConjList, consequent: ConjList,
+                 checker: Optional[TautologyChecker] = None) -> bool:
+    """Exact test of ``antecedent => consequent`` (set inclusion)."""
+    if antecedent.manager is not consequent.manager:
+        raise ValueError("lists live in different managers")
+    if checker is None:
+        checker = TautologyChecker(antecedent.manager)
+    negated = [~conjunct for conjunct in antecedent.conjuncts]
+    for conjunct in consequent.conjuncts:
+        if not checker.is_tautology(negated + [conjunct]):
+            return False
+    return True
+
+
+def lists_equal(left: ConjList, right: ConjList,
+                checker: Optional[TautologyChecker] = None,
+                assume_right_subset: bool = False) -> bool:
+    """Exact test of ``left = right``.
+
+    ``assume_right_subset=True`` skips the ``right => left`` direction.
+    This is the monotonicity optimization the paper mentions but does
+    not implement ("checking implication suffices since these sequences
+    are monotonic.  The current implementation does not exploit this
+    optimization.") — engines keep it off by default to match the paper
+    and expose it as an option for the ablation bench.
+    """
+    if checker is None:
+        checker = TautologyChecker(left.manager)
+    if not implies_list(left, right, checker):
+        return False
+    if assume_right_subset:
+        return True
+    return implies_list(right, left, checker)

@@ -1,0 +1,158 @@
+"""Conjunction evaluation — the greedy algorithm of Figure 1.
+
+Given an implicitly conjoined list, decide which pairwise conjunctions
+to *evaluate* (explicitly AND, shortening the list by one).  The paper
+frames the exact problem as NP-hard Minimum Weight Cover, shows the
+pairwise restriction is polynomial (Theorem 2, see
+:mod:`repro.iclist.cover`), and then argues node sharing makes a greedy
+heuristic the practical choice:
+
+    Find the i, j (with i != j) that minimizes the ratio
+    ``r = BDDSize(Pij) / BDDSize(Xi, Xj)`` where BDDSize of the pair
+    takes node-sharing into account.  If ``r_min > GrowThreshold``
+    (1.5), exit; otherwise replace Xi and Xj with Pij and repeat.
+
+The paper's Section V additionally wishes for conjunctions that abort
+once they exceed a known-useless size; ``use_bounded=True`` enables
+exactly that via :func:`repro.bdd.bounded_and` — any pair whose product
+overruns ``bound_factor * GrowThreshold * BDDSize(Xi, Xj)`` is priced
+at infinity without being finished.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bdd.manager import Function
+from ..bdd.bounded import bounded_and
+from ..bdd.sizing import shared_size
+from .conjlist import ConjList
+
+__all__ = ["greedy_evaluate", "EvaluationStats", "GROW_THRESHOLD"]
+
+#: The paper's "arbitrarily set" default, "with satisfactory results".
+GROW_THRESHOLD = 1.5
+
+
+@dataclass
+class EvaluationStats:
+    """Bookkeeping from one evaluation run (for the ablation benches)."""
+
+    pairs_built: int = 0
+    pairs_aborted: int = 0
+    merges: int = 0
+    ratios: List[float] = field(default_factory=list)
+
+
+def _pair_product(x: Function, y: Function, use_bounded: bool,
+                  bound: int, stats: EvaluationStats) -> Optional[Function]:
+    if use_bounded:
+        product = bounded_and(x, y, bound)
+        if product is None:
+            stats.pairs_aborted += 1
+            return None
+        stats.pairs_built += 1
+        return product
+    stats.pairs_built += 1
+    return x & y
+
+
+def greedy_evaluate(conjlist: ConjList,
+                    grow_threshold: float = GROW_THRESHOLD,
+                    use_bounded: bool = False,
+                    bound_factor: float = 4.0,
+                    stats: Optional[EvaluationStats] = None) -> EvaluationStats:
+    """Run Figure 1 in place on ``conjlist``; returns statistics.
+
+    A smaller ``grow_threshold`` "holds BDD size down, but can get
+    caught in a local minimum, whereas any threshold greater than 1
+    could theoretically allow us to build exponentially-sized BDDs" —
+    the GrowThreshold ablation bench sweeps this knob.
+    """
+    if stats is None:
+        stats = EvaluationStats()
+    if len(conjlist) < 2:
+        return stats
+    conjuncts = conjlist.conjuncts
+    # Build the table P of all pairwise conjunctions.
+    table: Dict[Tuple[int, int], Optional[Function]] = {}
+    for i in range(len(conjuncts)):
+        for j in range(i + 1, len(conjuncts)):
+            table[(i, j)] = None  # computed lazily below
+    while len(conjuncts) >= 2:
+        # Safe point: all live BDDs are held as Functions here.
+        conjlist.manager.auto_collect()
+        best_ratio = math.inf
+        best_pair: Optional[Tuple[int, int]] = None
+        best_product: Optional[Function] = None
+        for (i, j) in list(table):
+            xi, xj = conjuncts[i], conjuncts[j]
+            pair_size = shared_size([xi, xj])
+            product = table[(i, j)]
+            if product is None:
+                bound = max(16, int(bound_factor * grow_threshold
+                                    * pair_size))
+                product = _pair_product(xi, xj, use_bounded, bound, stats)
+                if product is None:
+                    # Aborted: price at infinity but remember the abort
+                    # so we don't retry this pair.
+                    table[(i, j)] = _ABORTED
+                    continue
+                table[(i, j)] = product
+            if product is _ABORTED:
+                continue
+            ratio = product.size() / pair_size
+            if ratio < best_ratio:
+                best_ratio = ratio
+                best_pair = (i, j)
+                best_product = product
+        if best_pair is None or best_ratio > grow_threshold:
+            break
+        stats.merges += 1
+        stats.ratios.append(best_ratio)
+        i, j = best_pair
+        # Replace Xi and Xj with Pij; update P for the modified list.
+        conjuncts[i] = best_product
+        del conjuncts[j]
+        table = _reindex_table(table, len(conjuncts), i, j)
+    # Re-normalize (the product might have produced constants/duplicates).
+    rebuilt = ConjList(conjlist.manager, conjuncts)
+    conjlist.conjuncts = rebuilt.conjuncts
+    return stats
+
+
+#: Marker for pairs whose bounded product was abandoned (never retried).
+_ABORTED = object()
+
+
+def _reindex_table(table: Dict[Tuple[int, int], Optional[Function]],
+                   new_length: int, merged: int,
+                   removed: int) -> Dict[Tuple[int, int], Optional[Function]]:
+    """Rebuild the pair table after replacing ``merged`` and deleting
+    ``removed``: pairs not touching either index keep their cached
+    products; pairs involving the merged conjunct are invalidated."""
+    fresh: Dict[Tuple[int, int], Optional[Function]] = {}
+
+    def remap(index: int) -> Optional[int]:
+        if index == removed:
+            return None
+        return index - 1 if index > removed else index
+
+    for (i, j), product in table.items():
+        if i == merged or j == merged:
+            continue
+        ri, rj = remap(i), remap(j)
+        if ri is None or rj is None:
+            continue
+        key = (ri, rj) if ri < rj else (rj, ri)
+        fresh[key] = product
+    merged_new = merged if merged < removed else merged - 1
+    for other in range(new_length):
+        if other == merged_new:
+            continue
+        key = ((other, merged_new) if other < merged_new
+               else (merged_new, other))
+        fresh.setdefault(key, None)
+    return fresh

@@ -1,0 +1,229 @@
+"""Tautology checking of implicit disjunctions (Section III.B).
+
+Equality of two implicitly conjoined lists reduces (see
+:mod:`repro.iclist.compare`) to questions of the form: is the
+disjunction ``d1 or d2 or ... or dk`` a tautology, without building the
+BDD for the disjunction?  The paper's strategy, verbatim:
+
+1. If any BDD in the list is the constant True, the whole disjunction
+   is a tautology.  If any BDD is the constant False, discard it.
+2. If any two BDDs in the list are complements, the whole disjunction
+   is a tautology (negation is fast).  If any two BDDs are identical,
+   discard one.
+3. If the disjunction of any two BDDs is the constant True, the whole
+   disjunction is a tautology.
+4. If all else fails, choose a BDD variable from a BDD in the list,
+   perform a Shannon expansion, and check tautology recursively on both
+   cofactors.
+
+Theorem 3 (``a or b`` is a tautology iff ``Restrict(a, not b)`` is)
+lets Step 3 piggyback on simplification: simplify each BDD in the list
+by all the others and re-run Step 1.  That is the default here
+(``pairwise_step3="simplify"``); the direct pairwise-OR variant is kept
+for the ablation benches.
+
+The exact test "requires exponential time in theory"; in practice the
+memo table (keyed on the frozen set of disjunct edges) and the
+simplification keep it fast — the paper's experiments, and ours, bear
+this out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from ..bdd.manager import BDD, Function, TERMINAL_LEVEL
+
+__all__ = ["TautologyChecker", "TautologyStats", "VAR_CHOICES"]
+
+#: Cofactor-variable selection strategies for Step 4.  The paper: "For
+#: simplicity, we are currently selecting the top BDD variable of the
+#: first BDD in the list" and lists better choices as future work.
+VAR_CHOICES = ("first-top", "lowest-level", "most-common-top")
+
+
+@dataclass
+class TautologyStats:
+    """Effort counters (ablation benches report these)."""
+
+    calls: int = 0
+    cache_hits: int = 0
+    shannon_expansions: int = 0
+    step2_hits: int = 0
+    step3_hits: int = 0
+    simplifications: int = 0
+
+
+class TautologyChecker:
+    """Reusable tautology engine with a persistent memo table."""
+
+    def __init__(self, manager: BDD, var_choice: str = "first-top",
+                 pairwise_step3: str = "simplify",
+                 simplifier: str = "restrict") -> None:
+        if var_choice not in VAR_CHOICES:
+            raise ValueError(f"unknown var_choice {var_choice!r}")
+        if pairwise_step3 not in ("simplify", "direct", "off"):
+            raise ValueError(f"unknown pairwise_step3 {pairwise_step3!r}")
+        if simplifier not in ("restrict", "constrain"):
+            raise ValueError(f"unknown simplifier {simplifier!r}")
+        self.manager = manager
+        self.var_choice = var_choice
+        self.pairwise_step3 = pairwise_step3
+        self.simplifier = simplifier
+        self.stats = TautologyStats()
+        self._memo: Dict[FrozenSet[int], bool] = {}
+        self._gc_epoch = manager.gc_epoch
+
+    # -- public API ---------------------------------------------------------
+
+    def is_tautology(self, disjuncts: Sequence[Function]) -> bool:
+        """Whether the disjunction of ``disjuncts`` is constant True."""
+        # Safe point: callers hold only Function handles here; the deep
+        # Shannon recursion below works on raw edges and cannot GC.
+        self.manager.auto_collect()
+        if self._gc_epoch != self.manager.gc_epoch:
+            # Garbage collection renumbered edges; the memo is stale.
+            self._memo.clear()
+            self._gc_epoch = self.manager.gc_epoch
+        for fn in disjuncts:
+            self.manager._check_manager(fn)
+        return self._check([fn.edge for fn in disjuncts])
+
+    # -- implementation ---------------------------------------------------
+
+    def _check(self, edges: List[int]) -> bool:
+        self.stats.calls += 1
+        # Step 1 + 2: constants, duplicates, complements.
+        result = self._steps_1_2(edges)
+        if result is not None:
+            return result
+        if not edges:
+            return False  # empty disjunction is False
+        if len(edges) == 1:
+            return edges[0] == 0
+        key = frozenset(edges)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        result = self._check_uncached(edges)
+        self._memo[key] = result
+        return result
+
+    def _check_uncached(self, edges: List[int]) -> bool:
+        # Step 3.
+        if self.pairwise_step3 == "direct":
+            if self._step3_direct(edges):
+                self.stats.step3_hits += 1
+                return True
+        elif self.pairwise_step3 == "simplify":
+            verdict = self._step3_simplify(edges)
+            if verdict is not None:
+                self.stats.step3_hits += 1
+                return verdict
+            # edges was rewritten in place by simplification.
+            if len(edges) == 1:
+                return edges[0] == 0
+        # Step 4: Shannon expansion.
+        self.stats.shannon_expansions += 1
+        level = self._choose_level(edges)
+        high = [self._cofactor(edge, level, True) for edge in edges]
+        if not self._check(high):
+            return False
+        low = [self._cofactor(edge, level, False) for edge in edges]
+        return self._check(low)
+
+    def _steps_1_2(self, edges: List[int]) -> Optional[bool]:
+        """Normalize in place; return True if already a tautology."""
+        seen = set()
+        index = 0
+        while index < len(edges):
+            edge = edges[index]
+            if edge == 0:
+                return True
+            if edge == 1 or edge in seen:
+                edges.pop(index)
+                continue
+            if (edge ^ 1) in seen:
+                self.stats.step2_hits += 1
+                return True
+            seen.add(edge)
+            index += 1
+        return None
+
+    def _step3_direct(self, edges: List[int]) -> bool:
+        manager = self.manager
+        for i in range(len(edges)):
+            for j in range(i + 1, len(edges)):
+                if manager._or(edges[i], edges[j]) == 0:
+                    return True
+        return False
+
+    def _step3_simplify(self, edges: List[int]) -> Optional[bool]:
+        """Theorem 3: simplify each disjunct by the others, then redo
+        Steps 1-2.  Returns a verdict, or None to fall through to
+        Step 4 (with ``edges`` simplified in place)."""
+        manager = self.manager
+        simplify = (manager._restrict if self.simplifier == "restrict"
+                    else manager._constrain)
+        changed = True
+        passes = 0
+        while changed and passes < 4:
+            passes += 1
+            changed = False
+            for i in range(len(edges)):
+                current = edges[i]
+                for j in range(len(edges)):
+                    if i == j:
+                        continue
+                    # In a disjunction, the care set for d_i is where
+                    # d_j is false.
+                    simplified = simplify(current, edges[j] ^ 1)
+                    if simplified != current:
+                        self.stats.simplifications += 1
+                        current = simplified
+                        changed = True
+                        if current == 0:
+                            return True
+                edges[i] = current
+            verdict = self._steps_1_2(edges)
+            if verdict is not None:
+                return verdict
+            if not edges:
+                return False
+            if len(edges) == 1:
+                return edges[0] == 0
+        return None
+
+    def _choose_level(self, edges: List[int]) -> int:
+        manager = self.manager
+        if self.var_choice == "first-top":
+            for edge in edges:
+                level = manager._edge_level(edge)
+                if level != TERMINAL_LEVEL:
+                    return level
+            raise AssertionError("no non-constant disjunct")
+        if self.var_choice == "lowest-level":
+            return min(manager._edge_level(edge) for edge in edges
+                       if manager._edge_level(edge) != TERMINAL_LEVEL)
+        # most-common-top
+        counts: Dict[int, int] = {}
+        for edge in edges:
+            level = manager._edge_level(edge)
+            if level != TERMINAL_LEVEL:
+                counts[level] = counts.get(level, 0) + 1
+        return max(counts, key=lambda lvl: (counts[lvl], -lvl))
+
+    def _cofactor(self, edge: int, level: int, value: bool) -> int:
+        manager = self.manager
+        if edge <= 1:
+            return edge
+        node = edge >> 1
+        if manager._level[node] == level:
+            high, low = manager._cofactors(edge)
+            return high if value else low
+        if manager._level[node] > level:
+            return edge  # the variable cannot occur below
+        literal = manager._var_edge(level) ^ (0 if value else 1)
+        return manager._constrain(edge, literal)

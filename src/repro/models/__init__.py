@@ -1,0 +1,14 @@
+"""The paper's four example designs (S7), as verification problems."""
+
+from .fifo import typed_fifo
+from .network import message_network
+from .movavg import moving_average
+from .pipeline import pipelined_processor, OPCODES
+from .ring import mutex_ring
+from .philosophers import dining_philosophers
+from .coherence import msi_coherence
+from .linkproto import alternating_bit
+
+__all__ = ["typed_fifo", "message_network", "moving_average",
+           "pipelined_processor", "OPCODES", "mutex_ring",
+           "dining_philosophers", "msi_coherence", "alternating_bit"]

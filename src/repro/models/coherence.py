@@ -1,0 +1,113 @@
+"""MSI cache coherence — a miniature of the paper's motivating domain.
+
+The introduction names "industrial directory-based cache-coherence
+... protocols" as the high-level designs where explicit-state search
+had been beating BDDs; this is the smallest interesting member of that
+family: n caches sharing one memory line under an atomic MSI protocol.
+
+Each cache is Invalid, Shared, or Modified (2 bits).  One request is
+served per cycle, chosen by free inputs: a cache issues a read (every
+Modified peer is forced down to Shared), a write (every peer is
+invalidated), or an eviction.
+
+Verified property, as natural implicit conjuncts per cache pair:
+
+* single-writer — no two caches Modified at once;
+* no stale readers — a Modified cache excludes Shared peers.
+
+``buggy="no-invalidate"`` lets writes skip peer invalidation;
+``buggy="double-owner"`` lets a read hit on a Modified peer leave that
+peer Modified.  Both admit short counterexamples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..bdd.manager import Function
+from ..core.problem import Problem
+from ..expr.bitvec import BitVec
+from ..fsm.builder import Builder
+
+__all__ = ["msi_coherence"]
+
+#: Request encodings for the ``op`` input.
+OP_NONE, OP_READ, OP_WRITE, OP_EVICT = range(4)
+
+#: Cache-line state encodings.
+INVALID, SHARED, MODIFIED = 0, 1, 2
+
+
+def msi_coherence(num_caches: int = 3, buggy: str = "") -> Problem:
+    """Build the MSI coherence problem for ``num_caches`` caches."""
+    if num_caches < 2:
+        raise ValueError("need at least two caches")
+    if buggy not in ("", "no-invalidate", "double-owner"):
+        raise ValueError(f"unknown bug tag {buggy!r}")
+    select_bits = max(1, math.ceil(math.log2(num_caches)))
+    builder = Builder(f"msi-{num_caches}"
+                      + (f"-{buggy}" if buggy else ""))
+    who = builder.inputs("who", select_bits)
+    op = builder.inputs("op", 2)
+    states: List[BitVec] = [builder.registers(f"cache{c}", 2, init=INVALID)
+                            for c in range(num_caches)]
+    manager = builder.manager
+
+    if num_caches < (1 << select_bits):
+        builder.assume(who.ult(
+            BitVec.constant(manager, select_bits, num_caches)))
+    reading = op.eq_const(OP_READ)
+    writing = op.eq_const(OP_WRITE)
+    evicting = op.eq_const(OP_EVICT)
+    selected = [who.eq_const(c) for c in range(num_caches)]
+    # A cache only issues requests that change its state.
+    for c in range(num_caches):
+        builder.assume((selected[c] & reading).implies(
+            states[c].eq_const(INVALID)))
+        builder.assume((selected[c] & writing).implies(
+            ~states[c].eq_const(MODIFIED)))
+        builder.assume((selected[c] & evicting).implies(
+            ~states[c].eq_const(INVALID)))
+
+    shared_const = BitVec.constant(manager, 2, SHARED)
+    invalid_const = BitVec.constant(manager, 2, INVALID)
+    modified_const = BitVec.constant(manager, 2, MODIFIED)
+    for c in range(num_caches):
+        mine = selected[c]
+        others_read = reading & ~mine
+        others_write = writing & ~mine
+        nxt = states[c]
+        # Peer effects first, own request last (they are exclusive).
+        if buggy != "double-owner":
+            nxt = BitVec.mux(others_read & nxt.eq_const(MODIFIED),
+                             shared_const, nxt)
+        if buggy != "no-invalidate":
+            nxt = BitVec.mux(others_write, invalid_const, nxt)
+        nxt = BitVec.select(
+            [(mine & reading, shared_const),
+             (mine & writing, modified_const),
+             (mine & evicting, invalid_const)],
+            nxt)
+        builder.next(states[c], nxt)
+
+    machine = builder.build()
+
+    good: List[Function] = []
+    for i in range(num_caches):
+        for j in range(num_caches):
+            if i == j:
+                continue
+            modified_i = states[i].eq_const(MODIFIED)
+            if j > i:
+                good.append(~(modified_i & states[j].eq_const(MODIFIED)))
+            good.append(~(modified_i & states[j].eq_const(SHARED)))
+
+    return Problem(
+        name=machine.name,
+        machine=machine,
+        good_conjuncts=good,
+        description=(f"MSI coherence over {num_caches} caches: single "
+                     "writer, no stale readers"),
+        parameters={"num_caches": num_caches, "buggy": buggy},
+    )

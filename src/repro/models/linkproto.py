@@ -1,0 +1,115 @@
+"""Alternating-bit link protocol — the other motivating domain.
+
+The introduction also names "link-level protocols"; the alternating-
+bit protocol is their canonical kernel.  A sender transmits data words
+tagged with a sequence bit over a lossy channel; the receiver acks
+each tag; both sides retransmit until the expected tag arrives.
+
+State:
+
+* sender — current sequence bit, the word in flight;
+* forward channel — full/empty, tag, payload (nondeterministic loss);
+* reverse channel — full/empty, acked tag (nondeterministic loss);
+* receiver — expected sequence bit, last accepted word.
+
+One event per cycle (free input): sender (re)sends, channel drops,
+receiver consumes + acks, sender consumes ack (advancing its bit and
+loading fresh nondeterministic data).
+
+Verified safety property (per-bit implicit conjuncts): whenever the
+forward channel carries the tag the receiver expects, its payload is
+the word the sender is currently transmitting — i.e. the word the
+receiver is about to accept is never stale.  ``buggy=True`` injects
+the classic unlatched-retransmission bug: the sender puts the *fresh
+input word* on the channel instead of its latched copy, so a message
+tagged for the receiver can carry data the protocol never committed
+to.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bdd.manager import Function
+from ..core.problem import Problem
+from ..expr.bitvec import BitVec
+from ..fsm.builder import Builder
+
+__all__ = ["alternating_bit"]
+
+#: Event encodings for the ``ev`` input.
+EV_SEND, EV_DROP, EV_RECV, EV_ACK = range(4)
+
+
+def alternating_bit(width: int = 4, buggy: bool = False) -> Problem:
+    """Build the alternating-bit safety problem (``width``-bit data)."""
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    builder = Builder(f"abp-{width}" + ("-bug" if buggy else ""))
+    event = builder.inputs("ev", 2)
+    fresh = builder.inputs("fresh", width)   # next word to transmit
+
+    send_bit = builder.register_bit("sbit", init=False)
+    send_word = builder.registers("sword", width, init=0)
+    fwd_full = builder.register_bit("ffull", init=False)
+    fwd_tag = builder.register_bit("ftag", init=False)
+    fwd_data = builder.registers("fdata", width, init=0)
+    rev_full = builder.register_bit("rfull", init=False)
+    rev_tag = builder.register_bit("rtag", init=False)
+    recv_bit = builder.register_bit("rbit", init=False)
+    recv_word = builder.registers("rword", width, init=0)
+    manager = builder.manager
+
+    sending = event.eq_const(EV_SEND)
+    dropping = event.eq_const(EV_DROP)
+    receiving = event.eq_const(EV_RECV)
+    acking = event.eq_const(EV_ACK)
+    builder.assume(receiving.implies(fwd_full))
+    builder.assume(acking.implies(rev_full))
+
+    fwd_match = fwd_tag.iff(recv_bit)
+    ack_match = rev_tag.iff(send_bit)
+
+    # Forward channel: (re)filled by send, emptied by drop or receive.
+    builder.next(fwd_full,
+                 manager.ite(sending, manager.true,
+                             manager.ite(dropping | receiving,
+                                         manager.false, fwd_full)))
+    builder.next(fwd_tag, manager.ite(sending, send_bit, fwd_tag))
+    outgoing = fresh if buggy else send_word  # the unlatched-send bug
+    builder.next(fwd_data, BitVec.mux(sending, outgoing, fwd_data))
+
+    # Receiver: accept a matching tag, ack it either way.
+    accept = receiving & fwd_match
+    builder.next(recv_bit, manager.ite(accept, ~recv_bit, recv_bit))
+    builder.next(recv_word, BitVec.mux(accept, fwd_data, recv_word))
+
+    # Reverse channel: receive posts the tag it saw; drop loses it,
+    # the sender's ack-consumption empties it.
+    builder.next(rev_full,
+                 manager.ite(receiving, manager.true,
+                             manager.ite(dropping | acking,
+                                         manager.false, rev_full)))
+    builder.next(rev_tag, manager.ite(receiving, fwd_tag, rev_tag))
+
+    # Sender: a matching ack advances the bit and loads fresh data.
+    advance = acking & ack_match
+    builder.next(send_bit, manager.ite(advance, ~send_bit, send_bit))
+    builder.next(send_word, BitVec.mux(advance, fresh, send_word))
+
+    machine = builder.build()
+
+    # Safety: an expected-tag message in flight carries the sender's
+    # current word (one conjunct per data bit).
+    premise = fwd_full & fwd_tag.iff(recv_bit) & send_bit.iff(recv_bit)
+    good = [premise.implies(fd.iff(sw))
+            for fd, sw in zip(fwd_data.bits, send_word.bits)]
+
+    return Problem(
+        name=machine.name,
+        machine=machine,
+        good_conjuncts=good,
+        description=(f"alternating-bit protocol, {width}-bit data: "
+                     "in-flight expected messages are never stale"),
+        parameters={"width": width, "buggy": buggy},
+    )

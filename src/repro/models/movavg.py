@@ -1,0 +1,141 @@
+"""Moving-average filter — the paper's third example (Figure 2,
+Table 1 bottom, and all of Table 2).
+
+    "We compare an implementation using a pipelined tree of adders
+    against a combinational specification. ... The samples being
+    averaged are always 8 bits.  We verify filters of depth 4, 8, and
+    16."
+
+Structure (depth k = 2^L, sample width W):
+
+* A shared input window: shift registers ``s_0 .. s_{k-1}`` of the
+  last k samples (both descriptions see the same stream).
+* Implementation: a pipelined adder tree.  Level-l registers
+  ``tree_l[j]`` (width W+l) hold sums of 2^l consecutive samples; the
+  root register holds the full window sum as of L cycles ago, and the
+  output discards the low L bits (the "3-bit discard" of Figure 2 for
+  k = 8).
+* Specification: the window sum computed combinationally, delayed
+  through an L-deep FIFO ``delay_1 .. delay_L`` to match the pipeline
+  latency; output discards the same L bits.
+
+The property is per-bit equality of the two outputs.  The *assisting
+invariants* (needed by the pre-DAC94 methods on depths 8 and 16,
+Table 1; derived automatically by XICI in Table 2) state that the sum
+across each adder-tree level equals the corresponding delay-FIFO
+entry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..bdd.manager import Function
+from ..core.problem import Problem
+from ..expr.bitvec import BitVec, sum_vectors
+from ..fsm.builder import Builder
+
+__all__ = ["moving_average", "DIAGRAM"]
+
+
+def moving_average(depth: int = 4, width: int = 8,
+                   buggy: bool = False) -> Problem:
+    """Build the moving-average equivalence problem.
+
+    * ``depth`` — window size; must be a power of two (paper: 4/8/16).
+    * ``width`` — sample width (paper: 8).
+    * ``buggy`` — drop the carry out of one first-level adder, giving
+      a deep counterexample (wrong only when that sum overflows).
+    """
+    levels = _check_depth(depth)
+    builder = Builder(f"movavg-{depth}x{width}")
+    # Shared sample window, input interleaved with it.
+    specs = [("x", width, "input")]
+    specs += [(f"s{i}", width, "reg") for i in range(depth)]
+    vectors = builder.declare(specs, interleave=True)
+    sample_in = vectors["x"]
+    window = [vectors[f"s{i}"] for i in range(depth)]
+    builder.next(window[0], sample_in)
+    for index in range(1, depth):
+        builder.next(window[index], window[index - 1])
+    for register in window:
+        builder.init_const(register, 0)
+
+    # Implementation: pipelined adder tree + specification delay FIFO,
+    # declared level by level so that each tree level interleaves with
+    # the delay entry it must match (good order for the invariants).
+    tree: List[List[BitVec]] = []
+    delay: List[BitVec] = []
+    for level in range(1, levels + 1):
+        level_width = width + level
+        sum_width = width + levels
+        count = depth >> level
+        specs = [(f"t{level}_{j}", level_width, "reg")
+                 for j in range(count)]
+        specs.append((f"d{level}", sum_width, "reg"))
+        group = builder.declare(specs, interleave=True)
+        tree.append([group[f"t{level}_{j}"] for j in range(count)])
+        delay.append(group[f"d{level}"])
+        for name, _w, _k in specs:
+            builder.init_const(group[name], 0)
+
+    # Tree wiring: level 1 sums window pairs; level l sums level l-1.
+    for j, register in enumerate(tree[0]):
+        total = window[2 * j].add_full(window[2 * j + 1])
+        if buggy and j == 0:
+            total = BitVec(list(total.bits[:-1]) +
+                           [builder.manager.false])  # dropped carry
+        builder.next(register, total)
+    for level in range(2, levels + 1):
+        below = tree[level - 2]
+        for j, register in enumerate(tree[level - 1]):
+            builder.next(register, below[2 * j].add_full(below[2 * j + 1]))
+
+    # Specification wiring: combinational window sum into a delay FIFO.
+    window_sum = sum_vectors(window)
+    builder.next(delay[0], window_sum)
+    for level in range(1, levels):
+        builder.next(delay[level], delay[level - 1])
+
+    machine = builder.build()
+
+    impl_out = tree[-1][0].shift_right(levels)
+    spec_out = delay[-1].shift_right(levels)
+    good = impl_out.eq_bits(spec_out)
+
+    assisting: List[Function] = []
+    for level in range(1, levels + 1):
+        level_sum = sum_vectors(tree[level - 1]).resize(width + levels)
+        assisting.extend(level_sum.eq_bits(delay[level - 1]))
+
+    return Problem(
+        name=machine.name,
+        machine=machine,
+        good_conjuncts=good,
+        assisting_invariants=assisting,
+        description=(f"depth-{depth} moving-average filter: pipelined "
+                     "adder tree vs combinational spec + delay FIFO"),
+        parameters={"depth": depth, "width": width, "buggy": buggy},
+    )
+
+
+def _check_depth(depth: int) -> int:
+    levels = int(math.log2(depth)) if depth > 1 else 0
+    if depth < 2 or (1 << levels) != depth:
+        raise ValueError("depth must be a power of two, at least 2")
+    return levels
+
+
+DIAGRAM = r"""
+            8-Bit Samples                     Specification
+    x ->[s0][s1][s2]...[s7]           +---------------------------+
+         |   |    |   |               |  Average = (sum of window)|
+        [Add][Add][Add][Add]  level 1 |  [d1] -> [d2] -> [d3]     |
+           \   /    \   /             |  (delay FIFO, depth log k) |
+          [Add]    [Add]      level 2 +---------------------------+
+              \    /                               |
+              [Add]           level 3        3-bit discard
+                |                                  |
+          3-bit discard  ---->  compare (=?)  <----+
+"""

@@ -1,0 +1,149 @@
+"""Processors sending messages through a network — the paper's second
+example (Table 1, middle).
+
+    "We have a set of processors that non-deterministically issue
+    requests into a non-message-order-preserving network.  Each
+    request carries only the requester's ID as a return address.  A
+    server non-deterministically pulls requests out of the network and
+    sends acknowledgments back to the originating processor.  When a
+    processor issues a request, it increments a local counter of
+    outstanding requests.  When it receives an acknowledgment, it
+    decrements the counter.  We verify, for various numbers of
+    processors, that each processor's counter correctly indicates the
+    number of messages it has outstanding in the network.  (We assume
+    that n < 16, so IDs are 4 bits each.  The network is modeled as an
+    n-element array of messages, each of which carries a valid bit, a
+    req/ack flag, and a return address.)"
+
+One non-deterministic event happens per cycle, chosen by free inputs:
+idle, a processor issuing into a free slot, the server converting a
+request into an acknowledgment in place (any slot — hence no order
+preservation), or a processor consuming an acknowledgment.
+
+The property is a *counting* relation per processor, and the reachable
+set conjoins all of them over the shared slot variables — the product
+blows up the monolithic methods while each per-processor conjunct
+stays small.  The counters are functionally determined by the network
+contents, which is what the FD baseline (and its row in Table 1)
+exploits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..core.problem import Problem
+from ..expr.bitvec import BitVec, popcount
+from ..fsm.builder import Builder
+
+__all__ = ["message_network"]
+
+#: Event encodings for the ``op`` input.
+OP_IDLE, OP_ISSUE, OP_SERVE, OP_RECEIVE = range(4)
+
+
+def message_network(num_procs: int = 4, id_width: int = 4,
+                    buggy: bool = False) -> Problem:
+    """Build the network/counter verification problem.
+
+    * ``num_procs`` — processors and network slots (paper: 4 and 7).
+    * ``id_width`` — return-address width (paper: 4, for n < 16).
+    * ``buggy`` — decrement the counter named by a free input field
+      instead of the acknowledgment's address, so counters drift.
+    """
+    if num_procs < 1:
+        raise ValueError("need at least one processor")
+    if num_procs >= (1 << id_width):
+        raise ValueError("id_width too small for num_procs")
+    slot_bits = max(1, math.ceil(math.log2(num_procs)))
+    counter_bits = max(1, math.ceil(math.log2(num_procs + 1)))
+    builder = Builder(f"network-{num_procs}p")
+    op = builder.inputs("op", 2)
+    proc = builder.inputs("proc", id_width)
+    slot_sel = builder.inputs("slot", slot_bits)
+    valid: List = []
+    kind: List = []  # False = request, True = acknowledgment
+    addr: List[BitVec] = []
+    for index in range(num_procs):
+        group = builder.declare(
+            [(f"valid{index}", 1, "reg"), (f"kind{index}", 1, "reg"),
+             (f"addr{index}", id_width, "reg")])
+        valid.append(group[f"valid{index}"][0])
+        kind.append(group[f"kind{index}"][0])
+        addr.append(group[f"addr{index}"])
+    counters = [builder.registers(f"count{p}", counter_bits, init=0)
+                for p in range(num_procs)]
+    manager = builder.manager
+
+    is_issue = op.eq_const(OP_ISSUE)
+    is_serve = op.eq_const(OP_SERVE)
+    is_receive = op.eq_const(OP_RECEIVE)
+    slot_hits = [slot_sel.eq_const(s) for s in range(num_procs)]
+    selected_valid = manager.disj(
+        slot_hits[s] & valid[s] for s in range(num_procs))
+    selected_is_ack = manager.disj(
+        slot_hits[s] & kind[s] for s in range(num_procs))
+    selected_addr = BitVec.select(
+        [(slot_hits[s], addr[s]) for s in range(num_procs)],
+        BitVec.constant(manager, id_width, 0))
+
+    # Environment assumption: events only fire when meaningful.
+    builder.assume(proc.ult(BitVec.constant(manager, id_width, num_procs))
+                   if num_procs < (1 << id_width) else manager.true)
+    if num_procs < (1 << slot_bits):
+        builder.assume(slot_sel.ult(
+            BitVec.constant(manager, slot_bits, num_procs)))
+    builder.assume(is_issue.implies(~selected_valid))
+    builder.assume(is_serve.implies(selected_valid & ~selected_is_ack))
+    builder.assume(is_receive.implies(selected_valid & selected_is_ack))
+
+    for s in range(num_procs):
+        issue_here = is_issue & slot_hits[s]
+        serve_here = is_serve & slot_hits[s]
+        receive_here = is_receive & slot_hits[s]
+        builder.next(valid[s],
+                     manager.ite(issue_here, manager.true,
+                                 manager.ite(receive_here, manager.false,
+                                             valid[s])))
+        builder.next(kind[s],
+                     manager.ite(issue_here, manager.false,
+                                 manager.ite(serve_here, manager.true,
+                                             kind[s])))
+        builder.next(addr[s], BitVec.mux(issue_here, proc, addr[s]))
+        builder.init_const(valid[s], 0)
+        builder.init_const(kind[s], 0)
+        builder.init_const(addr[s], 0)
+
+    for p in range(num_procs):
+        increment = is_issue & proc.eq_const(p)
+        if buggy:
+            # Bug: trust the (unconstrained) proc field on receive.
+            decrement = is_receive & proc.eq_const(p)
+        else:
+            decrement = is_receive & selected_addr.eq_const(p)
+        counter = counters[p]
+        builder.next(counter,
+                     BitVec.select([(increment, counter.inc()),
+                                    (decrement, counter.dec())],
+                                   counter))
+
+    machine = builder.build()
+
+    good = []
+    for p in range(num_procs):
+        outstanding = popcount(
+            [valid[s] & addr[s].eq_const(p) for s in range(num_procs)])
+        good.append(counters[p].eq(outstanding.resize(counter_bits)))
+    dependent = [f"count{p}[{b}]" for p in range(num_procs)
+                 for b in range(counter_bits)]
+    return Problem(
+        name=machine.name,
+        machine=machine,
+        good_conjuncts=good,
+        fd_dependent_bits=dependent,
+        description=(f"{num_procs} processors with outstanding-request "
+                     "counters over an unordered network"),
+        parameters={"num_procs": num_procs, "id_width": id_width,
+                    "buggy": buggy},
+    )

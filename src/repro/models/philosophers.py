@@ -1,0 +1,116 @@
+"""Dining philosophers (safety slice).
+
+The other half of the paper's "dining philosophers or rings of mutual
+exclusion elements" remark.  n philosophers around a table, one fork
+between each adjacent pair.  A philosopher nondeterministically picks
+up an adjacent free fork (left first — the classic asymmetric rule for
+philosopher 0 breaks deadlock, but deadlock is liveness and out of
+scope for AGp), eats while holding both, and eventually puts both
+down.
+
+Verified property: neighbours never eat at the same time, where
+"eating" means holding both adjacent forks — one conjunct per adjacent
+pair, the natural implicit conjunction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..bdd.manager import Function
+from ..core.problem import Problem
+from ..expr.bitvec import BitVec
+from ..fsm.builder import Builder
+
+__all__ = ["dining_philosophers"]
+
+#: Action encodings for the ``act`` input.
+ACT_IDLE, ACT_TAKE_LEFT, ACT_TAKE_RIGHT, ACT_PUT_DOWN = range(4)
+
+
+def dining_philosophers(num_phils: int = 4, buggy: bool = False) -> Problem:
+    """Build the dining-philosophers safety problem.
+
+    Fork ``i`` sits between philosopher ``i`` (its left user) and
+    philosopher ``i+1 mod n`` (its right user) and is modeled by two
+    bits: held-by-left and held-by-right (both clear = on the table).
+    Each cycle one philosopher (chosen by a free input) performs one
+    action.  ``buggy=True`` drops the fork-is-free check on take-right,
+    so a fork can be snatched from a neighbour's hand.
+    """
+    if num_phils < 2:
+        raise ValueError("need at least two philosophers")
+    select_bits = max(1, math.ceil(math.log2(num_phils)))
+    builder = Builder(f"philosophers-{num_phils}")
+    who = builder.inputs("who", select_bits)
+    act = builder.inputs("act", 2)
+    held_left: List[Function] = []   # fork i held by philosopher i
+    held_right: List[Function] = []  # fork i held by philosopher i+1
+    for index in range(num_phils):
+        group = builder.declare([(f"fl{index}", 1, "reg"),
+                                 (f"fr{index}", 1, "reg")])
+        held_left.append(group[f"fl{index}"][0])
+        held_right.append(group[f"fr{index}"][0])
+        builder.init_const(held_left[index], 0)
+        builder.init_const(held_right[index], 0)
+    manager = builder.manager
+
+    if num_phils < (1 << select_bits):
+        builder.assume(who.ult(
+            BitVec.constant(manager, select_bits, num_phils)))
+
+    def left_fork(phil: int) -> int:
+        return phil
+
+    def right_fork(phil: int) -> int:
+        return (phil - 1) % num_phils
+
+    selected = [who.eq_const(p) for p in range(num_phils)]
+    taking_left = act.eq_const(ACT_TAKE_LEFT)
+    taking_right = act.eq_const(ACT_TAKE_RIGHT)
+    putting = act.eq_const(ACT_PUT_DOWN)
+
+    # A fork can only be taken while free.
+    for phil in range(num_phils):
+        lf, rf = left_fork(phil), right_fork(phil)
+        fork_free_left = ~held_left[lf] & ~held_right[lf]
+        builder.assume((selected[phil] & taking_left).implies(
+            fork_free_left))
+        if not buggy:
+            fork_free_right = ~held_left[rf] & ~held_right[rf]
+            builder.assume((selected[phil] & taking_right).implies(
+                fork_free_right))
+
+    for fork in range(num_phils):
+        left_user = fork            # philosopher with this as left fork
+        right_user = (fork + 1) % num_phils
+        grab_left = selected[left_user] & taking_left
+        drop_left = selected[left_user] & putting
+        builder.next(held_left[fork],
+                     manager.ite(grab_left, manager.true,
+                                 manager.ite(drop_left, manager.false,
+                                             held_left[fork])))
+        grab_right = selected[right_user] & taking_right
+        drop_right = selected[right_user] & putting
+        builder.next(held_right[fork],
+                     manager.ite(grab_right, manager.true,
+                                 manager.ite(drop_right, manager.false,
+                                             held_right[fork])))
+
+    machine = builder.build()
+
+    def eating(phil: int) -> Function:
+        return held_left[left_fork(phil)] & held_right[right_fork(phil)]
+
+    good = [~(eating(p) & eating((p + 1) % num_phils))
+            for p in range(num_phils)]
+
+    return Problem(
+        name=machine.name,
+        machine=machine,
+        good_conjuncts=good,
+        description=(f"{num_phils} dining philosophers: neighbours "
+                     "never eat simultaneously"),
+        parameters={"num_phils": num_phils, "buggy": buggy},
+    )

@@ -1,0 +1,248 @@
+"""Pipelined processor vs non-pipelined specification — the paper's
+hardest example (Figure 3, Table 3).
+
+Instruction set (3-bit opcode, source/destination register fields,
+immediate field of the datapath width B):
+
+====  ===========================================================
+NOP   no operation
+BR    branch: no architectural effect, but stalls the pipeline
+LD    rd := immediate
+ST    no-op (memory is abstracted away)
+ADD   rd := rd + rs
+SUB   rd := rd - rs
+MOV   rd := rs
+SR    rd := rd >> 1
+====  ===========================================================
+
+**Implementation** — a 3-stage pipeline (Fetch, Execute, Writeback):
+
+* Fetch pulls the next instruction from the non-deterministic stream
+  (or a forced NOP while a BR is anywhere in the pipeline — the
+  branch stall).
+* Execute reads operands from the register file *with a register
+  bypass*: if the instruction in Writeback is about to write a needed
+  register, its value is forwarded.
+* Writeback commits (value, destination) to the register file.
+
+**Specification** — a non-pipelined processor executing the same
+stream, buffered through two instruction-delay registers so the two
+machines commit the same instruction in the same cycle; per the paper,
+"a branch stall in the pipeline will also stall the non-pipelined
+processor" (the stall signal is shared).
+
+The property: the two register files agree, always — one conjunct per
+register-file bit.  The assisting invariants used for the in-text
+2-register/3-bit comparison assert that the delayed instructions
+mirror the pipeline stages and that the Writeback latch holds exactly
+what the specification is about to compute.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..bdd.manager import Function
+from ..core.problem import Problem
+from ..expr.bitvec import BitVec
+from ..fsm.builder import Builder
+
+__all__ = ["pipelined_processor", "OPCODES", "DIAGRAM"]
+
+#: Opcode encodings (3 bits).
+OPCODES = {"NOP": 0, "BR": 1, "LD": 2, "ST": 3,
+           "ADD": 4, "SUB": 5, "MOV": 6, "SR": 7}
+
+#: Opcodes that write the register file.
+_WRITERS = ("LD", "ADD", "SUB", "MOV", "SR")
+
+
+class _Instr:
+    """A sliced view of an instruction vector: opcode/src/dst/imm."""
+
+    def __init__(self, word: BitVec, reg_bits: int, datapath: int) -> None:
+        bits = list(word.bits)
+        self.word = word
+        self.opcode = BitVec(bits[0:3])
+        self.src = BitVec(bits[3:3 + reg_bits])
+        self.dst = BitVec(bits[3 + reg_bits:3 + 2 * reg_bits])
+        self.imm = BitVec(bits[3 + 2 * reg_bits:3 + 2 * reg_bits + datapath])
+
+    def is_op(self, name: str) -> Function:
+        return self.opcode.eq_const(OPCODES[name])
+
+    def writes(self) -> Function:
+        manager = self.word.manager
+        return manager.disj(self.is_op(name) for name in _WRITERS)
+
+
+def _instr_width(reg_bits: int, datapath: int) -> int:
+    return 3 + 2 * reg_bits + datapath
+
+
+def _read(regfile: List[BitVec], index: BitVec) -> BitVec:
+    """Combinational register-file read port."""
+    manager = index.manager
+    return BitVec.select(
+        [(index.eq_const(r), regfile[r]) for r in range(len(regfile))],
+        BitVec.constant(manager, regfile[0].width, 0))
+
+
+def _execute(instr: _Instr, read_port, datapath: int
+             ) -> Tuple[BitVec, Function]:
+    """Compute (result, writes) for an instruction given a read port.
+
+    ``read_port(reg_index_vector)`` returns the operand value —
+    callers plug in either the bypassed pipeline read or the plain
+    specification read.
+    """
+    dst_val = read_port(instr.dst)
+    src_val = read_port(instr.src)
+    manager = instr.word.manager
+    result = BitVec.constant(manager, datapath, 0)
+    result = BitVec.select(
+        [(instr.is_op("LD"), instr.imm),
+         (instr.is_op("ADD"), dst_val.add(src_val)),
+         (instr.is_op("SUB"), dst_val.sub(src_val)),
+         (instr.is_op("MOV"), src_val),
+         (instr.is_op("SR"), dst_val.shift_right_one_keep_width())],
+        result)
+    return result, instr.writes()
+
+
+def pipelined_processor(num_regs: int = 2, datapath: int = 1,
+                        buggy: str = "") -> Problem:
+    """Build the pipelined-processor equivalence problem.
+
+    * ``num_regs`` — architectural registers (paper: 2 and 4; must be
+      a power of two so register fields are fully used).
+    * ``datapath`` — register/immediate width B (paper: 1, 2, 3).
+    * ``buggy`` — inject a classic pipeline bug: ``"no-bypass"``
+      (operands always read stale register file), ``"no-stall"``
+      (branches do not stall; harmless here but exercises the stall
+      logic paths), or ``""`` for the correct design.
+    """
+    reg_bits = max(1, math.ceil(math.log2(num_regs)))
+    if (1 << reg_bits) != num_regs:
+        raise ValueError("num_regs must be a power of two")
+    if buggy not in ("", "no-bypass", "wrong-bypass"):
+        raise ValueError(f"unknown bug tag {buggy!r}")
+    iw = _instr_width(reg_bits, datapath)
+    builder = Builder(f"pipe-{num_regs}r{datapath}b"
+                      + (f"-{buggy}" if buggy else ""))
+    manager = builder.manager
+
+    # Instruction stream + the two machines' instruction registers,
+    # interleaved (they track each other bit for bit).
+    group = builder.declare(
+        [("instr", iw, "input"), ("ex_ir", iw, "reg"), ("buf1", iw, "reg"),
+         ("wb_ir", iw, "reg"), ("buf2", iw, "reg")],
+        interleave=True)
+    stream = _Instr(group["instr"], reg_bits, datapath)
+    ex_ir = _Instr(group["ex_ir"], reg_bits, datapath)     # Execute stage
+    wb_ir = _Instr(group["wb_ir"], reg_bits, datapath)     # Writeback stage
+    buf1 = _Instr(group["buf1"], reg_bits, datapath)       # spec delay 1
+    buf2 = _Instr(group["buf2"], reg_bits, datapath)       # spec delay 2
+
+    # Writeback latch (value + validity travel with wb_ir).
+    wb_value = builder.registers("wb_value", datapath, init=0)
+
+    # Register files, interleaved so the equality property is compact.
+    rf_specs = []
+    for r in range(num_regs):
+        rf_specs.append((f"rf{r}", datapath, "reg"))
+        rf_specs.append((f"rfs{r}", datapath, "reg"))
+    rf_group = builder.declare(rf_specs, interleave=True)
+    regfile = [rf_group[f"rf{r}"] for r in range(num_regs)]
+    regfile_s = [rf_group[f"rfs{r}"] for r in range(num_regs)]
+
+    # ---------------- implementation ----------------
+    wb_writes = wb_ir.writes()
+
+    def bypassed_read(index: BitVec) -> BitVec:
+        plain = _read(regfile, index)
+        if buggy == "no-bypass":
+            return plain
+        hit = wb_writes & index.eq(wb_ir.dst)
+        if buggy == "wrong-bypass":
+            hit = index.eq(wb_ir.dst)  # forwards junk from non-writers
+        return BitVec.mux(hit, wb_value, plain)
+
+    ex_result, ex_writes = _execute(ex_ir, bypassed_read, datapath)
+
+    # Branch stall: NOPs enter Fetch while a BR occupies Execute or
+    # Writeback ("until the BR clears the Writeback unit").
+    stall = ex_ir.is_op("BR") | wb_ir.is_op("BR")
+    nop = BitVec.constant(manager, iw, OPCODES["NOP"])
+    fetched = BitVec.mux(stall, nop, stream.word)
+
+    builder.next(ex_ir.word, fetched)
+    builder.next(wb_ir.word, ex_ir.word)
+    builder.next(wb_value, ex_result)
+    for r in range(num_regs):
+        write_here = wb_writes & wb_ir.dst.eq_const(r)
+        builder.next(regfile[r],
+                     BitVec.mux(write_here, wb_value, regfile[r]))
+
+    # ---------------- specification ----------------
+    spec_result, spec_writes = _execute(
+        buf2, lambda index: _read(regfile_s, index), datapath)
+    builder.next(buf1.word, fetched)   # shared stall, same stream
+    builder.next(buf2.word, buf1.word)
+    for r in range(num_regs):
+        write_here = spec_writes & buf2.dst.eq_const(r)
+        builder.next(regfile_s[r],
+                     BitVec.mux(write_here, spec_result, regfile_s[r]))
+
+    # Reset state: NOPs everywhere, register files equal (zero).
+    for vec in (ex_ir.word, wb_ir.word, buf1.word, buf2.word):
+        builder.init_const(vec, OPCODES["NOP"])
+    for r in range(num_regs):
+        builder.init_const(regfile[r], 0)
+        builder.init_const(regfile_s[r], 0)
+
+    machine = builder.build()
+
+    good: List[Function] = []
+    for r in range(num_regs):
+        good.extend(regfile[r].eq_bits(regfile_s[r]))
+
+    # Assisting invariants (the in-text hand-built lemmas for 2R/3B):
+    # the stages mirror the delay buffers, and the Writeback latch
+    # already equals what the specification will write.
+    assisting: List[Function] = []
+    assisting.extend(ex_ir.word.eq_bits(buf1.word))
+    assisting.extend(wb_ir.word.eq_bits(buf2.word))
+    spec_now, _ = _execute(buf2, lambda index: _read(regfile_s, index),
+                           datapath)
+    for bit_pair in zip(wb_value.bits, spec_now.bits):
+        assisting.append(wb_ir.writes().implies(bit_pair[0].iff(bit_pair[1])))
+
+    return Problem(
+        name=machine.name,
+        machine=machine,
+        good_conjuncts=good,
+        assisting_invariants=assisting,
+        description=(f"{num_regs}-register, {datapath}-bit pipelined "
+                     "processor with bypass and branch stall vs "
+                     "non-pipelined spec"),
+        parameters={"num_regs": num_regs, "datapath": datapath,
+                    "buggy": buggy},
+    )
+
+
+DIAGRAM = r"""
+      Non-Deterministic Instruction Stream
+          |                        |
+   [Instruction Fetch]<-stall-+    |
+          |                   |    |
+   [Execute]--(bypass)---+    |   [Instr Delay buf1]
+          |              |    |    |
+   [Writeback latch]-----+  (BR?) [Instr Delay buf2]
+          |                   |    |
+   [Register File]            |   [Fetch-Execute-Writeback]
+          |                   |    |
+          |                       [Register File (spec)]
+          +--------- equal? -------+
+"""

@@ -1,0 +1,104 @@
+"""Token-ring mutual exclusion.
+
+The paper's introduction names "rings of mutual exclusion elements" as
+the scale ceiling of straightforward BDD algorithms; we include the
+design both as an extra workload and as a natural implicit-conjunction
+property (mutual exclusion is a conjunction of one small BDD per node
+pair).
+
+The design: n nodes share a single token.  The token holder may enter
+its critical section, must leave it before passing the token, and the
+token moves one position around the ring.  Nondeterminism: the action
+taken each cycle (idle / enter / exit / pass) is a free input.
+
+Verified property: no two nodes are ever simultaneously critical — one
+conjunct per node pair — plus, optionally, the "assisting" style
+lemmas (a node is critical only while holding the token; the token is
+never duplicated) that make the property inductive for the implicit
+methods.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bdd.manager import Function
+from ..core.problem import Problem
+from ..fsm.builder import Builder
+
+__all__ = ["mutex_ring"]
+
+#: Action encodings for the ``act`` input.
+ACT_IDLE, ACT_ENTER, ACT_EXIT, ACT_PASS = range(4)
+
+
+def mutex_ring(num_nodes: int = 4, buggy: bool = False) -> Problem:
+    """Build the token-ring mutual-exclusion problem.
+
+    ``buggy=True`` lets a node pass the token *without* leaving its
+    critical section, so a second node can enter while the first is
+    still inside — the classic protocol slip.
+    """
+    if num_nodes < 2:
+        raise ValueError("a ring needs at least two nodes")
+    builder = Builder(f"ring-{num_nodes}")
+    act = builder.inputs("act", 2)
+    token: List[Function] = []
+    critical: List[Function] = []
+    for index in range(num_nodes):
+        group = builder.declare([(f"tok{index}", 1, "reg"),
+                                 (f"crit{index}", 1, "reg")])
+        token.append(group[f"tok{index}"][0])
+        critical.append(group[f"crit{index}"][0])
+    manager = builder.manager
+
+    entering = act.eq_const(ACT_ENTER)
+    exiting = act.eq_const(ACT_EXIT)
+    passing = act.eq_const(ACT_PASS)
+    holder_critical = manager.disj(
+        token[i] & critical[i] for i in range(num_nodes))
+    if not buggy:
+        # A critical holder may not pass the token.
+        builder.assume(passing.implies(~holder_critical))
+    builder.assume(entering.implies(~holder_critical))
+
+    for index in range(num_nodes):
+        predecessor = (index - 1) % num_nodes
+        builder.next(
+            token[index],
+            manager.ite(passing,
+                        token[predecessor],
+                        token[index]))
+        gains = entering & token[index]
+        loses = exiting & token[index]
+        builder.next(
+            critical[index],
+            manager.ite(gains, manager.true,
+                        manager.ite(loses, manager.false,
+                                    critical[index])))
+        builder.init_const(token[index], 1 if index == 0 else 0)
+        builder.init_const(critical[index], 0)
+
+    machine = builder.build()
+
+    good: List[Function] = []
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            good.append(~(critical[i] & critical[j]))
+
+    assisting: List[Function] = []
+    for i in range(num_nodes):
+        assisting.append(critical[i].implies(token[i]))
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            assisting.append(~(token[i] & token[j]))
+
+    return Problem(
+        name=machine.name,
+        machine=machine,
+        good_conjuncts=good,
+        assisting_invariants=assisting,
+        description=(f"{num_nodes}-node token ring: at most one node "
+                     "in its critical section"),
+        parameters={"num_nodes": num_nodes, "buggy": buggy},
+    )

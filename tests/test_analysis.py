@@ -1,0 +1,60 @@
+"""Tests for machine analysis and the CLI info subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.fsm import analyze
+from repro.models import message_network, typed_fifo
+
+
+class TestAnalyze:
+    def test_counts(self):
+        problem = typed_fifo(depth=3, width=4)
+        report = analyze(problem.machine)
+        assert report.state_bits == 12
+        assert report.input_bits == 4
+        registers = [v for v in report.vectors if v.kind == "register"]
+        inputs = [v for v in report.vectors if v.kind == "input"]
+        assert len(registers) == 3
+        assert len(inputs) == 1
+        assert all(v.width == 4 for v in registers)
+
+    def test_explore_fills_reachability(self):
+        problem = message_network(num_procs=2, id_width=2)
+        report = analyze(problem.machine, explore=True)
+        assert report.reachable_states == 49
+        assert report.diameter == 6
+
+    def test_truncated_explore_leaves_none(self):
+        problem = typed_fifo(depth=4, width=6)
+        report = analyze(problem.machine, explore=True, max_states=10)
+        assert report.reachable_states is None
+
+    def test_format(self):
+        problem = typed_fifo(depth=2, width=3)
+        text = analyze(problem.machine, explore=True).format()
+        assert "state bits" in text
+        assert "reachable states" in text
+        assert "slot0" in text
+
+    def test_delta_nodes_positive(self):
+        problem = typed_fifo(depth=2, width=3)
+        report = analyze(problem.machine)
+        assert report.delta_nodes > 0
+        assert report.init_nodes >= 1
+
+
+class TestCliInfo:
+    def test_info_basic(self, capsys):
+        assert main(["info", "--model", "fifo", "--depth", "2",
+                     "--width", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "machine fifo-2x3" in out
+        assert "property conjuncts: 2" in out
+
+    def test_info_explore(self, capsys):
+        assert main(["info", "--model", "ring", "--nodes", "3",
+                     "--explore"]) == 0
+        out = capsys.readouterr().out
+        assert "reachable states" in out
+        assert "assisting invariants" in out

@@ -1,0 +1,74 @@
+"""Tests for size-bounded conjunction (paper Section V wish-list item)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd import BDD, bounded_and
+
+from conftest import ast_strategy, build_ast
+
+NAMES = ("a", "b", "c", "d", "e")
+
+
+def fresh_manager():
+    mgr = BDD()
+    for name in NAMES:
+        mgr.new_var(name)
+    return mgr
+
+
+@given(ast1=ast_strategy(NAMES, max_leaves=8),
+       ast2=ast_strategy(NAMES, max_leaves=8))
+@settings(max_examples=100, deadline=None)
+def test_completed_bounded_and_is_exact(ast1, ast2):
+    mgr = fresh_manager()
+    f = build_ast(ast1, mgr)
+    g = build_ast(ast2, mgr)
+    result = bounded_and(f, g, bound=10_000)
+    assert result is not None
+    assert result.equiv(f & g)
+
+
+def test_abort_on_tiny_bound():
+    mgr = BDD()
+    vars_ = [mgr.new_var(f"x{i}") for i in range(16)]
+    f = mgr.true
+    g = mgr.true
+    for i in range(0, 16, 4):
+        f = f & (vars_[i] ^ vars_[i + 1])
+        g = g & (vars_[i + 2] | vars_[i + 3])
+    assert bounded_and(f, g, bound=2) is None
+
+
+def test_trivial_cases_never_abort():
+    mgr = BDD()
+    a = mgr.new_var("a")
+    assert bounded_and(mgr.true, a, bound=0).equiv(a)
+    assert bounded_and(a, mgr.false, bound=0).is_false
+    assert bounded_and(a, ~a, bound=0).is_false
+    assert bounded_and(a, a, bound=0).equiv(a)
+
+
+def test_cross_manager_rejected():
+    mgr1, mgr2 = BDD(), BDD()
+    a = mgr1.new_var("a")
+    b = mgr2.new_var("b")
+    with pytest.raises(ValueError):
+        bounded_and(a, b, bound=10)
+
+
+def test_bound_scales_abort_boundary():
+    """Growing the bound eventually lets the product complete."""
+    mgr = BDD()
+    vars_ = [mgr.new_var(f"x{i}") for i in range(12)]
+    f = mgr.true
+    g = mgr.true
+    for i in range(0, 12, 4):
+        f = f & (vars_[i] ^ vars_[i + 2])
+        g = g & (vars_[i + 1] ^ vars_[i + 3])
+    exact = f & g
+    bound = 1
+    while bounded_and(f, g, bound) is None:
+        bound *= 2
+        assert bound < 1 << 20
+    assert bounded_and(f, g, bound).equiv(exact)

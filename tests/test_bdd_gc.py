@@ -1,0 +1,93 @@
+"""Tests for garbage collection: edges renumber, functions survive."""
+
+import random
+
+import pytest
+
+from repro.bdd import BDD
+from repro.expr import BitVec
+from repro.iclist import TautologyChecker
+
+from conftest import random_function
+
+
+class TestGarbageCollect:
+    def test_live_functions_survive(self, manager):
+        rng = random.Random(1)
+        keep = [random_function(manager, "abcdef", rng) for _ in range(5)]
+        tables = [[fn.evaluate({n: bool((k >> i) & 1)
+                                for i, n in enumerate("abcdef")})
+                   for k in range(64)] for fn in keep]
+        # Create garbage.
+        for _ in range(50):
+            _ = random_function(manager, "abcdef", rng) \
+                ^ random_function(manager, "abcdef", rng)
+        freed = manager.garbage_collect()
+        assert freed > 0
+        for fn, table in zip(keep, tables):
+            got = [fn.evaluate({n: bool((k >> i) & 1)
+                                for i, n in enumerate("abcdef")})
+                   for k in range(64)]
+            assert got == table
+
+    def test_canonicity_preserved_after_gc(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        f = a & b
+        for _ in range(30):
+            _ = (a ^ b) | (f & ~a)  # garbage
+        manager.garbage_collect()
+        g = manager.var("a") & manager.var("b")
+        assert g.edge == f.edge  # unique table rebuilt consistently
+
+    def test_epoch_bumped(self, manager):
+        epoch = manager.gc_epoch
+        manager.garbage_collect()
+        assert manager.gc_epoch == epoch + 1
+
+    def test_num_live_nodes(self, manager):
+        f = manager.var("a") & manager.var("b")
+        live = manager.num_live_nodes()
+        assert live >= f.size()
+
+    def test_operations_work_after_gc(self, manager):
+        rng = random.Random(2)
+        f = random_function(manager, "abcde", rng)
+        g = random_function(manager, "abcde", rng)
+        before = (f & g, f | g, f.exists(["a"]))
+        manager.garbage_collect()
+        assert (f & g).equiv(before[0])
+        assert (f | g).equiv(before[1])
+        assert f.exists(["a"]).equiv(before[2])
+
+    def test_maybe_collect_thresholds(self):
+        mgr = BDD()
+        vars_ = [mgr.new_var(f"x{i}") for i in range(8)]
+        assert not mgr.maybe_collect(min_nodes=10_000)  # too small
+        for start in range(6):
+            # xor ladders over distinct variable subsets: real garbage.
+            acc = vars_[start]
+            for v in vars_[start + 1:]:
+                acc = acc ^ v
+        del acc
+        assert mgr.num_nodes_allocated > mgr.num_live_nodes()
+        assert mgr.maybe_collect(min_nodes=1)
+        assert mgr.num_nodes_allocated == mgr.num_live_nodes()
+
+    def test_tautology_checker_flushes_after_gc(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        checker = TautologyChecker(manager)
+        assert checker.is_tautology([a & b, a & ~b, ~a])
+        manager.garbage_collect()
+        # After renumbering, the same query must still answer correctly.
+        a2, b2 = manager.var("a"), manager.var("b")
+        assert checker.is_tautology([a2 & b2, a2 & ~b2, ~a2])
+        assert not checker.is_tautology([a2 & b2])
+
+    def test_gc_with_bitvec_structures(self, manager):
+        mgr = BDD()
+        x = BitVec([mgr.new_var(f"x{i}") for i in range(4)])
+        y = x.add(BitVec.constant(mgr, 4, 3))
+        for _ in range(20):
+            _ = x.add(x).add(x)  # garbage
+        mgr.garbage_collect()
+        assert y.value_on({f"x{i}": False for i in range(4)}) == 3

@@ -1,0 +1,126 @@
+"""Tests for simultaneous multi-care-set simplification (Section V)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD, restrict_multi
+from repro.iclist import ConjList
+
+from conftest import all_assignments, ast_strategy, build_ast, eval_ast, \
+    random_function
+
+NAMES = ("a", "b", "c", "d", "e")
+
+
+def fresh_manager():
+    mgr = BDD()
+    for name in NAMES:
+        mgr.new_var(name)
+    return mgr
+
+
+@given(ast=ast_strategy(NAMES, max_leaves=8),
+       cares=st.lists(ast_strategy(NAMES, max_leaves=6), min_size=1,
+                      max_size=4))
+@settings(max_examples=120, deadline=None)
+def test_agrees_on_joint_care_set(ast, cares):
+    mgr = fresh_manager()
+    f = build_ast(ast, mgr)
+    care_fns = [build_ast(c, mgr) for c in cares]
+    result = restrict_multi(f, care_fns)
+    for assignment in all_assignments(NAMES):
+        if all(eval_ast(c, assignment) for c in cares):
+            assert result.evaluate(assignment) == eval_ast(ast, assignment)
+
+
+@given(ast=ast_strategy(NAMES, max_leaves=8),
+       care=ast_strategy(NAMES, max_leaves=8))
+@settings(max_examples=80, deadline=None)
+def test_single_care_never_bigger_than_plain_restrict_target(ast, care):
+    """With one care BDD the routine is still sound (it may differ from
+    classic Restrict because the free-branch rule is more aggressive)."""
+    mgr = fresh_manager()
+    f = build_ast(ast, mgr)
+    c = build_ast(care, mgr)
+    result = restrict_multi(f, [c])
+    for assignment in all_assignments(NAMES):
+        if eval_ast(care, assignment):
+            assert result.evaluate(assignment) == eval_ast(ast, assignment)
+
+
+class TestEdgeCases:
+    def test_empty_care_list(self, manager):
+        f = manager.var("a") & manager.var("b")
+        assert restrict_multi(f, []).equiv(f)
+
+    def test_true_cares_dropped(self, manager):
+        f = manager.var("a") ^ manager.var("c")
+        assert restrict_multi(f, [manager.true, manager.true]).equiv(f)
+
+    def test_false_care_returns_f(self, manager):
+        f = manager.var("a")
+        assert restrict_multi(f, [manager.false]).equiv(f)
+
+    def test_contradictory_cares_still_sound(self, manager):
+        a = manager.var("a")
+        f = a ^ manager.var("b")
+        # Joint care set empty: any result is legal — must not crash.
+        result = restrict_multi(f, [a, ~a])
+        assert result.bdd is manager
+
+    def test_duplicate_cares_deduplicated(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        f = a & b
+        r1 = restrict_multi(f, [a, a, a])
+        r2 = restrict_multi(f, [a])
+        assert r1.equiv(r2)
+
+    def test_cross_manager_rejected(self, manager):
+        other = BDD()
+        x = other.new_var("x")
+        with pytest.raises(ValueError):
+            restrict_multi(manager.var("a"), [x])
+
+
+class TestSectionVScenario:
+    def test_simultaneous_beats_sequential_on_paper_pattern(self):
+        """Construct the paper's pathology: restricting by either care
+        set alone cannot use the joint constraint, restricting by both
+        simultaneously can."""
+        mgr = BDD()
+        xs = [mgr.new_var(f"x{i}") for i in range(8)]
+        # f depends on all variables; c1 and c2 jointly pin x0..x3.
+        f = mgr.true
+        for i in range(0, 8, 2):
+            f = f & (xs[i] ^ xs[i + 1])
+        c1 = xs[0] & xs[1]
+        c2 = xs[2] & xs[3]
+        joint = restrict_multi(f, [c1, c2])
+        explicit = f.restrict(c1 & c2)
+        # Same contract as restricting by the explicit conjunction...
+        for k in range(256):
+            env = {f"x{i}": bool((k >> i) & 1) for i in range(8)}
+            if c1.evaluate(env) and c2.evaluate(env):
+                assert joint.evaluate(env) == f.evaluate(env)
+        # ...and at least as small as f in this engineered case.
+        assert joint.size() <= f.size()
+        assert joint.size() <= explicit.size() + 2
+
+    def test_conjlist_multiway_simplifier(self, manager):
+        rng = random.Random(11)
+        for _ in range(10):
+            fns = [random_function(manager, "abcde", rng)
+                   for _ in range(4)]
+            cl = ConjList(manager, fns)
+            explicit = cl.evaluate_explicitly()
+            cl.simplify(simplifier="multiway")
+            assert cl.evaluate_explicitly().equiv(explicit)
+
+    def test_multiway_in_xici_run(self):
+        from repro.core import Options, verify
+        from repro.models import typed_fifo
+        result = verify(typed_fifo(depth=3, width=4), "xici",
+                        Options(simplifier="multiway"))
+        assert result.verified

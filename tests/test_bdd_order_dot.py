@@ -1,0 +1,56 @@
+"""Tests for ordering helpers and DOT export."""
+
+import pytest
+
+from repro.bdd import BDD, blocked, interleaved, to_dot
+from repro.bdd.order import bit_name
+
+
+class TestOrders:
+    def test_bit_name(self):
+        assert bit_name("q", 3) == "q[3]"
+
+    def test_interleaved_equal_widths(self):
+        order = interleaved([("a", 2), ("b", 2)])
+        assert order == ["a[0]", "b[0]", "a[1]", "b[1]"]
+
+    def test_interleaved_ragged(self):
+        order = interleaved([("a", 1), ("b", 3)])
+        assert order == ["a[0]", "b[0]", "b[1]", "b[2]"]
+
+    def test_blocked(self):
+        order = blocked([("a", 2), ("b", 1)])
+        assert order == ["a[0]", "a[1]", "b[0]"]
+
+    def test_empty(self):
+        assert interleaved([]) == []
+        assert blocked([]) == []
+
+    def test_same_names_both_orders(self):
+        specs = [("x", 3), ("y", 2)]
+        assert sorted(interleaved(specs)) == sorted(blocked(specs))
+
+
+class TestDot:
+    def test_contains_nodes_and_roots(self, manager):
+        f = manager.var("a") & ~manager.var("b")
+        text = to_dot([f], labels=["f"])
+        assert "digraph" in text
+        assert '"a"' in text and '"b"' in text
+        assert '"f"' in text
+        assert "odot" in text  # complemented edge marker
+
+    def test_empty(self):
+        assert to_dot([]).startswith("digraph")
+
+    def test_constant(self, manager):
+        text = to_dot([manager.true])
+        assert 'label="1"' in text
+
+    def test_shared_nodes_once(self, manager):
+        b, c = manager.var("b"), manager.var("c")
+        f = b & c
+        g = ~(b & c)
+        text = to_dot([f, g])
+        # The shared node for b must be declared exactly once.
+        assert text.count('[shape=circle, label="b"]') == 1

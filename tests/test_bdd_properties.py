@@ -1,0 +1,174 @@
+"""Property-based tests: BDD operations against truth-table oracles."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD
+
+from conftest import all_assignments, ast_strategy, build_ast, eval_ast, \
+    tables_equal
+
+NAMES = ("a", "b", "c", "d", "e")
+
+
+def fresh_manager():
+    mgr = BDD()
+    for name in NAMES:
+        mgr.new_var(name)
+    return mgr
+
+
+@given(ast=ast_strategy(NAMES))
+@settings(max_examples=150, deadline=None)
+def test_compilation_matches_semantics(ast):
+    mgr = fresh_manager()
+    fn = build_ast(ast, mgr)
+    assert tables_equal(fn, ast, NAMES)
+
+
+@given(ast1=ast_strategy(NAMES, max_leaves=8),
+       ast2=ast_strategy(NAMES, max_leaves=8))
+@settings(max_examples=100, deadline=None)
+def test_canonicity_equal_tables_equal_edges(ast1, ast2):
+    mgr = fresh_manager()
+    f1 = build_ast(ast1, mgr)
+    f2 = build_ast(ast2, mgr)
+    same_table = all(eval_ast(ast1, a) == eval_ast(ast2, a)
+                     for a in all_assignments(NAMES))
+    assert (f1.edge == f2.edge) == same_table
+
+
+@given(ast=ast_strategy(NAMES, max_leaves=8),
+       which=st.sampled_from(NAMES))
+@settings(max_examples=100, deadline=None)
+def test_shannon_decomposition(ast, which):
+    mgr = fresh_manager()
+    fn = build_ast(ast, mgr)
+    var = mgr.var(which)
+    rebuilt = (var & fn.cofactor(which, True)) \
+        | (~var & fn.cofactor(which, False))
+    assert rebuilt.equiv(fn)
+
+
+@given(ast=ast_strategy(NAMES, max_leaves=8),
+       which=st.sampled_from(NAMES))
+@settings(max_examples=100, deadline=None)
+def test_quantifier_semantics(ast, which):
+    mgr = fresh_manager()
+    fn = build_ast(ast, mgr)
+    ex = fn.exists([which])
+    fa = fn.forall([which])
+    for assignment in all_assignments(NAMES):
+        a1 = dict(assignment, **{which: True})
+        a0 = dict(assignment, **{which: False})
+        want_ex = eval_ast(ast, a1) or eval_ast(ast, a0)
+        want_fa = eval_ast(ast, a1) and eval_ast(ast, a0)
+        assert ex.evaluate(assignment) == want_ex
+        assert fa.evaluate(assignment) == want_fa
+
+
+@given(ast1=ast_strategy(NAMES, max_leaves=6),
+       ast2=ast_strategy(NAMES, max_leaves=6),
+       subset=st.sets(st.sampled_from(NAMES), min_size=1, max_size=3))
+@settings(max_examples=80, deadline=None)
+def test_and_exists_is_relational_product(ast1, ast2, subset):
+    mgr = fresh_manager()
+    f = build_ast(ast1, mgr)
+    g = build_ast(ast2, mgr)
+    fused = f.and_exists(g, sorted(subset))
+    naive = (f & g).exists(sorted(subset))
+    assert fused.equiv(naive)
+
+
+@given(ast=ast_strategy(NAMES, max_leaves=6),
+       target=ast_strategy(NAMES, max_leaves=5),
+       which=st.sampled_from(NAMES))
+@settings(max_examples=80, deadline=None)
+def test_compose_semantics(ast, target, which):
+    mgr = fresh_manager()
+    fn = build_ast(ast, mgr)
+    sub = build_ast(target, mgr)
+    composed = fn.compose({which: sub})
+    for assignment in all_assignments(NAMES):
+        inner = eval_ast(target, assignment)
+        assert composed.evaluate(assignment) == \
+            eval_ast(ast, dict(assignment, **{which: inner}))
+
+
+class TestGeneralizedCofactors:
+    """Restrict and Constrain: agreement on the care set, and the
+    classical algebraic identities."""
+
+    @given(ast=ast_strategy(NAMES, max_leaves=8),
+           care=ast_strategy(NAMES, max_leaves=8))
+    @settings(max_examples=100, deadline=None)
+    def test_restrict_agrees_on_care_set(self, ast, care):
+        mgr = fresh_manager()
+        f = build_ast(ast, mgr)
+        c = build_ast(care, mgr)
+        r = f.restrict(c)
+        for assignment in all_assignments(NAMES):
+            if eval_ast(care, assignment):
+                assert r.evaluate(assignment) == eval_ast(ast, assignment)
+
+    @given(ast=ast_strategy(NAMES, max_leaves=8),
+           care=ast_strategy(NAMES, max_leaves=8))
+    @settings(max_examples=100, deadline=None)
+    def test_constrain_agrees_on_care_set(self, ast, care):
+        mgr = fresh_manager()
+        f = build_ast(ast, mgr)
+        c = build_ast(care, mgr)
+        r = f.constrain(c)
+        for assignment in all_assignments(NAMES):
+            if eval_ast(care, assignment):
+                assert r.evaluate(assignment) == eval_ast(ast, assignment)
+
+    @given(ast=ast_strategy(NAMES, max_leaves=8))
+    @settings(max_examples=50, deadline=None)
+    def test_simplify_by_true_is_identity(self, ast):
+        mgr = fresh_manager()
+        f = build_ast(ast, mgr)
+        assert f.restrict(mgr.true).equiv(f)
+        assert f.constrain(mgr.true).equiv(f)
+
+    @given(ast=ast_strategy(NAMES, max_leaves=8),
+           care=ast_strategy(NAMES, max_leaves=8))
+    @settings(max_examples=80, deadline=None)
+    def test_constrain_reconstruction_identity(self, ast, care):
+        # f = (c and f|c) or (not c and f|not c)  for Constrain.
+        mgr = fresh_manager()
+        f = build_ast(ast, mgr)
+        c = build_ast(care, mgr)
+        if c.is_constant:
+            return
+        rebuilt = (c & f.constrain(c)) | (~c & f.constrain(~c))
+        assert rebuilt.equiv(f)
+
+    @given(ast=ast_strategy(NAMES, max_leaves=8),
+           care=ast_strategy(NAMES, max_leaves=8))
+    @settings(max_examples=80, deadline=None)
+    def test_negation_commutes(self, ast, care):
+        mgr = fresh_manager()
+        f = build_ast(ast, mgr)
+        c = build_ast(care, mgr)
+        assert (~f).restrict(c).equiv(~(f.restrict(c)))
+        assert (~f).constrain(c).equiv(~(f.constrain(c)))
+
+    def test_constrain_of_self(self, manager):
+        f = manager.var("a") ^ manager.var("b")
+        assert f.constrain(f).is_true
+        assert f.constrain(~f).is_false
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_rename_preserves_semantics(data):
+    mgr = fresh_manager()
+    ast = data.draw(ast_strategy(("a", "b", "c"), max_leaves=6))
+    fn = build_ast(ast, mgr)
+    renamed = fn.rename({"a": "d", "b": "e"})
+    for assignment in all_assignments(NAMES):
+        moved = dict(assignment)
+        moved["a"] = assignment["d"]
+        moved["b"] = assignment["e"]
+        assert renamed.evaluate(assignment) == eval_ast(ast, moved)

@@ -1,0 +1,135 @@
+"""Tests for in-place reordering, order search, and early-exit tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD, improve_order, order_cost
+from repro.expr import BitVec
+from repro.iclist import TautologyChecker
+
+from conftest import all_assignments, ast_strategy, build_ast, eval_ast, \
+    random_function
+
+NAMES = ("a", "b", "c", "d")
+
+
+def fresh_manager():
+    mgr = BDD()
+    for name in NAMES:
+        mgr.new_var(name)
+    return mgr
+
+
+class TestReorderInPlace:
+    @given(ast=ast_strategy(NAMES, max_leaves=10),
+           permutation=st.permutations(NAMES))
+    @settings(max_examples=60, deadline=None)
+    def test_semantics_preserved(self, ast, permutation):
+        mgr = fresh_manager()
+        fn = build_ast(ast, mgr)
+        mgr.reorder(list(permutation))
+        assert mgr.var_names == tuple(permutation)
+        for assignment in all_assignments(NAMES):
+            assert fn.evaluate(assignment) == eval_ast(ast, assignment)
+
+    def test_rejects_non_permutation(self):
+        mgr = fresh_manager()
+        with pytest.raises(ValueError):
+            mgr.reorder(["a", "b"])
+        with pytest.raises(ValueError):
+            mgr.reorder(["a", "b", "c", "x"])
+
+    def test_epoch_bumped_and_caches_flushed(self):
+        mgr = fresh_manager()
+        f = mgr.var("a") & mgr.var("b")
+        checker = TautologyChecker(mgr)
+        assert checker.is_tautology([f, ~f])
+        epoch = mgr.gc_epoch
+        mgr.reorder(["d", "c", "b", "a"])
+        assert mgr.gc_epoch == epoch + 1
+        # Checker must still answer correctly after the flush.
+        assert checker.is_tautology([f, ~f])
+        assert not checker.is_tautology([f])
+
+    def test_canonicity_after_reorder(self):
+        mgr = fresh_manager()
+        f = (mgr.var("a") & mgr.var("b")) | mgr.var("c")
+        mgr.reorder(["c", "b", "a", "d"])
+        g = (mgr.var("a") & mgr.var("b")) | mgr.var("c")
+        assert f.edge == g.edge
+
+    def test_multiple_handles_all_remapped(self):
+        mgr = fresh_manager()
+        rng = random.Random(0)
+        fns = [random_function(mgr, NAMES, rng) for _ in range(6)]
+        tables = [[fn.evaluate(a) for a in all_assignments(NAMES)]
+                  for fn in fns]
+        mgr.reorder(["b", "d", "a", "c"])
+        for fn, table in zip(fns, tables):
+            got = [fn.evaluate(a) for a in all_assignments(NAMES)]
+            assert got == table
+
+
+class TestImproveOrder:
+    def test_finds_interleaving_for_equality(self):
+        mgr = BDD()
+        width = 4
+        xs = [mgr.new_var(f"x{i}") for i in range(width)]
+        ys = [mgr.new_var(f"y{i}") for i in range(width)]
+        equal = BitVec(xs).eq(BitVec(ys))
+        blocked = equal.size()
+        order, cost = improve_order([equal], max_passes=10)
+        assert cost < blocked
+        assert cost == 3 * width  # fully interleaved is optimal here
+
+    def test_already_good_order_kept(self):
+        mgr = fresh_manager()
+        f = mgr.var("a") & mgr.var("b")
+        order, cost = improve_order([f])
+        assert cost == f.size()
+
+    def test_start_order_validation(self):
+        mgr = fresh_manager()
+        f = mgr.var("a") & mgr.var("b")
+        with pytest.raises(ValueError):
+            improve_order([f], start_order=["a", "c"])
+
+    def test_empty(self):
+        assert improve_order([]) == ([], 0)
+
+    def test_order_cost_matches_sensitivity(self):
+        mgr = fresh_manager()
+        rng = random.Random(5)
+        fns = [random_function(mgr, NAMES, rng) for _ in range(3)]
+        cost = order_cost(fns, list(NAMES))
+        assert cost == mgr.count_nodes(fns)
+
+
+class TestEarlyExitChecks:
+    @given(ast1=ast_strategy(NAMES, max_leaves=8),
+           ast2=ast_strategy(NAMES, max_leaves=8))
+    @settings(max_examples=100, deadline=None)
+    def test_intersects_matches_conjunction(self, ast1, ast2):
+        mgr = fresh_manager()
+        f = build_ast(ast1, mgr)
+        g = build_ast(ast2, mgr)
+        assert f.intersects(g) == (not (f & g).is_false)
+
+    @given(ast1=ast_strategy(NAMES, max_leaves=8),
+           ast2=ast_strategy(NAMES, max_leaves=8))
+    @settings(max_examples=100, deadline=None)
+    def test_entails_matches_implication(self, ast1, ast2):
+        mgr = fresh_manager()
+        f = build_ast(ast1, mgr)
+        g = build_ast(ast2, mgr)
+        assert f.entails(g) == f.implies(g).is_true
+
+    def test_intersects_allocates_nothing_on_witness(self):
+        mgr = fresh_manager()
+        f = mgr.var("a")
+        g = mgr.var("b")
+        before = mgr.num_nodes_allocated
+        assert f.intersects(g)
+        assert mgr.num_nodes_allocated == before

@@ -1,0 +1,103 @@
+"""Tests for satisfying-assignment utilities."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd import BDD, iter_assignments, pick_one, sat_count
+
+from conftest import all_assignments, ast_strategy, build_ast, eval_ast
+
+NAMES = ("a", "b", "c", "d")
+
+
+def fresh_manager():
+    mgr = BDD()
+    for name in NAMES:
+        mgr.new_var(name)
+    return mgr
+
+
+@given(ast=ast_strategy(NAMES, max_leaves=10))
+@settings(max_examples=120, deadline=None)
+def test_sat_count_matches_truth_table(ast):
+    mgr = fresh_manager()
+    fn = build_ast(ast, mgr)
+    expected = sum(eval_ast(ast, a) for a in all_assignments(NAMES))
+    assert sat_count(fn, len(NAMES)) == expected
+
+
+@given(ast=ast_strategy(NAMES, max_leaves=10))
+@settings(max_examples=120, deadline=None)
+def test_pick_one_satisfies(ast):
+    mgr = fresh_manager()
+    fn = build_ast(ast, mgr)
+    assignment = pick_one(fn, care_names=NAMES)
+    if assignment is None:
+        assert fn.is_false
+    else:
+        assert fn.evaluate(assignment)
+
+
+@given(ast=ast_strategy(NAMES, max_leaves=10))
+@settings(max_examples=80, deadline=None)
+def test_iter_assignments_complete_and_sound(ast):
+    mgr = fresh_manager()
+    fn = build_ast(ast, mgr)
+    found = {tuple(sorted(a.items()))
+             for a in iter_assignments(fn, NAMES)}
+    expected = {tuple(sorted(a.items()))
+                for a in all_assignments(NAMES) if eval_ast(ast, a)}
+    assert found == expected
+
+
+class TestSatCount:
+    def test_constants(self):
+        mgr = fresh_manager()
+        assert sat_count(mgr.true, 4) == 16
+        assert sat_count(mgr.false, 4) == 0
+
+    def test_default_nvars_is_manager_width(self):
+        mgr = fresh_manager()
+        assert sat_count(mgr.var("a")) == 8  # half of 2**4
+
+    def test_nvars_too_small_rejected(self):
+        mgr = fresh_manager()
+        f = mgr.var("a") & mgr.var("b")
+        with pytest.raises(ValueError):
+            sat_count(f, 1)
+
+
+class TestPickOne:
+    def test_unsat_returns_none(self):
+        mgr = fresh_manager()
+        a = mgr.var("a")
+        assert pick_one(a & ~a) is None
+
+    def test_care_names_filled(self):
+        mgr = fresh_manager()
+        assignment = pick_one(mgr.var("a"), care_names=NAMES)
+        assert set(assignment) == set(NAMES)
+
+    def test_minimal_assignment_without_care(self):
+        mgr = fresh_manager()
+        assignment = pick_one(mgr.var("b"))
+        assert assignment == {"b": True}
+
+
+class TestIterAssignments:
+    def test_rejects_wrong_support(self):
+        mgr = fresh_manager()
+        f = mgr.var("a") & mgr.var("c")
+        with pytest.raises(ValueError):
+            list(iter_assignments(f, ["a", "b"]))
+
+    def test_true_yields_everything(self):
+        mgr = fresh_manager()
+        got = list(iter_assignments(mgr.true, ["a", "b"]))
+        assert len(got) == 4
+
+    def test_false_yields_nothing(self):
+        mgr = fresh_manager()
+        assert list(iter_assignments(mgr.false, ["a"])) == []

@@ -1,0 +1,67 @@
+"""Tests for shared node counting — the paper's BDDSize with sharing."""
+
+import pytest
+
+from repro.bdd import BDD, format_profile, individual_sizes, profile, \
+    shared_size
+
+
+class TestSharedSize:
+    def test_sharing_counted_once(self, manager):
+        a, b, c = manager.var("a"), manager.var("b"), manager.var("c")
+        f = b & c
+        g = a & (b & c)  # g contains f as a subgraph
+        assert shared_size([f, g]) == g.size()
+
+    def test_disjoint_functions_nearly_add(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        # Only the terminal is shared.
+        assert shared_size([a, b]) == a.size() + b.size() - 1
+
+    def test_single(self, manager):
+        f = manager.var("a") ^ manager.var("b")
+        assert shared_size([f]) == f.size()
+
+    def test_empty(self, manager):
+        assert shared_size([]) == 0
+
+    def test_constants(self, manager):
+        assert shared_size([manager.true]) == 1
+        assert shared_size([manager.true, manager.false]) == 1
+
+    def test_complements_share_everything(self, manager):
+        f = manager.var("a") & manager.var("b")
+        assert shared_size([f, ~f]) == f.size()
+
+    def test_never_exceeds_sum(self, manager):
+        fns = [manager.var("a") & manager.var("b"),
+               manager.var("b") | manager.var("c"),
+               manager.var("c") ^ manager.var("a")]
+        assert shared_size(fns) <= sum(individual_sizes(fns))
+        assert shared_size(fns) >= max(individual_sizes(fns))
+
+
+class TestProfile:
+    def test_profile_sorted(self, manager):
+        fns = [manager.var("a") & manager.var("b") & manager.var("c"),
+               manager.var("d")]
+        total, sizes = profile(fns)
+        assert sizes == sorted(sizes)
+        assert total == shared_size(fns)
+
+    def test_format_uniform(self, manager):
+        fns = [manager.var("a"), manager.var("b"), manager.var("c")]
+        text = format_profile(fns)
+        assert "3 x 2 nodes" in text
+
+    def test_format_mixed(self, manager):
+        fns = [manager.var("a") & manager.var("b"), manager.var("c")]
+        text = format_profile(fns)
+        assert "(" in text and "," in text
+
+    def test_format_single(self, manager):
+        fns = [manager.var("a") & manager.var("b")]
+        assert format_profile(fns) == str(fns[0].size())
+
+    def test_format_empty(self):
+        assert format_profile([]) == "0"

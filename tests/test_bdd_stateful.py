@@ -1,0 +1,135 @@
+"""Stateful property test: random op sequences with GC interleaved.
+
+A hypothesis rule-based machine keeps a pool of BDD functions paired
+with truth-table oracles (ints, one bit per assignment over five
+variables).  Any interleaving of operations and garbage collections
+must keep every pool entry's BDD in exact agreement with its oracle —
+this is the test that would have caught the stale-edge-after-GC bug
+class.
+"""
+
+import itertools
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, \
+    invariant, rule
+from hypothesis import strategies as st
+
+from repro.bdd import BDD
+
+NAMES = ("a", "b", "c", "d", "e")
+NUM_ROWS = 1 << len(NAMES)
+FULL = (1 << NUM_ROWS) - 1
+
+ASSIGNMENTS = [dict(zip(NAMES, bits))
+               for bits in itertools.product([False, True],
+                                             repeat=len(NAMES))]
+
+
+def table_of(fn) -> int:
+    value = 0
+    for row, assignment in enumerate(ASSIGNMENTS):
+        if fn.evaluate(assignment):
+            value |= 1 << row
+    return value
+
+
+class BddMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.manager = BDD()
+        self.pool = []  # (Function, oracle-int) pairs
+        for index, name in enumerate(NAMES):
+            var = self.manager.new_var(name)
+            oracle = 0
+            for row, assignment in enumerate(ASSIGNMENTS):
+                if assignment[name]:
+                    oracle |= 1 << row
+            self.pool.append((var, oracle))
+        self.pool.append((self.manager.true, FULL))
+        self.pool.append((self.manager.false, 0))
+
+    def _pick(self, data):
+        return data.draw(st.sampled_from(self.pool))
+
+    @rule(data=st.data())
+    def do_and(self, data):
+        (f, tf), (g, tg) = self._pick(data), self._pick(data)
+        self.pool.append((f & g, tf & tg))
+
+    @rule(data=st.data())
+    def do_or(self, data):
+        (f, tf), (g, tg) = self._pick(data), self._pick(data)
+        self.pool.append((f | g, tf | tg))
+
+    @rule(data=st.data())
+    def do_xor(self, data):
+        (f, tf), (g, tg) = self._pick(data), self._pick(data)
+        self.pool.append((f ^ g, tf ^ tg))
+
+    @rule(data=st.data())
+    def do_not(self, data):
+        f, tf = self._pick(data)
+        self.pool.append((~f, tf ^ FULL))
+
+    @rule(data=st.data())
+    def do_ite(self, data):
+        (f, tf), (g, tg), (h, th) = (self._pick(data), self._pick(data),
+                                     self._pick(data))
+        self.pool.append((self.manager.ite(f, g, h),
+                          (tf & tg) | ((tf ^ FULL) & th)))
+
+    @rule(data=st.data(), name=st.sampled_from(NAMES))
+    def do_exists(self, data, name):
+        f, tf = self._pick(data)
+        oracle = 0
+        for row, assignment in enumerate(ASSIGNMENTS):
+            flipped = dict(assignment, **{name: not assignment[name]})
+            other = ASSIGNMENTS.index(flipped)
+            if (tf >> row) & 1 or (tf >> other) & 1:
+                oracle |= 1 << row
+        self.pool.append((f.exists([name]), oracle))
+
+    @rule(data=st.data())
+    def do_restrict(self, data):
+        (f, tf), (c, tc) = self._pick(data), self._pick(data)
+        result = f.restrict(c)
+        # Only the care set is specified; build the oracle lazily by
+        # reading back the result on the don't-care rows.
+        tr = table_of(result)
+        assert (tr & tc) == (tf & tc)
+        self.pool.append((result, tr))
+
+    @rule(data=st.data())
+    def do_drop(self, data):
+        if len(self.pool) > 8:
+            victim = data.draw(
+                st.integers(min_value=7, max_value=len(self.pool) - 1))
+            del self.pool[victim]
+
+    @rule()
+    def do_gc(self):
+        self.manager.garbage_collect()
+
+    @rule()
+    def do_clear_caches(self):
+        self.manager.clear_caches()
+
+    @invariant()
+    def pool_matches_oracles(self):
+        if not hasattr(self, "pool"):
+            return
+        for fn, oracle in self.pool[-4:]:
+            assert table_of(fn) == oracle
+        # Canonicity spot check: equal oracles imply equal edges.
+        seen = {}
+        for fn, oracle in self.pool:
+            if oracle in seen:
+                assert seen[oracle] == fn.edge
+            else:
+                seen[oracle] = fn.edge
+
+
+BddMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None)
+TestBddStateful = BddMachine.TestCase

@@ -1,0 +1,89 @@
+"""Tests for cross-manager function transfer and order sensitivity."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd import BDD, copy_function, interleaved, order_sensitivity
+from repro.expr import BitVec
+
+from conftest import all_assignments, ast_strategy, build_ast, eval_ast
+
+NAMES = ("a", "b", "c", "d")
+
+
+def manager_with(order):
+    mgr = BDD()
+    for name in order:
+        mgr.new_var(name)
+    return mgr
+
+
+@given(ast=ast_strategy(NAMES, max_leaves=10))
+@settings(max_examples=80, deadline=None)
+def test_copy_preserves_semantics_under_reversed_order(ast):
+    source = manager_with(NAMES)
+    fn = build_ast(ast, source)
+    target = manager_with(tuple(reversed(NAMES)))
+    copied = copy_function(fn, target)
+    for assignment in all_assignments(NAMES):
+        assert copied.evaluate(assignment) == eval_ast(ast, assignment)
+
+
+def test_copy_with_rename():
+    source = manager_with(("a", "b"))
+    target = manager_with(("x", "y"))
+    fn = source.var("a") & ~source.var("b")
+    copied = copy_function(fn, target, rename={"a": "x", "b": "y"})
+    assert copied.evaluate({"x": True, "y": False})
+    assert not copied.evaluate({"x": True, "y": True})
+
+
+def test_copy_constants():
+    source = manager_with(("a",))
+    target = manager_with(("a",))
+    assert copy_function(source.true, target).is_true
+    assert copy_function(source.false, target).is_false
+
+
+def test_missing_variable_rejected():
+    source = manager_with(("a", "b"))
+    target = manager_with(("a",))
+    fn = source.var("a") & source.var("b")
+    with pytest.raises(KeyError):
+        copy_function(fn, target)
+
+
+class TestOrderSensitivity:
+    def test_interleaving_matters_for_equality(self):
+        """The textbook example: x == y is linear interleaved,
+        exponential blocked."""
+        width = 6
+        mgr = BDD()
+        for name in interleaved([("x", width), ("y", width)]):
+            mgr.new_var(name)
+        x = BitVec([mgr.var(f"x[{i}]") for i in range(width)])
+        y = BitVec([mgr.var(f"y[{i}]") for i in range(width)])
+        equal = x.eq(y)
+        sizes = order_sensitivity(
+            [equal],
+            {"interleaved": interleaved([("x", width), ("y", width)]),
+             "blocked": [f"x[{i}]" for i in range(width)]
+                        + [f"y[{i}]" for i in range(width)]})
+        assert sizes["interleaved"] == 3 * width  # linear
+        assert sizes["blocked"] > 2 ** width      # exponential
+
+    def test_order_must_cover_support(self):
+        mgr = manager_with(("a", "b"))
+        fn = mgr.var("a") & mgr.var("b")
+        with pytest.raises(ValueError, match="misses"):
+            order_sensitivity([fn], {"bad": ["a"]})
+
+    def test_empty_functions(self):
+        assert order_sensitivity([], {"any": ["a"]}) == {"any": 0}
+
+    def test_shared_size_semantics(self):
+        mgr = manager_with(("a", "b", "c"))
+        f = mgr.var("a") & mgr.var("b")
+        g = mgr.var("b") & mgr.var("c")
+        sizes = order_sensitivity([f, g], {"same": ["a", "b", "c"]})
+        assert sizes["same"] == mgr.count_nodes([f, g])

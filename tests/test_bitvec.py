@@ -1,0 +1,171 @@
+"""Tests for the symbolic bit-vector layer against integer semantics."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD
+from repro.expr import BitVec, popcount, sum_vectors
+
+WIDTH = 4
+
+
+def symbolic_pair():
+    mgr = BDD()
+    a = BitVec([mgr.new_var(f"a{i}") for i in range(WIDTH)])
+    b = BitVec([mgr.new_var(f"b{i}") for i in range(WIDTH)])
+    return mgr, a, b
+
+
+def env(x: int, y: int):
+    assignment = {}
+    for i in range(WIDTH):
+        assignment[f"a{i}"] = bool((x >> i) & 1)
+        assignment[f"b{i}"] = bool((y >> i) & 1)
+    return assignment
+
+
+values = st.integers(min_value=0, max_value=(1 << WIDTH) - 1)
+
+
+@given(x=values, y=values)
+@settings(max_examples=60, deadline=None)
+def test_add_wraps(x, y):
+    mgr, a, b = symbolic_pair()
+    assert a.add(b).value_on(env(x, y)) == (x + y) % (1 << WIDTH)
+
+
+@given(x=values, y=values)
+@settings(max_examples=60, deadline=None)
+def test_add_full_widens(x, y):
+    mgr, a, b = symbolic_pair()
+    result = a.add_full(b)
+    assert result.width == WIDTH + 1
+    assert result.value_on(env(x, y)) == x + y
+
+
+@given(x=values, y=values)
+@settings(max_examples=60, deadline=None)
+def test_sub_two_complement(x, y):
+    mgr, a, b = symbolic_pair()
+    assert a.sub(b).value_on(env(x, y)) == (x - y) % (1 << WIDTH)
+
+
+@given(x=values, y=values)
+@settings(max_examples=60, deadline=None)
+def test_comparisons(x, y):
+    mgr, a, b = symbolic_pair()
+    assignment = env(x, y)
+    assert a.eq(b).evaluate(assignment) == (x == y)
+    assert a.ne(b).evaluate(assignment) == (x != y)
+    assert a.ule(b).evaluate(assignment) == (x <= y)
+    assert a.ult(b).evaluate(assignment) == (x < y)
+
+
+@given(x=values, bound=values)
+@settings(max_examples=60, deadline=None)
+def test_const_comparisons(x, bound):
+    mgr, a, _ = symbolic_pair()
+    assignment = env(x, 0)
+    assert a.ule_const(bound).evaluate(assignment) == (x <= bound)
+    assert a.eq_const(bound).evaluate(assignment) == (x == bound)
+
+
+@given(x=values, y=values, sel=st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_mux(x, y, sel):
+    mgr, a, b = symbolic_pair()
+    s = mgr.new_var("s")
+    muxed = BitVec.mux(s, a, b)
+    assignment = dict(env(x, y), s=sel)
+    assert muxed.value_on(assignment) == (x if sel else y)
+
+
+@given(x=values)
+@settings(max_examples=40, deadline=None)
+def test_inc_dec_shift(x):
+    mgr, a, _ = symbolic_pair()
+    assignment = env(x, 0)
+    assert a.inc().value_on(assignment) == (x + 1) % (1 << WIDTH)
+    assert a.dec().value_on(assignment) == (x - 1) % (1 << WIDTH)
+    assert a.shift_right(1).value_on(assignment) == x >> 1
+    assert a.shift_right_one_keep_width().value_on(assignment) == x >> 1
+    assert a.shift_right_one_keep_width().width == WIDTH
+
+
+class TestStructure:
+    def test_constant_roundtrip(self):
+        mgr = BDD()
+        vec = BitVec.constant(mgr, 5, 19)
+        assert vec.value_on({}) == 19
+
+    def test_constant_too_wide(self):
+        mgr = BDD()
+        with pytest.raises(ValueError):
+            BitVec.constant(mgr, 3, 9)
+
+    def test_resize_extend_truncate(self):
+        mgr = BDD()
+        vec = BitVec.constant(mgr, 4, 11)
+        assert vec.resize(6).value_on({}) == 11
+        assert vec.resize(2).value_on({}) == 3
+
+    def test_width_mismatch_rejected(self):
+        mgr = BDD()
+        a = BitVec.constant(mgr, 3, 1)
+        b = BitVec.constant(mgr, 4, 1)
+        with pytest.raises(ValueError):
+            a.add(b)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BitVec([])
+
+    def test_bitwise_ops(self):
+        mgr = BDD()
+        a = BitVec.constant(mgr, 4, 0b1100)
+        b = BitVec.constant(mgr, 4, 0b1010)
+        assert (a & b).value_on({}) == 0b1000
+        assert (a | b).value_on({}) == 0b1110
+        assert (a ^ b).value_on({}) == 0b0110
+        assert (~a).value_on({}) == 0b0011
+
+    def test_select_priority(self):
+        mgr = BDD()
+        g1, g2 = mgr.new_var("g1"), mgr.new_var("g2")
+        v1 = BitVec.constant(mgr, 2, 1)
+        v2 = BitVec.constant(mgr, 2, 2)
+        default = BitVec.constant(mgr, 2, 3)
+        sel = BitVec.select([(g1, v1), (g2, v2)], default)
+        assert sel.value_on({"g1": True, "g2": True}) == 1
+        assert sel.value_on({"g1": False, "g2": True}) == 2
+        assert sel.value_on({"g1": False, "g2": False}) == 3
+
+    def test_concat(self):
+        mgr = BDD()
+        low = BitVec.constant(mgr, 2, 0b01)
+        high = BitVec.constant(mgr, 2, 0b10)
+        assert low.concat(high).value_on({}) == 0b1001
+
+
+class TestAggregates:
+    @given(flags=st.lists(st.booleans(), min_size=1, max_size=7))
+    @settings(max_examples=40, deadline=None)
+    def test_popcount(self, flags):
+        mgr = BDD()
+        fns = [mgr.true if f else mgr.false for f in flags]
+        assert popcount(fns).value_on({}) == sum(flags)
+
+    @given(vals=st.lists(values, min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_vectors(self, vals):
+        mgr = BDD()
+        vecs = [BitVec.constant(mgr, WIDTH, v) for v in vals]
+        assert sum_vectors(vecs).value_on({}) == sum(vals)
+
+    def test_empty_aggregates_rejected(self):
+        with pytest.raises(ValueError):
+            popcount([])
+        with pytest.raises(ValueError):
+            sum_vectors([])

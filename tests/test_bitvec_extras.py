@@ -1,0 +1,76 @@
+"""Tests for the extended BitVec surface (comparisons, min/max)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD
+from repro.expr import BitVec
+
+WIDTH = 4
+values = st.integers(min_value=0, max_value=(1 << WIDTH) - 1)
+
+
+def symbolic_pair():
+    mgr = BDD()
+    a = BitVec([mgr.new_var(f"a{i}") for i in range(WIDTH)])
+    b = BitVec([mgr.new_var(f"b{i}") for i in range(WIDTH)])
+    return mgr, a, b
+
+
+def env(x, y):
+    assignment = {}
+    for i in range(WIDTH):
+        assignment[f"a{i}"] = bool((x >> i) & 1)
+        assignment[f"b{i}"] = bool((y >> i) & 1)
+    return assignment
+
+
+@given(x=values, y=values)
+@settings(max_examples=60, deadline=None)
+def test_uge_ugt(x, y):
+    mgr, a, b = symbolic_pair()
+    assignment = env(x, y)
+    assert a.uge(b).evaluate(assignment) == (x >= y)
+    assert a.ugt(b).evaluate(assignment) == (x > y)
+
+
+@given(x=values, bound=values)
+@settings(max_examples=60, deadline=None)
+def test_ult_const(x, bound):
+    mgr, a, _ = symbolic_pair()
+    assert a.ult_const(bound).evaluate(env(x, 0)) == (x < bound)
+
+
+@given(x=values)
+@settings(max_examples=40, deadline=None)
+def test_is_zero(x):
+    mgr, a, _ = symbolic_pair()
+    assert a.is_zero().evaluate(env(x, 0)) == (x == 0)
+
+
+@given(x=values, y=values)
+@settings(max_examples=60, deadline=None)
+def test_min_max(x, y):
+    mgr, a, b = symbolic_pair()
+    assignment = env(x, y)
+    assert a.max_with(b).value_on(assignment) == max(x, y)
+    assert a.min_with(b).value_on(assignment) == min(x, y)
+
+
+def test_comparison_trichotomy():
+    mgr, a, b = symbolic_pair()
+    lt, eq, gt = a.ult(b), a.eq(b), a.ugt(b)
+    assert (lt | eq | gt).is_true
+    assert (lt & eq).is_false
+    assert (lt & gt).is_false
+    assert (eq & gt).is_false
+
+
+def test_minmax_identities():
+    mgr, a, b = symbolic_pair()
+    assert a.max_with(b).eq(b.max_with(a)).is_true
+    assert a.min_with(a).eq(a).is_true
+    # min + max partitions the pair.
+    total = a.add_full(b)
+    partitioned = a.min_with(b).add_full(a.max_with(b))
+    assert total.eq(partitioned).is_true

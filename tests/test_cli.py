@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestVerifyCommand:
+    def test_verified_exit_code(self, capsys):
+        code = main(["verify", "--model", "fifo", "--depth", "3",
+                     "--width", "4", "--method", "xici"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verified" in out
+        assert "largest iterate" in out
+
+    def test_violated_exit_code_and_trace(self, capsys):
+        code = main(["verify", "--model", "fifo", "--depth", "2",
+                     "--width", "4", "--bug", "1", "--show-trace"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "violated" in out
+        assert "counterexample" in out
+
+    def test_budget_exit_code(self, capsys):
+        code = main(["verify", "--model", "fifo", "--depth", "6",
+                     "--width", "8", "--method", "fwd",
+                     "--max-nodes", "500"])
+        assert code == 2
+        assert "budget" in capsys.readouterr().out
+
+    def test_assisted_run(self, capsys):
+        code = main(["verify", "--model", "movavg", "--depth", "2",
+                     "--width", "4", "--assisted"])
+        assert code == 0
+        assert "assisting invariants" in capsys.readouterr().out
+
+    def test_engine_knobs_accepted(self, capsys):
+        code = main(["verify", "--model", "ring", "--nodes", "3",
+                     "--evaluator", "matching", "--simplifier", "multiway",
+                     "--back-image", "relational", "--monotone",
+                     "--bounded-and", "--grow-threshold", "1.2"])
+        assert code == 0
+
+    @pytest.mark.parametrize("model,flags", [
+        ("network", ["--procs", "2"]),
+        ("pipeline", ["--regs", "2", "--bits", "1", "--method", "bkwd"]),
+        ("philosophers", ["--phils", "3"]),
+    ])
+    def test_all_models_runnable(self, capsys, model, flags):
+        code = main(["verify", "--model", model, *flags])
+        assert code == 0
+
+    def test_fd_method(self, capsys):
+        code = main(["verify", "--model", "network", "--procs", "2",
+                     "--method", "fd"])
+        assert code == 0
+
+
+class TestOtherCommands:
+    def test_models_listing(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "fifo" in out and "philosophers" in out
+
+    def test_tables_single(self, capsys):
+        assert main(["tables", "--table", "1-fifo"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "paper:" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "--model", "warp-core"])

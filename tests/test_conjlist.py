@@ -1,0 +1,115 @@
+"""Tests for ConjList: normalization, semantics, simplification."""
+
+import random
+
+import pytest
+
+from repro.bdd import BDD
+from repro.iclist import ConjList
+
+from conftest import random_function
+
+
+class TestNormalization:
+    def test_true_conjuncts_dropped(self, manager):
+        a = manager.var("a")
+        cl = ConjList(manager, [manager.true, a, manager.true])
+        assert len(cl) == 1
+        assert cl[0].equiv(a)
+
+    def test_false_collapses(self, manager):
+        a = manager.var("a")
+        cl = ConjList(manager, [a, manager.false, manager.var("b")])
+        assert cl.is_empty_set()
+        assert len(cl) == 1
+
+    def test_duplicates_dropped(self, manager):
+        a = manager.var("a")
+        cl = ConjList(manager, [a, a, a & manager.true])
+        assert len(cl) == 1
+
+    def test_complement_pair_collapses(self, manager):
+        f = manager.var("a") ^ manager.var("b")
+        cl = ConjList(manager, [f, ~f])
+        assert cl.is_empty_set()
+
+    def test_empty_is_universe(self, manager):
+        cl = ConjList(manager)
+        assert cl.is_universe()
+        assert cl.evaluate_explicitly().is_true
+
+    def test_append_after_empty_set_is_noop(self, manager):
+        cl = ConjList(manager, [manager.false])
+        cl.append(manager.var("a"))
+        assert cl.is_empty_set()
+
+    def test_foreign_manager_rejected(self, manager):
+        other = BDD()
+        x = other.new_var("x")
+        with pytest.raises(ValueError):
+            ConjList(manager, [x])
+
+
+class TestSemantics:
+    def test_explicit_equals_conjunction(self, manager):
+        rng = random.Random(0)
+        fns = [random_function(manager, "abcd", rng) for _ in range(4)]
+        cl = ConjList(manager, fns)
+        assert cl.evaluate_explicitly().equiv(manager.conj(fns))
+
+    def test_contains_set_decomposed(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        cl = ConjList(manager, [a | b, ~a | b])
+        assert cl.contains_set(b)          # b implies both conjuncts
+        assert not cl.contains_set(a)
+
+    def test_shared_size_and_profile(self, manager):
+        a, b, c = manager.var("a"), manager.var("b"), manager.var("c")
+        cl = ConjList(manager, [a & b, b & c])
+        assert cl.shared_size() >= max(cl.sizes())
+        assert "(" in cl.profile()
+
+    def test_copy_independent(self, manager):
+        cl = ConjList(manager, [manager.var("a")])
+        clone = cl.copy()
+        clone.append(manager.var("b"))
+        assert len(cl) == 1 and len(clone) == 2
+
+
+class TestSimplify:
+    @pytest.mark.parametrize("simplifier", ["restrict", "constrain"])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_simplify_preserves_set(self, manager, simplifier, seed):
+        rng = random.Random(seed)
+        fns = [random_function(manager, "abcde", rng) for _ in range(4)]
+        cl = ConjList(manager, fns)
+        explicit = cl.evaluate_explicitly()
+        cl.simplify(simplifier=simplifier)
+        assert cl.evaluate_explicitly().equiv(explicit)
+
+    def test_simplify_can_shrink(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        # Second conjunct is redundant given the first on the care set.
+        cl = ConjList(manager, [a & b, a.implies(b)])
+        before = cl.shared_size()
+        cl.simplify(only_by_smaller=False)
+        assert cl.shared_size() <= before
+        assert cl.evaluate_explicitly().equiv(a & b)
+
+    def test_simplify_detects_empty(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        cl = ConjList(manager, [a & b, a.implies(~b)])
+        cl.simplify(only_by_smaller=False)
+        # The set is a & b & (a -> not b) = False; simplification may or
+        # may not find it, but semantics must be preserved.
+        assert cl.evaluate_explicitly().equiv(a & b & a.implies(~b))
+
+    def test_unknown_simplifier_rejected(self, manager):
+        cl = ConjList(manager, [manager.var("a")])
+        with pytest.raises(ValueError):
+            cl.simplify(simplifier="magic")
+
+    def test_repr(self, manager):
+        assert repr(ConjList(manager)) == "ConjList(True)"
+        assert repr(ConjList(manager, [manager.false])) == "ConjList(False)"
+        assert "n=1" in repr(ConjList(manager, [manager.var("a")]))

@@ -1,0 +1,112 @@
+"""Tests for conjunctive decomposition of monolithic BDDs."""
+
+import random
+
+import pytest
+
+from repro.bdd import BDD
+from repro.expr import BitVec
+from repro.iclist import decompose_conjunction
+from repro.core import Options, Problem, verify
+from repro.models import typed_fifo
+
+from conftest import random_function
+
+
+def interleaved_words(num_words, width):
+    mgr = BDD()
+    bits = [[] for _ in range(num_words)]
+    for bit in range(width):
+        for word in range(num_words):
+            bits[word].append(mgr.new_var(f"w{word}[{bit}]"))
+    return mgr, [BitVec(b) for b in bits]
+
+
+class TestDecompose:
+    def test_independent_constraints_split_fully(self):
+        mgr, words = interleaved_words(3, 4)
+        # 10 = 0b1010 keeps every bit in each constraint's support.
+        product = mgr.conj([w.ule_const(10) for w in words])
+        parts = decompose_conjunction(product)
+        assert len(parts) == 3
+        assert mgr.conj(parts).equiv(product)
+        assert all(len(p.support()) == 4 for p in parts)
+
+    def test_equality_splits_per_bit(self):
+        # Word equality is itself a conjunction of independent per-bit
+        # equivalences — the decomposer finds the finest split.
+        mgr, words = interleaved_words(2, 3)
+        equal = words[0].eq(words[1])
+        parts = decompose_conjunction(equal)
+        assert len(parts) == 3
+        assert mgr.conj(parts).equiv(equal)
+        assert all(len(p.support()) == 2 for p in parts)
+
+    def test_non_decomposable_stays_whole(self):
+        mgr, words = interleaved_words(1, 4)
+        parity = words[0][0] ^ words[0][1] ^ words[0][2] ^ words[0][3]
+        parts = decompose_conjunction(parity)
+        assert len(parts) == 1
+        assert parts[0].equiv(parity)
+
+    def test_mixed_factors(self):
+        mgr, words = interleaved_words(3, 3)
+        parity01 = (words[0][0] ^ words[1][0] ^ words[0][1]
+                    ^ words[1][1] ^ words[0][2] ^ words[1][2])
+        fn = parity01 & words[2].ule_const(4)
+        parts = decompose_conjunction(fn)
+        assert len(parts) == 2
+        assert mgr.conj(parts).equiv(fn)
+        supports = sorted(len(p.support()) for p in parts)
+        assert supports == [3, 6]
+
+    def test_constants(self, manager):
+        assert decompose_conjunction(manager.true) == [manager.true]
+        assert decompose_conjunction(manager.false) == [manager.false]
+
+    def test_single_variable(self, manager):
+        a = manager.var("a")
+        assert decompose_conjunction(a) == [a]
+
+    def test_max_factors_cap(self):
+        mgr, words = interleaved_words(4, 2)
+        product = mgr.conj([w.ule_const(2) for w in words])
+        parts = decompose_conjunction(product, max_factors=2)
+        assert len(parts) == 2
+        assert mgr.conj(parts).equiv(product)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_functions_preserve_semantics(self, manager, seed):
+        rng = random.Random(seed)
+        fn = random_function(manager, "abcdef", rng, num_cubes=4)
+        parts = decompose_conjunction(fn)
+        assert manager.conj(parts).equiv(fn)
+
+    def test_fifo_monolithic_property_recovers_slots(self):
+        problem = typed_fifo(depth=4, width=8)
+        manager = problem.machine.manager
+        mono = manager.conj(problem.good_conjuncts)
+        parts = decompose_conjunction(mono)
+        assert len(parts) == 4
+        assert sorted(p.size() for p in parts) == [9, 9, 9, 9]
+
+
+class TestAutoDecomposeOption:
+    def test_xici_recovers_implicit_form(self):
+        problem = typed_fifo(depth=4, width=8)
+        manager = problem.machine.manager
+        mono = manager.conj(problem.good_conjuncts)
+        mono_problem = Problem(name="fifo-mono", machine=problem.machine,
+                               good_conjuncts=[mono])
+        plain = verify(mono_problem, "xici")
+        auto = verify(Problem(name="fifo-mono", machine=problem.machine,
+                              good_conjuncts=[mono]),
+                      "xici", Options(auto_decompose=True))
+        assert plain.verified and auto.verified
+        assert auto.max_iterate_nodes < plain.max_iterate_nodes
+        assert "4 x 9 nodes" in auto.max_iterate_profile
+
+    def test_other_engines_ignore_flag(self):
+        problem = typed_fifo(depth=3, width=4)
+        result = verify(problem, "bkwd", Options(auto_decompose=True))
+        assert result.verified

@@ -1,0 +1,66 @@
+"""Smoke tests: every example script runs end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "verified" in out
+    assert "violated" in out
+    assert "replay check: True" in out
+
+
+def test_fifo_example():
+    out = run_example("fifo_typed_queue.py", "--depths", "2", "3",
+                      "--width", "6")
+    assert "XICI" in out
+    assert "2 x 7 nodes" in out
+
+
+def test_network_example():
+    out = run_example("network_counters.py", "--procs", "2")
+    assert "counters=[0, 0]" in out
+    assert "verified" in out
+    assert "FD" in out
+
+
+def test_movavg_example_modes():
+    out = run_example("movavg_filter.py", "--depth", "2", "--width", "4")
+    assert "unassisted" in out and "assisted" in out
+    out = run_example("movavg_filter.py", "--diagram")
+    assert "discard" in out
+    out = run_example("movavg_filter.py", "--depth", "4", "--width", "4",
+                      "--simulate")
+    assert "true avg" in out
+
+
+def test_implicit_conjunction_tour():
+    out = run_example("implicit_conjunction_tour.py", "--words", "4")
+    assert "monolithic conjunction" in out
+    assert "lists_equal(left, right) = True" in out
+    assert "conjunction of factors equals original: True" in out
+
+
+def test_pipeline_example_modes():
+    out = run_example("pipelined_processor.py", "--diagram")
+    assert "bypass" in out
+    out = run_example("pipelined_processor.py", "--demo")
+    assert "impl [1, 1], spec [1, 1]" in out
+    out = run_example("pipelined_processor.py", "--regs", "2",
+                      "--bits", "1")
+    assert "verified" in out
+    assert "violated" in out

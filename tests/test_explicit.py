@@ -1,0 +1,97 @@
+"""Tests for the explicit-state oracle itself."""
+
+import pytest
+
+from repro.expr import BitVec
+from repro.fsm import Builder
+from repro.explicit import explicit_check, explicit_reachable
+
+
+def counter(width=3, assume_even=False):
+    builder = Builder("cnt")
+    enable = builder.input_bit("en")
+    count = builder.registers("c", width, init=0)
+    builder.next(count, BitVec.mux(enable, count.inc(), count))
+    if assume_even:
+        builder.assume(~count[0] | ~enable)  # only step from even values
+    return builder.build(), count
+
+
+class TestReachable:
+    def test_full_counter_space(self):
+        machine, _ = counter(3)
+        states, truncated = explicit_reachable(machine)
+        assert not truncated
+        assert len(states) == 8
+
+    def test_assumption_limits_reachability(self):
+        machine, _ = counter(3, assume_even=True)
+        states, truncated = explicit_reachable(machine)
+        # From an odd value the only allowed input is en=0: stuck at 1.
+        assert len(states) == 2  # 0 and 1
+
+    def test_truncation_flag(self):
+        machine, _ = counter(4)
+        states, truncated = explicit_reachable(machine, max_states=3)
+        assert truncated
+        assert len(states) <= 4
+
+
+class TestCheck:
+    def test_holds(self):
+        machine, count = counter(3)
+        result = explicit_check(machine, [machine.manager.true])
+        assert result.holds
+        assert result.num_states == 8
+        assert result.violating_state is None
+
+    def test_violation_shortest_depth(self):
+        machine, count = counter(3)
+        result = explicit_check(machine, [count.ule_const(4)])
+        assert not result.holds
+        assert result.depth == 5
+        assert result.violating_state is not None
+        value = sum(1 << i for i in range(3)
+                    if result.violating_state[f"c[{i}]"])
+        assert value == 5
+
+    def test_violation_at_init(self):
+        machine, count = counter(2)
+        result = explicit_check(machine, [count.eq_const(1)])
+        assert not result.holds
+        assert result.depth == 0
+
+    def test_transition_counting(self):
+        machine, _ = counter(2)
+        result = explicit_check(machine, [machine.manager.true])
+        # 4 states x 2 inputs each.
+        assert result.num_transitions == 8
+
+
+class TestShortestViolation:
+    def test_path_found_and_minimal(self):
+        from repro.explicit import explicit_shortest_violation
+        machine, count = counter(3)
+        path = explicit_shortest_violation(machine, [count.ule_const(4)])
+        assert path is not None
+        assert len(path) == 6  # 0..5
+        values = [sum(1 << i for i in range(3) if s[f"c[{i}]"])
+                  for s in path]
+        assert values == [0, 1, 2, 3, 4, 5]
+
+    def test_none_when_holds(self):
+        from repro.explicit import explicit_shortest_violation
+        machine, count = counter(2)
+        assert explicit_shortest_violation(
+            machine, [machine.manager.true]) is None
+
+    def test_matches_symbolic_trace_length(self):
+        from repro.core import Problem, verify
+        from repro.explicit import explicit_shortest_violation
+        from repro.models import typed_fifo
+        problem = typed_fifo(depth=3, width=3, buggy=True)
+        path = explicit_shortest_violation(problem.machine,
+                                           problem.good_conjuncts)
+        symbolic = verify(problem, "fwd")
+        assert symbolic.violated
+        assert len(symbolic.trace) == len(path)

@@ -1,0 +1,159 @@
+"""Tests for the machine builder: declarations, ordering, validation."""
+
+import pytest
+
+from repro.bdd import BDD
+from repro.expr import BitVec
+from repro.fsm import Builder
+
+
+class TestDeclarations:
+    def test_interleaved_order(self):
+        builder = Builder()
+        builder.declare([("x", 2, "input"), ("q", 2, "reg")],
+                        interleave=True)
+        assert builder.manager.var_names == (
+            "x[0]", "q[0]", "q[0]'", "x[1]", "q[1]", "q[1]'")
+
+    def test_blocked_order(self):
+        builder = Builder()
+        builder.declare([("x", 2, "input"), ("q", 1, "reg")])
+        assert builder.manager.var_names == ("x[0]", "x[1]", "q[0]", "q[0]'")
+
+    def test_primed_adjacent_to_current(self):
+        builder = Builder()
+        builder.registers("r", 3)
+        names = builder.manager.var_names
+        for bit in range(3):
+            cur = names.index(f"r[{bit}]")
+            assert names[cur + 1] == f"r[{bit}]'"
+
+    def test_duplicate_vector_rejected(self):
+        builder = Builder()
+        builder.inputs("x", 2)
+        with pytest.raises(ValueError):
+            builder.inputs("x", 2)
+
+    def test_bad_kind_rejected(self):
+        builder = Builder()
+        with pytest.raises(ValueError):
+            builder.declare([("x", 1, "wire")])
+
+    def test_zero_width_rejected(self):
+        builder = Builder()
+        with pytest.raises(ValueError):
+            builder.inputs("x", 0)
+
+    def test_vector_lookup(self):
+        builder = Builder()
+        vec = builder.inputs("x", 2)
+        assert builder.vector("x").bits == vec.bits
+
+
+class TestBehaviour:
+    def test_next_twice_rejected(self):
+        builder = Builder()
+        r = builder.registers("r", 1)
+        builder.next(r, r)
+        with pytest.raises(ValueError):
+            builder.next(r, ~r[0])
+
+    def test_next_width_mismatch(self):
+        builder = Builder()
+        r = builder.registers("r", 2)
+        x = builder.inputs("x", 3)
+        with pytest.raises(ValueError):
+            builder.next(r, x)
+
+    def test_next_on_input_rejected(self):
+        builder = Builder()
+        x = builder.inputs("x", 1)
+        with pytest.raises(ValueError):
+            builder.next(x, x)
+
+    def test_missing_next_rejected(self):
+        builder = Builder()
+        builder.registers("r", 2)
+        with pytest.raises(ValueError, match="without next-state"):
+            builder.build()
+
+    def test_init_const_out_of_range(self):
+        builder = Builder()
+        r = builder.registers("r", 2)
+        with pytest.raises(ValueError):
+            builder.init_const(r, 4)
+
+    def test_hold(self):
+        builder = Builder()
+        r = builder.registers("r", 2, init=2)
+        builder.hold(r)
+        machine = builder.build()
+        state = {"r[0]": False, "r[1]": True}
+        assert machine.step(state, {}) == state
+
+
+class TestBuildResults:
+    def test_init_predicate_from_constants(self):
+        builder = Builder()
+        r = builder.registers("r", 2, init=1)
+        builder.next(r, r)
+        machine = builder.build()
+        assert machine.init.evaluate({"r[0]": True, "r[1]": False})
+        assert not machine.init.evaluate({"r[0]": False, "r[1]": False})
+
+    def test_init_expr_combines(self):
+        builder = Builder()
+        r = builder.registers("r", 2)
+        builder.next(r, r)
+        builder.init_expr(r.ule_const(1))
+        machine = builder.build()
+        assert machine.init.equiv(r.ule_const(1))
+
+    def test_empty_init_rejected(self):
+        builder = Builder()
+        r = builder.registers("r", 1, init=0)
+        builder.next(r, r)
+        builder.init_expr(r[0])  # contradicts init 0
+        with pytest.raises(ValueError, match="no initial states"):
+            builder.build()
+
+    def test_assumption_conjunction(self):
+        builder = Builder()
+        x = builder.inputs("x", 2)
+        r = builder.registers("r", 2, init=0)
+        builder.next(r, x)
+        builder.assume(x.ule_const(2))
+        builder.assume(~x.eq_const(1))
+        machine = builder.build()
+        assert machine.input_allowed({"r[0]": False, "r[1]": False},
+                                     {"x[0]": False, "x[1]": True})
+        assert not machine.input_allowed({"r[0]": False, "r[1]": False},
+                                         {"x[0]": True, "x[1]": False})
+
+    def test_machine_check_rejects_foreign_support(self):
+        builder = Builder()
+        r = builder.registers("r", 1, init=0)
+        stray = builder.manager.new_var("stray")
+        builder.next(r, stray)
+        with pytest.raises(ValueError, match="non-state"):
+            builder.build()
+
+    def test_prime_maps(self):
+        builder = Builder()
+        r = builder.registers("r", 1, init=0)
+        builder.next(r, ~r[0])
+        machine = builder.build()
+        assert machine.prime_map() == {"r[0]": "r[0]'"}
+        assert machine.unprime_map() == {"r[0]'": "r[0]"}
+
+    def test_transition_partition_shape(self):
+        builder = Builder()
+        x = builder.input_bit("x")
+        r = builder.registers("r", 2, init=0)
+        builder.next(r, BitVec.mux(x, r.inc(), r))
+        machine = builder.build()
+        parts = machine.transition_partition()
+        assert len(parts) == 2
+        # Each part is s' <-> delta and mentions the primed variable.
+        for bit, part in zip(machine.state_bits, parts):
+            assert bit.next_name in part.support()

@@ -1,0 +1,129 @@
+"""Tests for Machine semantics and counterexample traces."""
+
+import random
+
+import pytest
+
+from repro.bdd import BDD
+from repro.expr import BitVec
+from repro.fsm import Builder, ImageComputer, Step, Trace, \
+    backward_counterexample, back_image, forward_counterexample
+
+from conftest import random_function, random_machine
+
+
+def counter_machine(width=3, wrap=True):
+    builder = Builder("counter")
+    enable = builder.input_bit("en")
+    count = builder.registers("cnt", width, init=0)
+    builder.next(count, BitVec.mux(enable, count.inc(), count))
+    machine = builder.build()
+    return machine, count
+
+
+class TestMachine:
+    def test_step_semantics(self):
+        machine, count = counter_machine()
+        state = {"cnt[0]": True, "cnt[1]": False, "cnt[2]": False}
+        nxt = machine.step(state, {"en[0]": True})
+        assert nxt == {"cnt[0]": False, "cnt[1]": True, "cnt[2]": False}
+        assert machine.step(state, {"en[0]": False}) == state
+
+    def test_input_allowed_unconstrained(self):
+        machine, _ = counter_machine()
+        assert machine.input_allowed({"cnt[0]": False, "cnt[1]": False,
+                                      "cnt[2]": False}, {"en[0]": True})
+
+    def test_repr(self):
+        machine, _ = counter_machine()
+        assert "counter" in repr(machine)
+        assert machine.num_state_bits == 3
+
+    def test_delta_by_name(self):
+        machine, count = counter_machine()
+        assert set(machine.delta) == set(machine.current_names)
+
+
+def build_rings(machine, good):
+    computer = ImageComputer(machine)
+    rings = [machine.init]
+    reached = machine.init
+    for _ in range(40):
+        if not (reached & ~good).is_false:
+            return rings
+        reached = reached | computer.image(reached)
+        rings.append(reached)
+    raise AssertionError("no violation found")
+
+
+class TestForwardTrace:
+    def test_trace_is_shortest(self):
+        machine, count = counter_machine()
+        good = count.ule_const(4)
+        rings = build_rings(machine, good)
+        trace = forward_counterexample(machine, rings, good)
+        assert len(trace) == 6  # 0,1,2,3,4,5
+        assert trace.replay_check(machine)
+        final = trace.steps[-1].state
+        assert not good.evaluate(final)
+
+    def test_trace_starts_in_init(self):
+        machine, count = counter_machine()
+        good = count.ule_const(2)
+        rings = build_rings(machine, good)
+        trace = forward_counterexample(machine, rings, good)
+        assert machine.init.evaluate(trace.steps[0].state)
+
+    def test_no_violation_rejected(self):
+        machine, count = counter_machine()
+        good = machine.manager.true
+        with pytest.raises(ValueError):
+            forward_counterexample(machine, [machine.init], good)
+
+    def test_replay_check_catches_tampering(self):
+        machine, count = counter_machine()
+        good = count.ule_const(1)
+        rings = build_rings(machine, good)
+        trace = forward_counterexample(machine, rings, good)
+        tampered = Trace(steps=[trace.steps[0],
+                                Step(state=trace.steps[0].state,
+                                     inputs=None)])
+        assert not tampered.replay_check(machine)
+
+
+class TestBackwardTrace:
+    def test_backward_trace_replays(self):
+        machine, count = counter_machine()
+        good = count.ule_const(3)
+        not_rings = [~good]
+        current = good
+        for _ in range(20):
+            if not machine.init.entails(current):
+                break
+            current = good & back_image(machine, current)
+            not_rings.append(~current)
+        trace = backward_counterexample(machine, not_rings)
+        assert trace.replay_check(machine)
+        assert machine.init.evaluate(trace.steps[0].state)
+        assert not good.evaluate(trace.steps[-1].state)
+
+    def test_consistent_start_required(self):
+        machine, count = counter_machine()
+        good = count.ule_const(3)
+        with pytest.raises(ValueError):
+            backward_counterexample(machine, [~good])  # init is inside G_0
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_machine_traces_replay(seed):
+    machine = random_machine(seed, num_state_bits=4, num_input_bits=2)
+    rng = random.Random(seed + 1000)
+    good = random_function(machine.manager, machine.current_names, rng,
+                           num_cubes=6, cube_len=2)
+    try:
+        rings = build_rings(machine, good)
+    except AssertionError:
+        return  # property happens to hold; nothing to trace
+    trace = forward_counterexample(machine, rings, good)
+    assert trace.replay_check(machine)
+    assert not good.evaluate(trace.steps[-1].state)

@@ -1,0 +1,87 @@
+"""Deeper tests of the iclist internals: the greedy pair table,
+evaluation statistics, and multi-merge sequences."""
+
+import random
+
+import pytest
+
+from repro.bdd import BDD
+from repro.iclist import ConjList, EvaluationStats, greedy_evaluate
+from repro.iclist.evaluate import _reindex_table
+
+from conftest import random_function
+
+
+class TestReindexTable:
+    def test_untouched_pairs_keep_products(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        sentinel = a & b
+        # 4 conjuncts; merge indices (1, 2): pair (0, 3) must survive
+        # as (0, 2) with its cached product intact.
+        table = {(0, 1): None, (0, 2): None, (0, 3): sentinel,
+                 (1, 2): None, (1, 3): None, (2, 3): None}
+        fresh = _reindex_table(table, 3, merged=1, removed=2)
+        assert fresh[(0, 2)] is sentinel
+        # Pairs touching the merged conjunct are invalidated.
+        assert fresh[(0, 1)] is None
+        assert fresh[(1, 2)] is None
+        assert set(fresh) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_merge_last_two(self, manager):
+        table = {(0, 1): None, (0, 2): None, (1, 2): None}
+        fresh = _reindex_table(table, 2, merged=1, removed=2)
+        assert set(fresh) == {(0, 1)}
+
+
+class TestMultiMergeSequences:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_repeated_merges_stay_consistent(self, manager, seed):
+        """Force many merges and verify the table bookkeeping never
+        corrupts the semantics (huge threshold merges everything)."""
+        rng = random.Random(seed)
+        fns = [random_function(manager, "abcdef", rng, num_cubes=2)
+               for _ in range(7)]
+        cl = ConjList(manager, fns)
+        explicit = cl.evaluate_explicitly()
+        stats = greedy_evaluate(cl, grow_threshold=1e6)
+        assert len(cl) <= 1
+        assert cl.evaluate_explicitly().equiv(explicit)
+        assert stats.merges >= len(fns) - 2  # n-1 merges minus dedup slack
+
+    def test_merge_count_matches_length_drop(self, manager):
+        rng = random.Random(42)
+        fns = [random_function(manager, "abcde", rng) for _ in range(5)]
+        cl = ConjList(manager, fns)
+        start = len(cl)
+        stats = greedy_evaluate(cl, grow_threshold=2.0)
+        # Each merge removes exactly one list entry (normalization may
+        # remove more if products collapse to constants/duplicates).
+        assert len(cl) <= start - stats.merges
+
+
+class TestEvaluationStats:
+    def test_counters_accumulate_across_calls(self, manager):
+        a, b, c = manager.var("a"), manager.var("b"), manager.var("c")
+        stats = EvaluationStats()
+        cl1 = ConjList(manager, [a | b, a | ~b])
+        greedy_evaluate(cl1, stats=stats)
+        first = stats.pairs_built
+        cl2 = ConjList(manager, [b | c, b | ~c])
+        greedy_evaluate(cl2, stats=stats)
+        assert stats.pairs_built > first
+        assert stats.merges == 2
+
+    def test_bounded_abort_counted(self):
+        mgr = BDD()
+        vars_ = [mgr.new_var(f"x{i}") for i in range(16)]
+        # Both conjuncts span all 16 variables at distance 8, so the
+        # bounded product has no early constant cut-offs to hide in.
+        f = mgr.true
+        g = mgr.true
+        for i in range(8):
+            f = f & (vars_[i] ^ vars_[i + 8])
+            g = g & (vars_[i] | vars_[i + 8])
+        cl = ConjList(mgr, [f, g])
+        stats = greedy_evaluate(cl, use_bounded=True, bound_factor=1e-4)
+        assert stats.pairs_aborted >= 1
+        assert len(cl) == 2  # nothing merged; list unchanged

@@ -1,0 +1,150 @@
+"""Tests for the cache-coherence and alternating-bit models."""
+
+import pytest
+
+from repro.core import Options, verify
+from repro.explicit import explicit_check
+from repro.models import alternating_bit, msi_coherence
+from repro.models.coherence import INVALID, MODIFIED, OP_EVICT, \
+    OP_READ, OP_WRITE, SHARED
+
+
+def msi_inputs(who, op, select_bits=2):
+    inputs = {}
+    for i in range(select_bits):
+        inputs[f"who[{i}]"] = bool((who >> i) & 1)
+    for i in range(2):
+        inputs[f"op[{i}]"] = bool((op >> i) & 1)
+    return inputs
+
+
+def cache_state(state, cache):
+    return sum(1 << i for i in range(2) if state[f"cache{cache}[{i}]"])
+
+
+class TestMsiStructure:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            msi_coherence(num_caches=1)
+        with pytest.raises(ValueError):
+            msi_coherence(buggy="rowhammer")
+
+    def test_conjunct_count(self):
+        # Per ordered pair: one no-stale-reader conjunct; per unordered
+        # pair: one single-writer conjunct.
+        problem = msi_coherence(num_caches=3)
+        assert len(problem.good_conjuncts) == 6 + 3
+
+
+class TestMsiBehaviour:
+    def test_protocol_walkthrough(self):
+        problem = msi_coherence(num_caches=3)
+        machine = problem.machine
+        state = {name: False for name in machine.current_names}
+        # Cache 0 writes: it becomes Modified.
+        state = machine.step(state, msi_inputs(0, OP_WRITE))
+        assert cache_state(state, 0) == MODIFIED
+        # Cache 1 reads: owner downgrades, both end Shared.
+        state = machine.step(state, msi_inputs(1, OP_READ))
+        assert cache_state(state, 0) == SHARED
+        assert cache_state(state, 1) == SHARED
+        # Cache 2 writes: everyone else invalidated.
+        state = machine.step(state, msi_inputs(2, OP_WRITE))
+        assert cache_state(state, 0) == INVALID
+        assert cache_state(state, 1) == INVALID
+        assert cache_state(state, 2) == MODIFIED
+        # Owner evicts.
+        state = machine.step(state, msi_inputs(2, OP_EVICT))
+        assert cache_state(state, 2) == INVALID
+
+    def test_explicit_state_count(self):
+        problem = msi_coherence(num_caches=3)
+        sweep = explicit_check(problem.machine, problem.good_conjuncts)
+        assert sweep.holds
+        # Legal global states: all-invalid-or-shared (2^3) plus one
+        # Modified with the rest Invalid (3): 8 + 3 = 11.
+        assert sweep.num_states == 11
+
+    @pytest.mark.parametrize("method", ["fwd", "bkwd", "fd", "ici", "xici"])
+    def test_verifies(self, method):
+        problem = msi_coherence(num_caches=3)
+        if method == "fd":
+            pytest.skip("no dependent bits declared for this model")
+        result = verify(problem, method)
+        assert result.verified
+
+    @pytest.mark.parametrize("bug", ["no-invalidate", "double-owner"])
+    def test_bugs_caught_everywhere(self, bug):
+        problem = msi_coherence(num_caches=3, buggy=bug)
+        assert not explicit_check(problem.machine,
+                                  problem.good_conjuncts).holds
+        result = verify(problem, "xici")
+        assert result.violated
+        assert result.trace.replay_check(problem.machine)
+        final = result.trace.steps[-1].state
+        modified = [c for c in range(3)
+                    if cache_state(final, c) == MODIFIED]
+        others = [c for c in range(3)
+                  if cache_state(final, c) == SHARED]
+        assert len(modified) >= 2 or (modified and others)
+
+    def test_scales_with_cache_count(self):
+        small = verify(msi_coherence(num_caches=2), "xici")
+        large = verify(msi_coherence(num_caches=5), "xici")
+        assert small.verified and large.verified
+        assert large.iterations <= small.iterations + 2
+
+
+class TestAlternatingBit:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            alternating_bit(width=0)
+
+    def test_one_conjunct_per_data_bit(self):
+        assert len(alternating_bit(width=5).good_conjuncts) == 5
+
+    @pytest.mark.parametrize("method", ["fwd", "bkwd", "ici", "xici"])
+    def test_verifies(self, method):
+        result = verify(alternating_bit(width=3), method)
+        assert result.verified
+
+    def test_explicit_agreement(self):
+        problem = alternating_bit(width=2)
+        assert explicit_check(problem.machine, problem.good_conjuncts).holds
+        broken = alternating_bit(width=2, buggy=True)
+        assert not explicit_check(broken.machine,
+                                  broken.good_conjuncts).holds
+
+    def test_unlatched_send_bug_caught(self):
+        problem = alternating_bit(width=3, buggy=True)
+        result = verify(problem, "xici")
+        assert result.violated
+        assert result.trace.replay_check(problem.machine)
+        assert len(result.trace) == 2  # violated on the first send
+
+    def test_full_round_trip_simulation(self):
+        from repro.models.linkproto import EV_ACK, EV_RECV, EV_SEND
+        problem = alternating_bit(width=3)
+        machine = problem.machine
+        state = {name: False for name in machine.current_names}
+
+        def inputs(ev, fresh=0):
+            values = {f"ev[{i}]": bool((ev >> i) & 1) for i in range(2)}
+            values.update({f"fresh[{i}]": bool((fresh >> i) & 1)
+                           for i in range(3)})
+            return values
+
+        def word(base):
+            return sum(1 << i for i in range(3) if state[f"{base}[{i}]"])
+
+        state = machine.step(state, inputs(EV_SEND))
+        assert state["ffull[0]"]
+        state = machine.step(state, inputs(EV_RECV))
+        assert state["rbit[0]"] and state["rfull[0]"]
+        assert word("rword") == 0          # accepted epoch-0 word
+        state = machine.step(state, inputs(EV_ACK, fresh=5))
+        assert state["sbit[0]"]            # sender advanced
+        assert word("sword") == 5          # loaded the fresh word
+        state = machine.step(state, inputs(EV_SEND))
+        state = machine.step(state, inputs(EV_RECV))
+        assert word("rword") == 5          # second word delivered

@@ -1,0 +1,97 @@
+"""Tests for the typed FIFO model (paper example IV.A.1)."""
+
+import pytest
+
+from repro.core import Options, verify
+from repro.explicit import explicit_check
+from repro.models import typed_fifo
+
+
+class TestStructure:
+    def test_default_bound_is_half_range(self):
+        problem = typed_fifo(depth=2, width=8)
+        assert problem.parameters["bound"] == 128
+
+    def test_one_conjunct_per_slot(self):
+        problem = typed_fifo(depth=4, width=4)
+        assert len(problem.good_conjuncts) == 4
+
+    def test_interleaved_order(self):
+        problem = typed_fifo(depth=2, width=2)
+        names = problem.machine.manager.var_names
+        assert names.index("in[0]") < names.index("slot0[0]")
+        assert names.index("slot1[0]") < names.index("in[1]")
+
+    def test_blocked_order_option(self):
+        problem = typed_fifo(depth=2, width=2, interleave=False)
+        names = problem.machine.manager.var_names
+        assert names.index("in[1]") < names.index("slot0[0]")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            typed_fifo(depth=0)
+        with pytest.raises(ValueError):
+            typed_fifo(depth=2, width=3, bound=8)
+
+
+class TestVerification:
+    @pytest.mark.parametrize("method", ["fwd", "bkwd", "ici", "xici"])
+    def test_verifies(self, method):
+        result = verify(typed_fifo(depth=3, width=4), method)
+        assert result.verified
+
+    @pytest.mark.parametrize("method", ["fwd", "bkwd", "ici", "xici"])
+    def test_buggy_violated(self, method):
+        problem = typed_fifo(depth=3, width=4, buggy=True)
+        result = verify(problem, method)
+        assert result.violated
+        assert result.trace.replay_check(problem.machine)
+
+    def test_explicit_agreement(self):
+        problem = typed_fifo(depth=2, width=3)
+        oracle = explicit_check(problem.machine, problem.good_conjuncts)
+        assert oracle.holds
+
+    def test_explicit_agreement_buggy(self):
+        problem = typed_fifo(depth=2, width=3, buggy=True)
+        oracle = explicit_check(problem.machine, problem.good_conjuncts)
+        assert not oracle.holds
+
+
+class TestPaperShape:
+    """The Table 1 story at reduced scale: monolithic iterates grow
+    exponentially with depth; implicit conjunctions grow linearly."""
+
+    def test_ici_iterate_is_linear_in_depth(self):
+        small = verify(typed_fifo(depth=2, width=6), "ici")
+        large = verify(typed_fifo(depth=6, width=6), "ici")
+        assert large.max_iterate_nodes <= 3 * small.max_iterate_nodes + 40
+
+    def test_fwd_iterate_superlinear_in_depth(self):
+        small = verify(typed_fifo(depth=2, width=6), "fwd")
+        large = verify(typed_fifo(depth=6, width=6), "fwd")
+        # Exponential blowup: depth tripled, nodes grow far faster.
+        assert large.max_iterate_nodes > 8 * small.max_iterate_nodes
+
+    def test_paper_exact_profile_at_scale_5x8(self):
+        """At the paper's actual parameters the numbers match exactly:
+        ICI keeps 5 conjuncts of 9 nodes (41 shared), and the
+        conventional iterates need 543 nodes."""
+        problem = typed_fifo(depth=5, width=8)
+        ici = verify(problem, "ici")
+        assert ici.verified and ici.iterations == 1
+        assert ici.max_iterate_profile == "41 (5 x 9 nodes)"
+        bkwd = verify(typed_fifo(depth=5, width=8), "bkwd")
+        assert bkwd.verified and bkwd.max_iterate_nodes == 543
+
+    def test_xici_matches_ici_here(self):
+        ici = verify(typed_fifo(depth=4, width=8), "ici")
+        xici = verify(typed_fifo(depth=4, width=8), "xici")
+        assert xici.verified
+        assert xici.max_iterate_nodes == ici.max_iterate_nodes
+
+    def test_one_iteration_convergence(self):
+        # The typed invariant is inductive: backward methods stop at 1.
+        for method in ("bkwd", "ici", "xici"):
+            result = verify(typed_fifo(depth=3, width=4), method)
+            assert result.iterations == 1, method

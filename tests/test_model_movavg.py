@@ -1,0 +1,100 @@
+"""Tests for the moving-average filter model (paper example IV.A.3)."""
+
+import pytest
+
+from repro.core import Options, verify
+from repro.explicit import explicit_check
+from repro.models import moving_average
+from repro.models.movavg import DIAGRAM
+
+
+class TestStructure:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            moving_average(depth=3)
+        with pytest.raises(ValueError):
+            moving_average(depth=1)
+
+    def test_output_width_is_sample_width(self):
+        problem = moving_average(depth=4, width=5)
+        # One equality conjunct per output bit.
+        assert len(problem.good_conjuncts) == 5
+
+    def test_assisting_invariants_present(self):
+        problem = moving_average(depth=4, width=4)
+        assert problem.assisting_invariants
+        # Invariants cover both tree levels.
+        assert len(problem.assisting_invariants) == 2 * (4 + 2)
+
+    def test_diagram_mentions_discard(self):
+        assert "discard" in DIAGRAM
+
+
+class TestBehaviour:
+    def test_simulation_agrees_with_arithmetic(self):
+        """Feed a concrete sample stream and compare both outputs to
+        the true moving average once the pipeline fills."""
+        problem = moving_average(depth=4, width=4)
+        machine = problem.machine
+        state = {name: False for name in machine.current_names}
+        stream = [3, 7, 15, 1, 9, 12, 0, 5, 8, 14]
+        window_history = []
+        for t, sample in enumerate(stream):
+            inputs = {f"x[{i}]": bool((sample >> i) & 1) for i in range(4)}
+            window = [
+                sum(1 << i for i in range(4) if state[f"s{j}[{i}]"])
+                for j in range(4)]
+            window_history.append(window)
+            impl = sum(1 << i for i in range(6) if state[f"t2_0[{i}]"])
+            spec = sum(1 << i for i in range(6) if state[f"d2[{i}]"])
+            if t >= 6:  # window full and pipeline flushed
+                expected = sum(window_history[t - 2])
+                assert impl == expected
+                assert spec == expected
+            state = machine.step(state, inputs)
+
+    def test_verified_property_matches_explicit_small(self):
+        problem = moving_average(depth=2, width=2)
+        oracle = explicit_check(problem.machine, problem.good_conjuncts)
+        assert oracle.holds
+
+    def test_buggy_caught_by_explicit(self):
+        problem = moving_average(depth=2, width=2, buggy=True)
+        oracle = explicit_check(problem.machine, problem.good_conjuncts)
+        assert not oracle.holds
+
+
+class TestVerification:
+    @pytest.mark.parametrize("method", ["bkwd", "ici", "xici"])
+    def test_small_filter_verifies(self, method):
+        result = verify(moving_average(depth=2, width=3), method)
+        assert result.verified
+
+    def test_unassisted_xici_depth4(self):
+        """Table 2's headline: XICI needs no assisting invariants."""
+        result = verify(moving_average(depth=4, width=4), "xici")
+        assert result.verified
+        assert result.iterations <= 3
+
+    def test_assisted_all_implicit_methods(self):
+        """Table 1: with the user-supplied invariants, ICI also works."""
+        for method in ("ici", "xici"):
+            result = verify(moving_average(depth=4, width=4), method,
+                            assisted=True)
+            assert result.verified, method
+
+    @pytest.mark.parametrize("method", ["bkwd", "xici"])
+    def test_buggy_violated_with_trace(self, method):
+        problem = moving_average(depth=2, width=3, buggy=True)
+        result = verify(problem, method)
+        assert result.violated
+        assert result.trace.replay_check(problem.machine)
+        # The dropped carry shows up only after the pipeline fills.
+        assert len(result.trace) >= 2
+
+    def test_assisted_iterate_smaller_or_equal_iterations(self):
+        unassisted = verify(moving_average(depth=4, width=4), "xici")
+        assisted = verify(moving_average(depth=4, width=4), "xici",
+                          assisted=True)
+        assert assisted.verified and unassisted.verified
+        assert assisted.iterations <= unassisted.iterations

