@@ -1,0 +1,128 @@
+"""Pair-cache ablation: greedy evaluator with and without PairCache.
+
+Runs the XICI engine on the movavg and pipeline models twice — once
+with the persistent pair-product cache (the default) and once with
+``use_pair_cache=False`` (every evaluation recomputes its table from
+scratch) — and emits ``BENCH_evaluator.json`` with wall time and
+``pairs_built`` for each configuration.  Results are edge-identical by
+construction (see ``tests/test_paircache.py``); only the amount of
+work differs, so ``pairs_built`` dropping with the cache on *is* the
+speedup, stated in operation counts rather than noisy seconds.
+
+Standalone (no pytest-benchmark dependency) so CI can smoke it::
+
+    PYTHONPATH=src python benchmarks/bench_evaluator_cache.py
+    PYTHONPATH=src python benchmarks/bench_evaluator_cache.py \\
+        --rounds 5 --output BENCH_evaluator.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import Options, verify  # noqa: E402
+from repro.models import moving_average, pipelined_processor  # noqa: E402
+
+
+def _models(scale: str) -> Dict[str, Callable]:
+    if scale == "full":
+        return {
+            "movavg": lambda: moving_average(depth=8, width=8),
+            "pipeline": lambda: pipelined_processor(num_regs=3,
+                                                    datapath=2),
+        }
+    return {
+        "movavg": lambda: moving_average(depth=4, width=4),
+        "pipeline": lambda: pipelined_processor(num_regs=2, datapath=1),
+    }
+
+
+def run_config(factory: Callable, use_cache: bool,
+               rounds: int) -> Dict[str, object]:
+    """Best-of-``rounds`` wall time plus exact operation counts."""
+    best_seconds = None
+    record: Dict[str, object] = {}
+    for _ in range(rounds):
+        problem = factory()  # fresh manager per round
+        options = Options(use_pair_cache=use_cache,
+                          max_nodes=4_000_000, time_limit=300.0)
+        start = time.perf_counter()
+        result = verify(problem, "xici", options)
+        elapsed = time.perf_counter() - start
+        if not result.verified:
+            raise SystemExit(
+                f"benchmark model did not verify: {problem.name} "
+                f"(cache={'on' if use_cache else 'off'}): "
+                f"{result.outcome}")
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+            eval_stats = result.extra["evaluation_stats"]
+            record = {
+                "seconds": round(elapsed, 4),
+                "outcome": result.outcome,
+                "iterations": result.iterations,
+                "pairs_built": eval_stats.pairs_built,
+                "pairs_aborted": eval_stats.pairs_aborted,
+                "merges": eval_stats.merges,
+                "ite_misses": result.bdd_stats["ite_misses"],
+                "nodes_created": result.bdd_stats["nodes_created"],
+                "peak_nodes": result.peak_nodes,
+            }
+            cache_stats = result.extra.get("pair_cache_stats")
+            if cache_stats is not None:
+                record["product_hits"] = cache_stats["product_hits"]
+                record["product_misses"] = cache_stats["product_misses"]
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_evaluator.json")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="repetitions per cell; best wall time wins")
+    parser.add_argument("--scale", default="quick",
+                        choices=["quick", "full"])
+    args = parser.parse_args(argv)
+
+    report: Dict[str, object] = {
+        "benchmark": "evaluator_cache",
+        "scale": args.scale,
+        "rounds": args.rounds,
+        "models": {},
+    }
+    exit_code = 0
+    for name, factory in _models(args.scale).items():
+        on = run_config(factory, use_cache=True, rounds=args.rounds)
+        off = run_config(factory, use_cache=False, rounds=args.rounds)
+        cell = {
+            "cache_on": on,
+            "cache_off": off,
+            "pairs_built_saved": off["pairs_built"] - on["pairs_built"],
+            "speedup": round(off["seconds"] / max(on["seconds"], 1e-9), 3),
+        }
+        report["models"][name] = cell
+        print(f"{name:<10} cache-on  {on['seconds']:>8.3f}s  "
+              f"pairs_built={on['pairs_built']}")
+        print(f"{name:<10} cache-off {off['seconds']:>8.3f}s  "
+              f"pairs_built={off['pairs_built']}")
+        if on["pairs_built"] >= off["pairs_built"]:
+            print(f"{name:<10} WARNING: cache did not reduce pairs_built")
+            exit_code = 1
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True)
+                           + "\n")
+    print(f"wrote {args.output}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

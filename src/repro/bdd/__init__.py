@@ -12,8 +12,10 @@ Public surface:
 * :func:`to_dot` — Graphviz export.
 """
 
-from .manager import BDD, BudgetExceededError, Function, TERMINAL_LEVEL
-from .sizing import format_profile, individual_sizes, profile, shared_size
+from .manager import BDD, BudgetExceededError, EpochGuard, Function, \
+    TERMINAL_LEVEL
+from .sizing import SizeMemo, format_profile, individual_sizes, profile, \
+    shared_size
 from .bounded import bounded_and
 from .simplify import restrict_multi
 from .satisfy import iter_assignments, pick_one, sat_count
@@ -24,9 +26,11 @@ from .reorder import improve_order, order_cost
 
 __all__ = [
     "BDD",
+    "EpochGuard",
     "Function",
     "BudgetExceededError",
     "TERMINAL_LEVEL",
+    "SizeMemo",
     "shared_size",
     "individual_sizes",
     "profile",

@@ -35,10 +35,12 @@ def bounded_and(f: Function, g: Function, bound: int) -> Optional[Function]:
     """
     manager = f.bdd
     manager._check_manager(g)
+    manager._bounded_and_calls += 1
     state = _BoundedState(manager, bound)
     try:
         edge = state.run(f.edge, g.edge)
     except BoundedAbort:
+        manager._bounded_and_aborts += 1
         return None
     return Function(manager, edge)
 

@@ -16,6 +16,23 @@ complementing both children and the resulting edge when needed.
 The public, user-facing API is the :class:`Function` wrapper; internal
 algorithms work on raw integer edges (methods prefixed ``_``) to keep
 the hot paths allocation-free.
+
+**The gc_epoch contract for external edge-keyed caches.**  Raw integer
+edges are only stable between structural events: every
+:meth:`BDD.garbage_collect` and :meth:`BDD.reorder` renumbers nodes, so
+any cache outside the manager that keys on edges (or stores edges as
+values) holds garbage afterwards.  The manager advertises these events
+by incrementing :attr:`BDD.gc_epoch`.  An external cache must therefore
+record the epoch at which it was filled and flush itself whenever the
+manager's epoch differs — never serve an entry recorded under an older
+epoch.  :class:`EpochGuard` packages the discipline; the tautology
+memo, the size memo (:class:`repro.bdd.sizing.SizeMemo`) and the pair
+cache (:class:`repro.iclist.paircache.PairCache`) all use it.
+
+Cumulative operation statistics (cache hits/misses, node allocations,
+bounded-AND aborts, ...) survive :meth:`BDD.clear_caches` and
+:meth:`BDD.garbage_collect` — flushing a memo table never resets the
+counters — and are reported by :meth:`BDD.stats`.
 """
 
 from __future__ import annotations
@@ -25,7 +42,8 @@ import time
 import weakref
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["BDD", "Function", "BudgetExceededError", "TERMINAL_LEVEL"]
+__all__ = ["BDD", "EpochGuard", "Function", "BudgetExceededError",
+           "TERMINAL_LEVEL"]
 
 #: Pseudo-level of the terminal node; larger than any variable level.
 TERMINAL_LEVEL = 1 << 60
@@ -95,6 +113,27 @@ class BDD:
                           if time_limit is not None else None)
         self._time_check_countdown = 4096
         self._peak_nodes = 1
+        # Cumulative operation statistics.  Plain int attributes (not a
+        # dict) to keep the per-call overhead in the hot recursions to a
+        # single attribute increment; assembled into a dict by stats().
+        # These survive clear_caches()/garbage_collect() by design.
+        self._ite_hits = 0
+        self._ite_misses = 0
+        self._quant_hits = 0
+        self._quant_misses = 0
+        self._andex_hits = 0
+        self._andex_misses = 0
+        self._restrict_hits = 0
+        self._restrict_misses = 0
+        self._constrain_hits = 0
+        self._constrain_misses = 0
+        self._cache_evictions = 0
+        self._cache_flushes = 0
+        self._nodes_created = 1  # the terminal
+        self._gc_runs = 0
+        self._gc_freed = 0
+        self._bounded_and_calls = 0
+        self._bounded_and_aborts = 0
 
     # ------------------------------------------------------------------
     # Constants and variables
@@ -168,13 +207,69 @@ class BDD:
         return self.peak_nodes * 40
 
     def clear_caches(self) -> None:
-        """Drop all operation caches (unique table is kept)."""
+        """Drop all operation caches (unique table is kept).
+
+        Cumulative statistics counters are *preserved*: the dropped
+        memo entries are tallied as evictions and the flush itself is
+        counted, but hit/miss/allocation history is never reset (see
+        the gc_epoch contract in the module docstring).
+        """
+        self._cache_evictions += (
+            len(self._ite_cache) + len(self._quant_cache)
+            + len(self._andex_cache) + len(self._restrict_cache)
+            + len(self._constrain_cache))
+        self._cache_flushes += 1
         self._ite_cache.clear()
         self._quant_cache.clear()
         self._andex_cache.clear()
         self._restrict_cache.clear()
         self._constrain_cache.clear()
         self._compose_caches.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the manager-wide operation statistics.
+
+        Returns a flat ``{counter: value}`` dict.  All entries except
+        the gauges ``nodes_current`` and ``nodes_peak`` are monotone
+        counters that survive :meth:`clear_caches` and
+        :meth:`garbage_collect`; use :meth:`stats_delta` to report the
+        cost of one region of work.
+        """
+        return {
+            "ite_hits": self._ite_hits,
+            "ite_misses": self._ite_misses,
+            "quantify_hits": self._quant_hits,
+            "quantify_misses": self._quant_misses,
+            "and_exists_hits": self._andex_hits,
+            "and_exists_misses": self._andex_misses,
+            "restrict_hits": self._restrict_hits,
+            "restrict_misses": self._restrict_misses,
+            "constrain_hits": self._constrain_hits,
+            "constrain_misses": self._constrain_misses,
+            "cache_evictions": self._cache_evictions,
+            "cache_flushes": self._cache_flushes,
+            "nodes_created": self._nodes_created,
+            "nodes_current": len(self._level),
+            "nodes_peak": self._peak_nodes,
+            "gc_runs": self._gc_runs,
+            "gc_freed": self._gc_freed,
+            "bounded_and_calls": self._bounded_and_calls,
+            "bounded_and_aborts": self._bounded_and_aborts,
+        }
+
+    #: stats() keys that are point-in-time gauges, not monotone counters.
+    STAT_GAUGES = frozenset({"nodes_current", "nodes_peak"})
+
+    @classmethod
+    def stats_delta(cls, before: Dict[str, int],
+                    after: Dict[str, int]) -> Dict[str, int]:
+        """Difference of two :meth:`stats` snapshots.
+
+        Counters are subtracted; gauges keep their ``after`` value.
+        """
+        return {key: (value if key in cls.STAT_GAUGES
+                      else value - before.get(key, 0))
+                for key, value in after.items()}
 
     # ------------------------------------------------------------------
     # Garbage collection
@@ -253,6 +348,8 @@ class BDD:
             fn.edge = self._remap_edge(fn.edge, remap)
         self.clear_caches()
         self.gc_epoch += 1
+        self._gc_runs += 1
+        self._gc_freed += before - len(self._level)
         return before - len(self._level)
 
     @staticmethod
@@ -382,6 +479,7 @@ class BDD:
         self._high.append(high)
         self._low.append(low)
         self._unique[key] = node
+        self._nodes_created += 1
         if node + 1 > self._peak_nodes:
             self._peak_nodes = node + 1
         return node << 1
@@ -448,6 +546,7 @@ class BDD:
         cache = self._ite_cache
         result = cache.get(key)
         if result is None:
+            self._ite_misses += 1
             levels = self._level
             lf = levels[f >> 1]
             lg = levels[g >> 1]
@@ -461,6 +560,8 @@ class BDD:
             result = self._mk(top, self._ite(f1, g1, h1),
                               self._ite(f0, g0, h0))
             cache[key] = result
+        else:
+            self._ite_hits += 1
         return result ^ 1 if negate else result
 
     def _and(self, f: int, g: int) -> int:
@@ -496,7 +597,9 @@ class BDD:
         key = (f, levels_key, 0)
         cached = self._quant_cache.get(key)
         if cached is not None:
+            self._quant_hits += 1
             return cached
+        self._quant_misses += 1
         top = self._level[f >> 1]
         f1, f0 = self._cofactors(f)
         r1 = self._exists(f1, levels, levels_key, max_level)
@@ -547,7 +650,9 @@ class BDD:
         key = (f, g, levels_key, 0)
         cached = self._andex_cache.get(key)
         if cached is not None:
+            self._andex_hits += 1
             return cached
+        self._andex_misses += 1
         f1, f0 = self._cofactors_at(f, top)
         g1, g0 = self._cofactors_at(g, top)
         r1 = self._and_exists(f1, g1, levels, levels_key, max_level)
@@ -644,7 +749,9 @@ class BDD:
         key = (f, c)
         cached = self._restrict_cache.get(key)
         if cached is not None:
+            self._restrict_hits += 1
             return cached
+        self._restrict_misses += 1
         lf = self._level[f >> 1]
         lc = self._level[c >> 1]
         if lc < lf:
@@ -684,7 +791,9 @@ class BDD:
         key = (f, c)
         cached = self._constrain_cache.get(key)
         if cached is not None:
+            self._constrain_hits += 1
             return cached
+        self._constrain_misses += 1
         lf = self._level[f >> 1]
         lc = self._level[c >> 1]
         top = lf if lf < lc else lc
@@ -1038,3 +1147,27 @@ class Function:
             return "Function(False)"
         return (f"Function(top={self.top_var!r}, "
                 f"size={self.size()})")
+
+
+class EpochGuard:
+    """The gc_epoch discipline for external edge-keyed caches.
+
+    Holds the :attr:`BDD.gc_epoch` a cache was last filled under;
+    :meth:`refresh` reports (exactly once per epoch change) that the
+    manager has renumbered edges, at which point the owning cache must
+    flush every stored edge before serving another lookup.
+    """
+
+    __slots__ = ("manager", "epoch")
+
+    def __init__(self, manager: BDD) -> None:
+        self.manager = manager
+        self.epoch = manager.gc_epoch
+
+    def refresh(self) -> bool:
+        """Resync with the manager; True when a flush is required."""
+        current = self.manager.gc_epoch
+        if current != self.epoch:
+            self.epoch = current
+            return True
+        return False

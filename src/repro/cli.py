@@ -86,6 +86,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         evaluator=args.evaluator,
         simplifier=args.simplifier,
         use_bounded_and=args.bounded_and,
+        use_pair_cache=not args.no_pair_cache,
         back_image_mode=args.back_image,
         exploit_monotonicity=args.monotone,
         auto_decompose=args.auto_decompose,
@@ -100,6 +101,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     print(f"largest iterate: {result.max_iterate_profile} nodes")
     print(f"peak table: {result.peak_nodes} nodes "
           f"(~{result.estimated_memory_kb}K)")
+    if args.stats:
+        _print_stats(result)
     if result.trace is not None and args.show_trace:
         print(f"counterexample ({len(result.trace)} states):")
         print(result.trace.pretty())
@@ -108,6 +111,28 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if result.exhausted:
         return 2
     return 0
+
+
+def _print_stats(result) -> None:
+    """Render the unified statistics block (``verify --stats``)."""
+    print("bdd stats (this run):")
+    for key in sorted(result.bdd_stats):
+        print(f"  {key:<22} {result.bdd_stats[key]}")
+    eval_stats = result.extra.get("evaluation_stats")
+    if eval_stats is not None:
+        summary = eval_stats.ratio_summary()
+        print("evaluator:")
+        print(f"  pairs_built            {eval_stats.pairs_built}")
+        print(f"  pairs_aborted          {eval_stats.pairs_aborted}")
+        print(f"  merges                 {eval_stats.merges}")
+        print(f"  merge ratios           count={summary['count']} "
+              f"min={summary['min']:.3f} mean={summary['mean']:.3f} "
+              f"max={summary['max']:.3f}")
+    pair_cache = result.extra.get("pair_cache_stats")
+    if pair_cache is not None:
+        print("pair cache:")
+        for key in sorted(pair_cache):
+            print(f"  {key:<22} {pair_cache[key]}")
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -168,6 +193,12 @@ def _add_verify_parser(subparsers) -> None:
     parser.add_argument("--simplifier", default="restrict",
                         choices=["restrict", "constrain", "multiway"])
     parser.add_argument("--bounded-and", action="store_true")
+    parser.add_argument("--no-pair-cache", action="store_true",
+                        help="disable the persistent pair-product cache "
+                             "(recompute every evaluation from scratch)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print BDD.stats() and cache counters "
+                             "after the run")
     parser.add_argument("--back-image", default="compose",
                         choices=["compose", "relational"])
     parser.add_argument("--monotone", action="store_true",

@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..bdd.manager import BudgetExceededError, Function
-from ..bdd.sizing import format_profile, shared_size
+from ..bdd.sizing import SizeMemo, format_profile, shared_size
 from ..fsm.machine import Machine
 from ..fsm.image import back_image
 from .options import Options
@@ -57,21 +57,30 @@ def verify_ici(machine: Machine, good_conjuncts: Sequence[Function],
 
 
 def _simplify_positional(manager, conjuncts: List[Function],
-                         options: Options) -> List[Function]:
+                         options: Options,
+                         size_memo: Optional[SizeMemo] = None
+                         ) -> List[Function]:
     """Peer simplification that strictly preserves list positions.
 
     Position j of the result always corresponds to position j of the
     input (constant-True results stay in place) — the fast termination
     test compares positionwise, so any reshuffling would make
     convergence undetectable and the method would spin forever.
+
+    ``size_memo`` persists across fixpoint iterations: the positional
+    policy revisits mostly-unchanged conjuncts every step, so their
+    node counts are answered from the epoch-aware memo instead of being
+    re-walked.
     """
+    measure = (size_memo.size if size_memo is not None
+               else (lambda fn: fn.size()))
     result = list(conjuncts)
-    order = sorted(range(len(result)), key=lambda i: result[i].size())
+    order = sorted(range(len(result)), key=lambda i: measure(result[i]))
     for i in order:
         target = result[i]
         if target.is_constant:
             continue
-        target_size = target.size()
+        target_size = measure(target)
         for j in order:
             if i == j:
                 continue
@@ -79,15 +88,15 @@ def _simplify_positional(manager, conjuncts: List[Function],
             if care.is_constant:
                 continue
             if options.simplify_only_by_smaller \
-                    and care.size() > target_size:
+                    and measure(care) > target_size:
                 continue
             simplified = (target.constrain(care)
                           if options.simplifier == "constrain"
                           else target.restrict(care))
             if simplified.edge != target.edge \
-                    and simplified.size() <= target_size:
+                    and measure(simplified) <= target_size:
                 target = simplified
-                target_size = target.size()
+                target_size = measure(target)
         result[i] = target
     return result
 
@@ -111,7 +120,9 @@ def _fast_termination(stepped: List[Function],
 def _run(machine: Machine, good_conjuncts: List[Function],
          options: Options, recorder: RunRecorder) -> VerificationResult:
     manager = machine.manager
-    current = _simplify_positional(manager, list(good_conjuncts), options)
+    size_memo = SizeMemo(manager) if options.use_pair_cache else None
+    current = _simplify_positional(manager, list(good_conjuncts), options,
+                                   size_memo)
     history: List[List[Function]] = [list(good_conjuncts)]
     recorder.record_iterate(shared_size(current), format_profile(current))
     recorder.extra["list_length"] = len(current)
@@ -124,10 +135,12 @@ def _run(machine: Machine, good_conjuncts: List[Function],
                                      options.back_image_mode,
                                      options.cluster_limit)
                    for good, conjunct in zip(good_conjuncts, current)]
-        stepped = _simplify_positional(manager, stepped, options)
+        stepped = _simplify_positional(manager, stepped, options, size_memo)
         history.append(stepped)
         recorder.record_iterate(shared_size(stepped),
                                 format_profile(stepped))
+        if size_memo is not None:
+            recorder.extra["size_memo_stats"] = size_memo.stats()
         if _fast_termination(stepped, current):
             return recorder.finish(Outcome.VERIFIED, holds=True)
         if find_failing_conjunct(machine.init, stepped) is not None:

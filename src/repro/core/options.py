@@ -58,6 +58,12 @@ class Options:
     evaluator: str = "greedy"
     #: Abort pairwise products that exceed a useful size (Section V wish).
     use_bounded_and: bool = False
+    #: Keep one pair-product cache alive across merge rounds *and*
+    #: fixpoint iterations (results are edge-identical either way; off
+    #: recomputes everything per evaluation call, for the ablation).
+    use_pair_cache: bool = True
+    #: Entry cap of the pair-product cache (LRU beyond this).
+    pair_cache_capacity: int = 1 << 16
     #: BDDSimplify operator: "restrict" (paper) or "constrain".
     simplifier: str = "restrict"
     #: Only simplify a conjunct by smaller peers (Section III.A).
@@ -85,3 +91,5 @@ class Options:
         if self.back_image_mode not in ("compose", "relational"):
             raise ValueError(
                 f"unknown back_image_mode {self.back_image_mode!r}")
+        if self.pair_cache_capacity <= 0:
+            raise ValueError("pair_cache_capacity must be positive")

@@ -47,6 +47,10 @@ class VerificationResult:
     iterate_profiles: List[str] = field(default_factory=list)
     trace: Optional[Trace] = None
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: Manager-wide operation statistics for *this run* (delta of
+    #: :meth:`repro.bdd.BDD.stats` between start and finish; the
+    #: ``nodes_current``/``nodes_peak`` gauges are end-of-run values).
+    bdd_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def verified(self) -> bool:
@@ -100,6 +104,7 @@ class RunRecorder:
         self.max_iterate_profile = "0"
         self.extra: Dict[str, Any] = {}
         self._start = time.monotonic()
+        self._stats_before = manager.stats()
         self._saved_budget = (manager.max_nodes, manager._deadline,
                               manager.auto_gc_min_nodes)
         if options.max_nodes is not None:
@@ -156,4 +161,6 @@ class RunRecorder:
             iterate_profiles=self.iterate_profiles,
             trace=trace,
             extra=self.extra,
+            bdd_stats=BDD.stats_delta(self._stats_before,
+                                      self.manager.stats()),
         )

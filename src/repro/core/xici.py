@@ -28,6 +28,7 @@ from ..fsm.machine import Machine
 from ..fsm.image import back_image
 from ..iclist.conjlist import ConjList
 from ..iclist.evaluate import EvaluationStats, greedy_evaluate
+from ..iclist.paircache import PairCache
 from ..iclist.cover import matching_evaluate
 from ..iclist.tautology import TautologyChecker
 from ..iclist.compare import lists_equal
@@ -53,17 +54,26 @@ def verify_xici(machine: Machine, good_conjuncts: Sequence[Function],
 
 
 def _condition(conjlist: ConjList, options: Options,
-               eval_stats: EvaluationStats) -> None:
-    """One simplify-and-evaluate pass (Section III.A)."""
+               eval_stats: EvaluationStats,
+               cache: Optional[PairCache]) -> None:
+    """One simplify-and-evaluate pass (Section III.A).
+
+    ``cache`` is the run-long pair-product cache: because it is keyed
+    by canonical edges and both the goal conjuncts and near-fixpoint
+    iterates recur between calls, iteration N+1's evaluation reuses
+    iteration N's products instead of rebuilding the full O(n^2) table.
+    """
     conjlist.simplify(simplifier=options.simplifier,
-                      only_by_smaller=options.simplify_only_by_smaller)
+                      only_by_smaller=options.simplify_only_by_smaller,
+                      size_memo=cache.sizes if cache is not None else None)
     if options.evaluator == "matching":
         matching_evaluate(conjlist)
     else:
         greedy_evaluate(conjlist,
                         grow_threshold=options.grow_threshold,
                         use_bounded=options.use_bounded_and,
-                        stats=eval_stats)
+                        stats=eval_stats,
+                        cache=cache)
 
 
 def _run(machine: Machine, good_conjuncts: List[Function],
@@ -79,6 +89,8 @@ def _run(machine: Machine, good_conjuncts: List[Function],
                                pairwise_step3=options.pairwise_step3,
                                simplifier=checker_simplifier)
     eval_stats = EvaluationStats()
+    cache = (PairCache(manager, capacity=options.pair_cache_capacity)
+             if options.use_pair_cache else None)
     if options.auto_decompose:
         split: List[Function] = []
         for conjunct in good_conjuncts:
@@ -86,9 +98,12 @@ def _run(machine: Machine, good_conjuncts: List[Function],
         good_conjuncts = split
     goal = ConjList(manager, good_conjuncts)
     current = goal.copy()
-    _condition(current, options, eval_stats)
+    _condition(current, options, eval_stats, cache)
     history: List[List[Function]] = [list(goal.conjuncts)]
     recorder.record_iterate(current.shared_size(), current.profile())
+    recorder.extra["evaluation_stats"] = eval_stats
+    if cache is not None:
+        recorder.extra["pair_cache_stats"] = cache.stats_dict()
     if find_failing_conjunct(machine.init, current.conjuncts) is not None:
         return _violation(machine, history, options, recorder)
     while recorder.iterations < options.max_iterations:
@@ -100,11 +115,13 @@ def _run(machine: Machine, good_conjuncts: List[Function],
                                       options.back_image_mode,
                                       options.cluster_limit))
             manager.auto_collect()
-        _condition(stepped, options, eval_stats)
+        _condition(stepped, options, eval_stats, cache)
         history.append(list(stepped.conjuncts))
         recorder.record_iterate(stepped.shared_size(), stepped.profile())
         recorder.extra["tautology_stats"] = checker.stats
         recorder.extra["evaluation_stats"] = eval_stats
+        if cache is not None:
+            recorder.extra["pair_cache_stats"] = cache.stats_dict()
         if find_failing_conjunct(machine.init, stepped.conjuncts) is not None:
             return _violation(machine, history, options, recorder)
         if lists_equal(current, stepped, checker,

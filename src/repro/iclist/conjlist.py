@@ -16,11 +16,12 @@ the paper exists to manipulate and compare these lists anyway:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List
+from typing import Iterable, Iterator, List, Optional
 
 from ..bdd.manager import BDD, Function
 from ..bdd.simplify import restrict_multi
-from ..bdd.sizing import format_profile, individual_sizes, shared_size
+from ..bdd.sizing import SizeMemo, format_profile, individual_sizes, \
+    shared_size
 
 __all__ = ["ConjList"]
 
@@ -127,7 +128,8 @@ class ConjList:
 
     def simplify(self, simplifier: str = "restrict",
                  only_by_smaller: bool = True,
-                 max_passes: int = 4) -> None:
+                 max_passes: int = 4,
+                 size_memo: Optional[SizeMemo] = None) -> None:
         """Care-set simplification of every conjunct by its peers.
 
         Following Section III.A: "we first simplify each BDD X_i by
@@ -143,6 +145,12 @@ class ConjList:
         :func:`repro.bdd.simplify.restrict_multi`, which applies all
         peer care sets simultaneously and therefore ignores
         ``only_by_smaller``.
+
+        ``size_memo`` optionally supplies an epoch-aware
+        :class:`~repro.bdd.sizing.SizeMemo` so that the many node
+        counts taken here (every conjunct against every peer, every
+        pass) are answered from cache when an engine reuses the memo
+        across fixpoint iterations.
         """
         if simplifier not in ("restrict", "constrain", "multiway"):
             raise ValueError(f"unknown simplifier {simplifier!r}")
@@ -150,37 +158,42 @@ class ConjList:
             if simplifier == "multiway":
                 changed = self._simplify_pass_multiway()
             else:
-                changed = self._simplify_pass(simplifier, only_by_smaller)
+                changed = self._simplify_pass(simplifier, only_by_smaller,
+                                              size_memo)
             if not changed:
                 break
 
-    def _simplify_pass(self, simplifier: str, only_by_smaller: bool) -> bool:
+    def _simplify_pass(self, simplifier: str, only_by_smaller: bool,
+                       size_memo: Optional[SizeMemo] = None) -> bool:
         if len(self.conjuncts) < 2 or self.is_empty_set():
             return False
+        measure = (size_memo.size if size_memo is not None
+                   else (lambda fn: fn.size()))
         changed = False
-        sizes = self.sizes()
+        sizes = [measure(fn) for fn in self.conjuncts]
         order = sorted(range(len(self.conjuncts)), key=lambda i: sizes[i])
         new_conjuncts = list(self.conjuncts)
         for i in order:
-            # Safe point: everything live is in Function handles.
+            # Safe point: everything live is in Function handles (the
+            # memo resyncs with gc_epoch on every call).
             self.manager.auto_collect()
             target = new_conjuncts[i]
-            target_size = target.size()
+            target_size = measure(target)
             for j in order:
                 if i == j:
                     continue
                 care = new_conjuncts[j]
                 if care.is_constant:
                     continue
-                if only_by_smaller and care.size() > target_size:
+                if only_by_smaller and measure(care) > target_size:
                     continue
                 simplified = (target.restrict(care)
                               if simplifier == "restrict"
                               else target.constrain(care))
                 if simplified.edge != target.edge \
-                        and simplified.size() <= target_size:
+                        and measure(simplified) <= target_size:
                     target = simplified
-                    target_size = target.size()
+                    target_size = measure(target)
                     changed = True
             new_conjuncts[i] = target
         if changed:

@@ -17,33 +17,85 @@ once they exceed a known-useless size; ``use_bounded=True`` enables
 exactly that via :func:`repro.bdd.bounded_and` — any pair whose product
 overruns ``bound_factor * GrowThreshold * BDDSize(Xi, Xj)`` is priced
 at infinity without being finished.
+
+All per-pair artifacts (products, shared sizes, abort verdicts, node
+counts) are memoized in a :class:`repro.iclist.paircache.PairCache`
+keyed by canonical edge pairs.  Passing a persistent cache makes the
+incremental structure explicit: a merge replaces one list entry, so
+only the O(n) pairs involving the new product are actually built — the
+O(n^2) surviving pairs hit the cache — and an engine reusing the cache
+across fixpoint iterations pays nothing for conjuncts that recur
+between iterates.  With no cache given, a private one is created per
+call (the memoization then only spans merge rounds, matching the
+original table-based implementation).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..bdd.manager import Function
 from ..bdd.bounded import bounded_and
-from ..bdd.sizing import shared_size
 from .conjlist import ConjList
+from .paircache import PairCache
 
-__all__ = ["greedy_evaluate", "EvaluationStats", "GROW_THRESHOLD"]
+__all__ = ["greedy_evaluate", "EvaluationStats", "GROW_THRESHOLD",
+           "RATIO_RESERVOIR_CAP"]
 
 #: The paper's "arbitrarily set" default, "with satisfactory results".
 GROW_THRESHOLD = 1.5
 
+#: Upper bound on retained ratio samples (see EvaluationStats.ratios).
+RATIO_RESERVOIR_CAP = 256
+
 
 @dataclass
 class EvaluationStats:
-    """Bookkeeping from one evaluation run (for the ablation benches)."""
+    """Bookkeeping from one evaluation run (for the ablation benches).
+
+    Engines accumulate into a single instance across all fixpoint
+    iterations, so the per-merge ratio log must not grow without bound:
+    ``ratios`` is a deterministic strided reservoir capped at
+    :data:`RATIO_RESERVOIR_CAP` samples (once full, it is thinned to
+    every second element and the sampling stride doubles), while exact
+    count/min/max/sum summaries are always maintained.
+    """
 
     pairs_built: int = 0
     pairs_aborted: int = 0
     merges: int = 0
     ratios: List[float] = field(default_factory=list)
+    ratio_count: int = 0
+    ratio_min: float = math.inf
+    ratio_max: float = -math.inf
+    ratio_sum: float = 0.0
+    _ratio_stride: int = 1
+
+    def record_ratio(self, ratio: float) -> None:
+        """Log one accepted merge ratio (bounded memory)."""
+        if self.ratio_count % self._ratio_stride == 0:
+            if len(self.ratios) >= RATIO_RESERVOIR_CAP:
+                del self.ratios[1::2]
+                self._ratio_stride *= 2
+            if self.ratio_count % self._ratio_stride == 0:
+                self.ratios.append(ratio)
+        self.ratio_count += 1
+        self.ratio_sum += ratio
+        if ratio < self.ratio_min:
+            self.ratio_min = ratio
+        if ratio > self.ratio_max:
+            self.ratio_max = ratio
+
+    def ratio_summary(self) -> Dict[str, float]:
+        """Exact count/min/mean/max of all ratios ever recorded."""
+        if self.ratio_count == 0:
+            return {"count": 0, "min": 0.0, "mean": 0.0, "max": 0.0}
+        return {"count": self.ratio_count,
+                "min": self.ratio_min,
+                "mean": self.ratio_sum / self.ratio_count,
+                "max": self.ratio_max}
 
 
 def _pair_product(x: Function, y: Function, use_bounded: bool,
@@ -63,96 +115,75 @@ def greedy_evaluate(conjlist: ConjList,
                     grow_threshold: float = GROW_THRESHOLD,
                     use_bounded: bool = False,
                     bound_factor: float = 4.0,
-                    stats: Optional[EvaluationStats] = None) -> EvaluationStats:
+                    stats: Optional[EvaluationStats] = None,
+                    cache: Optional[PairCache] = None) -> EvaluationStats:
     """Run Figure 1 in place on ``conjlist``; returns statistics.
 
     A smaller ``grow_threshold`` "holds BDD size down, but can get
     caught in a local minimum, whereas any threshold greater than 1
     could theoretically allow us to build exponentially-sized BDDs" —
     the GrowThreshold ablation bench sweeps this knob.
+
+    ``cache`` is an optional persistent :class:`PairCache`; results are
+    edge-identical with and without one (canonicity guarantees a cached
+    product equals a recomputed one), only the amount of work differs.
     """
     if stats is None:
         stats = EvaluationStats()
     if len(conjlist) < 2:
         return stats
+    if cache is None:
+        cache = PairCache(conjlist.manager)
     conjuncts = conjlist.conjuncts
-    # Build the table P of all pairwise conjunctions.
-    table: Dict[Tuple[int, int], Optional[Function]] = {}
-    for i in range(len(conjuncts)):
-        for j in range(i + 1, len(conjuncts)):
-            table[(i, j)] = None  # computed lazily below
     while len(conjuncts) >= 2:
-        # Safe point: all live BDDs are held as Functions here.
+        # Safe point: all live BDDs are held as Functions here.  A
+        # collection renumbers edges, so the cache must resync before
+        # any lookup below.
         conjlist.manager.auto_collect()
+        cache.note_epoch()
         best_ratio = math.inf
-        best_pair: Optional[Tuple[int, int]] = None
+        best_pair = None
         best_product: Optional[Function] = None
-        for (i, j) in list(table):
-            xi, xj = conjuncts[i], conjuncts[j]
-            pair_size = shared_size([xi, xj])
-            product = table[(i, j)]
-            if product is None:
+        n = len(conjuncts)
+        for i in range(n):
+            xi = conjuncts[i]
+            for j in range(i + 1, n):
+                xj = conjuncts[j]
+                key = cache.pair_key(xi, xj)
+                pair_size = cache.shared_pair_size(xi, xj)
                 bound = max(16, int(bound_factor * grow_threshold
                                     * pair_size))
-                product = _pair_product(xi, xj, use_bounded, bound, stats)
+                if use_bounded:
+                    known_abort = cache.aborted_at(key)
+                    if known_abort is not None and known_abort >= bound:
+                        # Known useless at this bound: price at infinity
+                        # without re-running the recursion.
+                        cache.stats.abort_hits += 1
+                        continue
+                product = cache.cached_product(key)
                 if product is None:
-                    # Aborted: price at infinity but remember the abort
-                    # so we don't retry this pair.
-                    table[(i, j)] = _ABORTED
-                    continue
-                table[(i, j)] = product
-            if product is _ABORTED:
-                continue
-            ratio = product.size() / pair_size
-            if ratio < best_ratio:
-                best_ratio = ratio
-                best_pair = (i, j)
-                best_product = product
+                    product = _pair_product(xi, xj, use_bounded, bound,
+                                            stats)
+                    if product is None:
+                        cache.record_abort(key, bound)
+                        continue
+                    cache.store_product(key, product)
+                ratio = cache.sizes.size(product) / pair_size
+                if ratio < best_ratio:
+                    best_ratio = ratio
+                    best_pair = (i, j)
+                    best_product = product
         if best_pair is None or best_ratio > grow_threshold:
             break
         stats.merges += 1
-        stats.ratios.append(best_ratio)
+        stats.record_ratio(best_ratio)
         i, j = best_pair
-        # Replace Xi and Xj with Pij; update P for the modified list.
+        # Replace Xi and Xj with Pij.  Pairs among the survivors stay
+        # valid in the cache; only the new product's pairs are misses
+        # on the next round.
         conjuncts[i] = best_product
         del conjuncts[j]
-        table = _reindex_table(table, len(conjuncts), i, j)
     # Re-normalize (the product might have produced constants/duplicates).
     rebuilt = ConjList(conjlist.manager, conjuncts)
     conjlist.conjuncts = rebuilt.conjuncts
     return stats
-
-
-#: Marker for pairs whose bounded product was abandoned (never retried).
-_ABORTED = object()
-
-
-def _reindex_table(table: Dict[Tuple[int, int], Optional[Function]],
-                   new_length: int, merged: int,
-                   removed: int) -> Dict[Tuple[int, int], Optional[Function]]:
-    """Rebuild the pair table after replacing ``merged`` and deleting
-    ``removed``: pairs not touching either index keep their cached
-    products; pairs involving the merged conjunct are invalidated."""
-    fresh: Dict[Tuple[int, int], Optional[Function]] = {}
-
-    def remap(index: int) -> Optional[int]:
-        if index == removed:
-            return None
-        return index - 1 if index > removed else index
-
-    for (i, j), product in table.items():
-        if i == merged or j == merged:
-            continue
-        ri, rj = remap(i), remap(j)
-        if ri is None or rj is None:
-            continue
-        key = (ri, rj) if ri < rj else (rj, ri)
-        fresh[key] = product
-    merged_new = merged if merged < removed else merged - 1
-    for other in range(new_length):
-        if other == merged_new:
-            continue
-        key = ((other, merged_new) if other < merged_new
-               else (merged_new, other))
-        fresh.setdefault(key, None)
-    return fresh

@@ -33,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence
 
-from ..bdd.manager import BDD, Function, TERMINAL_LEVEL
+from ..bdd.manager import BDD, EpochGuard, Function, TERMINAL_LEVEL
 
 __all__ = ["TautologyChecker", "TautologyStats", "VAR_CHOICES"]
 
@@ -53,6 +53,7 @@ class TautologyStats:
     step2_hits: int = 0
     step3_hits: int = 0
     simplifications: int = 0
+    stale_flushes: int = 0
 
 
 class TautologyChecker:
@@ -73,7 +74,9 @@ class TautologyChecker:
         self.simplifier = simplifier
         self.stats = TautologyStats()
         self._memo: Dict[FrozenSet[int], bool] = {}
-        self._gc_epoch = manager.gc_epoch
+        # The memo is keyed by raw edges, so it follows the manager's
+        # gc_epoch contract like every other external edge-keyed cache.
+        self._guard = EpochGuard(manager)
 
     # -- public API ---------------------------------------------------------
 
@@ -82,10 +85,10 @@ class TautologyChecker:
         # Safe point: callers hold only Function handles here; the deep
         # Shannon recursion below works on raw edges and cannot GC.
         self.manager.auto_collect()
-        if self._gc_epoch != self.manager.gc_epoch:
+        if self._guard.refresh():
             # Garbage collection renumbered edges; the memo is stale.
             self._memo.clear()
-            self._gc_epoch = self.manager.gc_epoch
+            self.stats.stale_flushes += 1
         for fn in disjuncts:
             self.manager._check_manager(fn)
         return self._check([fn.edge for fn in disjuncts])

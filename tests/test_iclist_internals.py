@@ -1,4 +1,4 @@
-"""Deeper tests of the iclist internals: the greedy pair table,
+"""Deeper tests of the iclist internals: incremental pair reuse,
 evaluation statistics, and multi-merge sequences."""
 
 import random
@@ -6,31 +6,36 @@ import random
 import pytest
 
 from repro.bdd import BDD
-from repro.iclist import ConjList, EvaluationStats, greedy_evaluate
-from repro.iclist.evaluate import _reindex_table
+from repro.iclist import ConjList, EvaluationStats, PairCache, \
+    greedy_evaluate
 
 from conftest import random_function
 
 
-class TestReindexTable:
-    def test_untouched_pairs_keep_products(self, manager):
-        a, b = manager.var("a"), manager.var("b")
-        sentinel = a & b
-        # 4 conjuncts; merge indices (1, 2): pair (0, 3) must survive
-        # as (0, 2) with its cached product intact.
-        table = {(0, 1): None, (0, 2): None, (0, 3): sentinel,
-                 (1, 2): None, (1, 3): None, (2, 3): None}
-        fresh = _reindex_table(table, 3, merged=1, removed=2)
-        assert fresh[(0, 2)] is sentinel
-        # Pairs touching the merged conjunct are invalidated.
-        assert fresh[(0, 1)] is None
-        assert fresh[(1, 2)] is None
-        assert set(fresh) == {(0, 1), (0, 2), (1, 2)}
+class TestIncrementalPairReuse:
+    def test_surviving_pairs_reused_across_merge_rounds(self, manager):
+        """After a merge, pairs among surviving conjuncts must be cache
+        hits — only the O(n) pairs touching the new product are built."""
+        a, b, c, d = (manager.var(n) for n in "abcd")
+        # (a|b) and (a|~b) merge profitably to a; c^d and c|d survive.
+        cl = ConjList(manager, [a | b, a | ~b, c ^ d, ~c | ~d])
+        cache = PairCache(manager)
+        stats = greedy_evaluate(cl, cache=cache)
+        assert stats.merges >= 1
+        # Round 2 re-scores the survivors' pair without rebuilding it.
+        assert cache.stats.product_hits > 0
 
-    def test_merge_last_two(self, manager):
-        table = {(0, 1): None, (0, 2): None, (1, 2): None}
-        fresh = _reindex_table(table, 2, merged=1, removed=2)
-        assert set(fresh) == {(0, 1)}
+    def test_pairs_built_bounded_by_fresh_pairs(self, manager):
+        """Total products built can never exceed distinct pairs seen:
+        n*(n-1)/2 initial pairs plus n-1 per merge."""
+        rng = random.Random(13)
+        fns = [random_function(manager, "abcdef", rng) for _ in range(6)]
+        cl = ConjList(manager, fns)
+        n = len(cl)
+        stats = greedy_evaluate(cl, grow_threshold=1e6,
+                                cache=PairCache(manager))
+        ceiling = n * (n - 1) // 2 + stats.merges * (n - 1)
+        assert stats.pairs_built <= ceiling
 
 
 class TestMultiMergeSequences:

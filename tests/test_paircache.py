@@ -1,0 +1,205 @@
+"""PairCache correctness: edge-identical results, epoch safety, bounds.
+
+The cache is pure memoization — canonicity means a cached product edge
+equals a recomputed one — so the greedy evaluator must return *edge
+identical* conjunct lists with and without it, on the same manager.
+Garbage collection renumbers edges; the epoch discipline must make a
+stale hit impossible, not merely unlikely.
+"""
+
+import random
+
+import pytest
+
+from repro.bdd import BDD, SizeMemo
+from repro.iclist import ConjList, EvaluationStats, PairCache, \
+    greedy_evaluate
+from repro.iclist.evaluate import RATIO_RESERVOIR_CAP
+
+from conftest import random_function
+
+
+def _random_list(manager, rng, n=5, names="abcdef"):
+    return [random_function(manager, names, rng) for _ in range(n)]
+
+
+class TestEdgeIdenticalResults:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_cached_matches_uncached(self, manager, seed):
+        rng = random.Random(seed)
+        fns = _random_list(manager, rng)
+        plain = ConjList(manager, fns)
+        cached = ConjList(manager, fns)
+        greedy_evaluate(plain)
+        cache = PairCache(manager)
+        greedy_evaluate(cached, cache=cache)
+        assert [f.edge for f in cached.conjuncts] \
+            == [f.edge for f in plain.conjuncts]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_warm_cache_matches_and_hits(self, manager, seed):
+        """Re-running on the same list (a fixpoint iterate recurring)
+        must hit the cache and still produce identical edges."""
+        rng = random.Random(seed + 100)
+        fns = _random_list(manager, rng)
+        reference = ConjList(manager, fns)
+        greedy_evaluate(reference)
+        cache = PairCache(manager)
+        first_stats = greedy_evaluate(ConjList(manager, fns), cache=cache)
+        second = ConjList(manager, fns)
+        second_stats = greedy_evaluate(second, cache=cache)
+        assert [f.edge for f in second.conjuncts] \
+            == [f.edge for f in reference.conjuncts]
+        if first_stats.pairs_built > 0:
+            # Every product the warm run needs was built by the cold run.
+            assert second_stats.pairs_built == 0
+            assert cache.stats.product_hits > 0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_bounded_variant_matches(self, manager, seed):
+        rng = random.Random(seed + 200)
+        fns = _random_list(manager, rng)
+        plain = ConjList(manager, fns)
+        cached = ConjList(manager, fns)
+        greedy_evaluate(plain, use_bounded=True, bound_factor=2.0)
+        cache = PairCache(manager)
+        greedy_evaluate(cached, use_bounded=True, bound_factor=2.0,
+                        cache=cache)
+        greedy_evaluate(ConjList(manager, fns), use_bounded=True,
+                        bound_factor=2.0, cache=cache)
+        assert [f.edge for f in cached.conjuncts] \
+            == [f.edge for f in plain.conjuncts]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_semantics_preserved_with_cache(self, manager, seed):
+        rng = random.Random(seed + 300)
+        fns = _random_list(manager, rng)
+        cl = ConjList(manager, fns)
+        explicit = cl.evaluate_explicitly()
+        greedy_evaluate(cl, cache=PairCache(manager))
+        assert cl.evaluate_explicitly().equiv(explicit)
+
+
+class TestEpochSafety:
+    def test_gc_flushes_cache(self, manager):
+        rng = random.Random(7)
+        fns = _random_list(manager, rng)
+        cache = PairCache(manager)
+        greedy_evaluate(ConjList(manager, fns), cache=cache)
+        key = next(iter(cache._products), None)
+        manager.garbage_collect()
+        assert cache.note_epoch() is True
+        assert len(cache) == 0
+        assert cache.stats.flushes >= 1
+        if key is not None:
+            assert cache.cached_product(key) is None
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_gc_mid_run_never_stale(self, manager, seed):
+        """A collection between evaluations renumbers every edge; the
+        warm cache must not serve stale products afterwards."""
+        rng = random.Random(seed + 400)
+        fns = _random_list(manager, rng)
+        cache = PairCache(manager)
+        greedy_evaluate(ConjList(manager, fns), cache=cache)
+        # Keep only the conjunct handles alive, then renumber edges.
+        survivors = list(fns)
+        manager.garbage_collect()
+        post = ConjList(manager, survivors)
+        explicit = post.evaluate_explicitly()
+        reference = ConjList(manager, survivors)
+        greedy_evaluate(reference)
+        greedy_evaluate(post, cache=cache)
+        assert [f.edge for f in post.conjuncts] \
+            == [f.edge for f in reference.conjuncts]
+        assert post.evaluate_explicitly().equiv(explicit)
+        assert cache.stats.flushes >= 1
+
+    def test_auto_gc_during_evaluation_is_safe(self):
+        """auto_collect fires at the evaluator's safe point; results
+        must still match a GC-free reference run."""
+        mgr = BDD()
+        for index in range(8):
+            mgr.new_var(f"v{index}")
+        names = [f"v{index}" for index in range(8)]
+        rng = random.Random(11)
+        fns = [random_function(mgr, names, rng, num_cubes=4)
+               for _ in range(6)]
+        explicit = ConjList(mgr, fns).evaluate_explicitly()
+        # Force a collection on every safe point.
+        mgr.auto_gc_min_nodes = 1
+        mgr._gc_trigger = None
+        cache = PairCache(mgr)
+        victim = ConjList(mgr, fns)
+        greedy_evaluate(victim, cache=cache)
+        mgr.auto_gc_min_nodes = None
+        # Edges were renumbered by the collections; compare semantics.
+        assert victim.evaluate_explicitly().equiv(explicit)
+        assert cache.stats.flushes >= 1
+
+
+class TestBoundsAndStats:
+    def test_product_eviction_is_bounded(self, manager):
+        cache = PairCache(manager, capacity=2)
+        a, b, c, d = (manager.var(n) for n in "abcd")
+        pairs = [(a, b), (a, c), (a, d), (b, c), (b, d)]
+        for x, y in pairs:
+            cache.store_product(cache.pair_key(x, y), x & y)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 3
+
+    def test_abort_memo_keeps_largest_bound(self, manager):
+        cache = PairCache(manager)
+        key = (2, 4)
+        cache.record_abort(key, 16)
+        cache.record_abort(key, 64)
+        cache.record_abort(key, 32)
+        assert cache.aborted_at(key) == 64
+
+    def test_capacity_must_be_positive(self, manager):
+        with pytest.raises(ValueError):
+            PairCache(manager, capacity=0)
+
+    def test_size_memo_flushes_on_gc(self, manager):
+        memo = SizeMemo(manager)
+        fn = manager.var("a") | manager.var("b")
+        assert memo.size(fn) == fn.size()
+        assert memo.size(fn) == fn.size()
+        assert memo.hits == 1 and memo.misses == 1
+        manager.garbage_collect()
+        assert memo.size(fn) == fn.size()
+        assert memo.flushes >= 1
+
+    def test_stats_dict_shape(self, manager):
+        cache = PairCache(manager)
+        stats = cache.stats_dict()
+        for key in ("product_hits", "product_misses", "abort_hits",
+                    "shared_hits", "shared_misses", "evictions",
+                    "flushes", "products_live", "size_hits",
+                    "size_misses"):
+            assert key in stats
+
+
+class TestRatioReservoir:
+    def test_bounded_growth(self):
+        stats = EvaluationStats()
+        total = 10_000
+        for index in range(total):
+            stats.record_ratio(1.0 + (index % 50) / 100.0)
+        assert len(stats.ratios) <= RATIO_RESERVOIR_CAP
+        assert stats.ratio_count == total
+        summary = stats.ratio_summary()
+        assert summary["count"] == total
+        assert summary["min"] == 1.0
+        assert summary["max"] == 1.49
+        assert 1.0 <= summary["mean"] <= 1.49
+
+    def test_small_runs_keep_every_ratio(self):
+        stats = EvaluationStats()
+        values = [1.1, 1.2, 1.3]
+        for value in values:
+            stats.record_ratio(value)
+        assert stats.ratios == values
+
+    def test_empty_summary(self):
+        assert EvaluationStats().ratio_summary()["count"] == 0
