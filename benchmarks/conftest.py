@@ -30,11 +30,16 @@ def run_cell(benchmark, make_row: Callable[[], ReportRow],
     row = benchmark.pedantic(make_row, rounds=1, iterations=1,
                              warmup_rounds=0)
     result = row.result
-    benchmark.extra_info["outcome"] = result.outcome
-    benchmark.extra_info["iterations"] = result.iterations
-    benchmark.extra_info["max_iterate_nodes"] = result.max_iterate_nodes
-    benchmark.extra_info["profile"] = result.max_iterate_profile
-    benchmark.extra_info["peak_nodes"] = result.peak_nodes
+    # One serialization path for machine consumers: the result's own
+    # to_dict().  The flat legacy keys stay for old dashboards.
+    info = result.to_dict(include_profiles=False,
+                          include_counterexample=False)
+    benchmark.extra_info["result"] = info
+    benchmark.extra_info["outcome"] = info["outcome"]
+    benchmark.extra_info["iterations"] = info["iterations"]
+    benchmark.extra_info["max_iterate_nodes"] = info["max_iterate_nodes"]
+    benchmark.extra_info["profile"] = info["max_iterate_profile"]
+    benchmark.extra_info["peak_nodes"] = info["peak_nodes"]
     if row.paper is not None:
         benchmark.extra_info["paper_nodes"] = row.paper.nodes
         benchmark.extra_info["paper_iterations"] = row.paper.iterations

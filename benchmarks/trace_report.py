@@ -1,0 +1,158 @@
+"""Render a JSONL engine trace (``verify --trace FILE``) as a table.
+
+Stdlib-only, so it runs anywhere the repo does::
+
+    PYTHONPATH=src python -m repro verify --model movavg --method xici \
+        --trace /tmp/run.jsonl
+    python benchmarks/trace_report.py /tmp/run.jsonl
+
+The report shows one row per fixpoint iteration — conjunct-list
+length, shared node count, greedy merges, image/BackImage calls and
+their time, and the termination-test tier tally — followed by the
+run-level totals.  Events that happen *after* an ``iteration`` event
+(the engines record the iterate first, then test termination on it)
+are attributed to that iteration's row.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Iterable, List, Optional
+
+
+def read_events(path: str) -> List[Dict[str, Any]]:
+    """Parse one JSONL trace file; bad lines raise with their number."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{lineno}: not JSON: {error}")
+            if "event" not in record:
+                raise ValueError(f"{path}:{lineno}: missing 'event' key")
+            events.append(record)
+    return events
+
+
+def _new_row(index: int) -> Dict[str, Any]:
+    return {"index": index, "nodes": None, "profile": "", "list_length": None,
+            "merges": 0, "images": 0, "back_images": 0,
+            "image_seconds": 0.0, "tiers": {}, "t": None}
+
+
+def group_by_iteration(events: Iterable[Dict[str, Any]]
+                       ) -> Dict[str, Any]:
+    """Fold the event stream into per-iteration rows + run totals.
+
+    Pre-iteration work (the merges that condition the step, the
+    BackImage calls that build it) lands on the row of the *next*
+    ``iteration`` event; termination tests land on the row of the
+    most recent one.  A partial trace (budget-killed run) simply
+    yields a trailing row with no ``iteration`` event.
+    """
+    run: Dict[str, Any] = {"method": None, "model": None, "outcome": None}
+    rows: List[Dict[str, Any]] = []
+    pending = _new_row(0)
+    current: Optional[Dict[str, Any]] = None
+    for event in events:
+        kind = event["event"]
+        if kind == "run_start":
+            run["method"] = event.get("method")
+            run["model"] = event.get("model")
+        elif kind == "run_end":
+            run["outcome"] = event.get("outcome")
+            run["elapsed_seconds"] = event.get("elapsed_seconds")
+            run["peak_nodes"] = event.get("peak_nodes")
+        elif kind == "iteration":
+            row = pending
+            row["index"] = event.get("index", len(rows))
+            row["nodes"] = event.get("nodes")
+            row["profile"] = event.get("profile", "")
+            row["list_length"] = event.get("list_length")
+            row["t"] = event.get("t")
+            rows.append(row)
+            current = row
+            pending = _new_row(row["index"] + 1)
+        elif kind == "merge":
+            pending["merges"] += 1
+        elif kind == "image":
+            pending["images"] += 1
+            pending["image_seconds"] += event.get("seconds", 0.0)
+        elif kind == "back_image":
+            pending["back_images"] += 1
+            pending["image_seconds"] += event.get("seconds", 0.0)
+        elif kind == "termination_test" and current is not None:
+            tiers = current["tiers"]
+            for tier, count in (event.get("tiers") or {}).items():
+                tiers[tier] = tiers.get(tier, 0) + count
+    if (pending["merges"] or pending["images"] or pending["back_images"]):
+        pending["nodes"] = None
+        rows.append(pending)
+    return {"run": run, "rows": rows}
+
+
+def _tier_text(tiers: Dict[str, int]) -> str:
+    hits = [f"{name}:{count}" for name, count in sorted(tiers.items())
+            if count and name != "memo_hits"]
+    return " ".join(hits) if hits else "-"
+
+
+def format_report(events: List[Dict[str, Any]]) -> str:
+    grouped = group_by_iteration(events)
+    run, rows = grouped["run"], grouped["rows"]
+    lines = []
+    lines.append(f"trace: {run.get('method') or '?'} on "
+                 f"{run.get('model') or '?'} — "
+                 f"outcome {run.get('outcome') or '(incomplete)'}")
+    header = (f"{'iter':>4}  {'list':>4}  {'nodes':>8}  {'mrg':>4}  "
+              f"{'img':>4}  {'img s':>8}  termination tiers")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        nodes = "?" if row["nodes"] is None else str(row["nodes"])
+        length = "-" if row["list_length"] is None else str(row["list_length"])
+        images = row["images"] + row["back_images"]
+        lines.append(
+            f"{row['index']:>4}  {length:>4}  {nodes:>8}  "
+            f"{row['merges']:>4}  {images:>4}  "
+            f"{row['image_seconds']:>8.4f}  {_tier_text(row['tiers'])}")
+    totals = {
+        "events": len(events),
+        "iterations": len(rows),
+        "merges": sum(r["merges"] for r in rows),
+        "images": sum(r["images"] + r["back_images"] for r in rows),
+    }
+    all_tiers: Dict[str, int] = {}
+    for row in rows:
+        for tier, count in row["tiers"].items():
+            all_tiers[tier] = all_tiers.get(tier, 0) + count
+    lines.append("-" * len(header))
+    lines.append(f"totals: {totals['events']} events, "
+                 f"{totals['iterations']} iterations, "
+                 f"{totals['merges']} merges, "
+                 f"{totals['images']} image calls; "
+                 f"tiers {_tier_text(all_tiers)}")
+    if run.get("elapsed_seconds") is not None:
+        lines.append(f"run: {run['elapsed_seconds']}s, "
+                     f"peak {run.get('peak_nodes')} nodes")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="render a repro --trace JSONL file as a table")
+    parser.add_argument("file", help="JSONL trace from verify --trace")
+    args = parser.parse_args(argv)
+    events = read_events(args.file)
+    print(format_report(events))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

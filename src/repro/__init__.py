@@ -23,19 +23,39 @@ including every substrate the paper relies on:
   message network, moving-average filter, pipelined processor.
 * :mod:`repro.bench` — the harness that regenerates Tables 1-3.
 
-Quick taste::
+* :mod:`repro.trace` — structured engine tracing: typed events from
+  every engine (iterations, merges, termination tiers, GC, budgets)
+  to null / recording / JSONL tracers.
 
-    from repro.models import typed_fifo
-    from repro.core import verify
+**The stable public API** is this module's top level::
 
-    result = verify(typed_fifo(depth=5, width=8), "xici")
+    import repro
+
+    result = repro.verify(repro.build_model("fifo", depth=5, width=8),
+                          "xici")
     assert result.verified
     print(result.max_iterate_profile)   # "41 (5 x 9 nodes)"
+    print(result.to_json(indent=2))     # machine-readable row
+    print(repro.available_models())     # what you can build
+
+``repro.verify``, ``repro.Options``, ``repro.VerificationResult``,
+``repro.METHODS``, ``repro.available_models`` / ``repro.build_model``
+and the tracer classes are the supported surface (see ``docs/API.md``);
+the submodule paths (``repro.core.runner.verify`` etc.) keep working
+but are implementation layout, not interface.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import bdd, bench, core, explicit, expr, fsm, iclist, models
+from . import bdd, bench, core, explicit, expr, fsm, iclist, models, trace
+from .core import METHODS, Options, Outcome, Problem, \
+    VerificationResult, verify
+from .models import MODELS, available_models, build_model
+from .trace import JsonlTracer, NullTracer, RecordingTracer, Tracer
 
 __all__ = ["bdd", "bench", "core", "explicit", "expr", "fsm", "iclist",
-           "models", "__version__"]
+           "models", "trace", "__version__",
+           "verify", "METHODS", "Options", "Outcome", "Problem",
+           "VerificationResult",
+           "available_models", "build_model", "MODELS",
+           "Tracer", "NullTracer", "RecordingTracer", "JsonlTracer"]

@@ -107,6 +107,12 @@ class BDD:
         #: When set (engines do this for the duration of a run),
         #: :meth:`auto_collect` becomes active at library safe points.
         self.auto_gc_min_nodes: Optional[int] = None
+        #: Optional observer called as ``observer(freed, live, epoch)``
+        #: after every :meth:`garbage_collect`.  Purely observational —
+        #: the structured-tracing layer uses it to emit ``gc`` events;
+        #: engines install it for the duration of a run and restore the
+        #: previous value afterwards.
+        self.gc_observer = None
         # Budgets.
         self.max_nodes = max_nodes
         self._deadline = (time.monotonic() + time_limit
@@ -349,8 +355,11 @@ class BDD:
         self.clear_caches()
         self.gc_epoch += 1
         self._gc_runs += 1
-        self._gc_freed += before - len(self._level)
-        return before - len(self._level)
+        freed = before - len(self._level)
+        self._gc_freed += freed
+        if self.gc_observer is not None:
+            self.gc_observer(freed, len(self._level), self.gc_epoch)
+        return freed
 
     @staticmethod
     def _remap_edge(edge: int, remap: List[int]) -> int:

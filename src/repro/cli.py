@@ -14,35 +14,31 @@ Three subcommands:
       python -m repro tables --table all --scale paper
 
 * ``models`` — list available models and their parameters.
+
+Machine-readable runs: ``verify --json`` prints the
+:meth:`VerificationResult.to_dict` schema, ``--trace FILE`` streams
+structured engine events as JSONL (render with
+``benchmarks/trace_report.py``), and ``--trace-summary`` prints the
+aggregated per-run tally.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
-from .core import Options, Problem, verify
-from .models import alternating_bit, dining_philosophers, \
-    message_network, moving_average, msi_coherence, mutex_ring, \
-    pipelined_processor, typed_fifo
+from .core import METHODS, Options, Problem, verify
+from .iclist.evaluate import GROW_THRESHOLD
+from .models import MODELS
+from .trace import JsonlTracer, RecordingTracer, Tracer
 from .bench.tables import table1_fifo, table1_movavg, table1_network, \
     table2_movavg_unassisted, table3_pipeline
 
 __all__ = ["main"]
 
-_MODEL_HELP = {
-    "fifo": "typed FIFO queue (--depth, --width, --bug)",
-    "network": "processors + message network (--procs, --bug)",
-    "movavg": "moving-average filter (--depth, --width, --bug)",
-    "pipeline": "pipelined processor (--regs, --bits, --bug no-bypass|"
-                "wrong-bypass)",
-    "ring": "token-ring mutual exclusion (--nodes, --bug)",
-    "philosophers": "dining philosophers (--phils, --bug)",
-    "coherence": "MSI cache coherence (--caches, --bug no-invalidate|"
-                 "double-owner)",
-    "abp": "alternating-bit link protocol (--width, --bug)",
-}
+_MODEL_HELP = {name: spec.help for name, spec in MODELS.items()}
 
 _TABLES: Dict[str, Callable[[str], object]] = {
     "1-fifo": table1_fifo,
@@ -54,58 +50,49 @@ _TABLES: Dict[str, Callable[[str], object]] = {
 
 
 def _build_problem(args: argparse.Namespace) -> Problem:
-    bug = args.bug
-    flag = bool(bug)
-    if args.model == "fifo":
-        return typed_fifo(depth=args.depth, width=args.width, buggy=flag)
-    if args.model == "network":
-        return message_network(num_procs=args.procs, buggy=flag)
-    if args.model == "movavg":
-        return moving_average(depth=args.depth, width=args.width,
-                              buggy=flag)
-    if args.model == "pipeline":
-        return pipelined_processor(num_regs=args.regs, datapath=args.bits,
-                                   buggy=bug or "")
-    if args.model == "ring":
-        return mutex_ring(num_nodes=args.nodes, buggy=flag)
-    if args.model == "philosophers":
-        return dining_philosophers(num_phils=args.phils, buggy=flag)
-    if args.model == "coherence":
-        return msi_coherence(num_caches=args.caches, buggy=bug or "")
-    if args.model == "abp":
-        return alternating_bit(width=args.width, buggy=flag)
-    raise ValueError(f"unknown model {args.model!r}")
+    spec = MODELS[args.model]
+    params = {name: getattr(args, name) for name in spec.params}
+    return spec.build(bug=args.bug, **params)
+
+
+def _make_tracer(args: argparse.Namespace) -> Optional[Tracer]:
+    if getattr(args, "trace", None):
+        return JsonlTracer(args.trace)
+    if getattr(args, "trace_summary", False):
+        return RecordingTracer()
+    return None
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     problem = _build_problem(args)
-    options = Options(
-        max_nodes=args.max_nodes,
-        time_limit=args.time_limit,
-        grow_threshold=args.grow_threshold,
-        evaluator=args.evaluator,
-        simplifier=args.simplifier,
-        use_bounded_and=args.bounded_and,
-        use_pair_cache=not args.no_pair_cache,
-        back_image_mode=args.back_image,
-        exploit_monotonicity=args.monotone,
-        auto_decompose=args.auto_decompose,
-    )
-    result = verify(problem, args.method, options, assisted=args.assisted)
-    print(f"model     : {problem.name} — {problem.description}")
-    print(f"method    : {result.method}"
-          + (" (+assisting invariants)" if args.assisted else ""))
-    print(f"outcome   : {result.outcome}")
-    print(f"iterations: {result.iterations}")
-    print(f"time      : {result.elapsed_seconds:.2f}s")
-    print(f"largest iterate: {result.max_iterate_profile} nodes")
-    print(f"peak table: {result.peak_nodes} nodes "
-          f"(~{result.estimated_memory_kb}K)")
-    if args.stats:
-        _print_stats(result)
-    if result.trace is not None and args.show_trace:
-        print(f"counterexample ({len(result.trace)} states):")
-        print(result.trace.pretty())
+    tracer = _make_tracer(args)
+    options = Options.from_args(args, tracer=tracer)
+    try:
+        result = verify(problem, args.method, options,
+                        assisted=args.assisted)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.json:
+        print(result.to_json(indent=2))
+    else:
+        print(f"model     : {problem.name} — {problem.description}")
+        print(f"method    : {result.method}"
+              + (" (+assisting invariants)" if args.assisted else ""))
+        print(f"outcome   : {result.outcome}")
+        print(f"iterations: {result.iterations}")
+        print(f"time      : {result.elapsed_seconds:.2f}s")
+        print(f"largest iterate: {result.max_iterate_profile} nodes")
+        print(f"peak table: {result.peak_nodes} nodes "
+              f"(~{result.estimated_memory_kb}K)")
+        if args.stats:
+            _print_stats(result)
+        if args.trace_summary and result.trace_summary is not None:
+            print("trace summary:")
+            print(json.dumps(result.trace_summary, indent=2, default=str))
+        if result.trace is not None and args.show_trace:
+            print(f"counterexample ({len(result.trace)} states):")
+            print(result.trace.pretty())
     if result.violated:
         return 1
     if result.exhausted:
@@ -160,7 +147,7 @@ def _cmd_models(_args: argparse.Namespace) -> int:
     print("available models:")
     for name, help_text in _MODEL_HELP.items():
         print(f"  {name:<13} {help_text}")
-    print("\nmethods: fwd bkwd fd ici xici")
+    print("\nmethods: " + " ".join(METHODS))
     return 0
 
 
@@ -168,8 +155,7 @@ def _add_verify_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "verify", help="run one verification method on one model")
     parser.add_argument("--model", required=True, choices=sorted(_MODEL_HELP))
-    parser.add_argument("--method", default="xici",
-                        choices=["fwd", "bkwd", "fd", "ici", "xici"])
+    parser.add_argument("--method", default="xici", choices=list(METHODS))
     parser.add_argument("--assisted", action="store_true",
                         help="add the model's assisting invariants")
     parser.add_argument("--bug", default=None,
@@ -187,7 +173,8 @@ def _add_verify_parser(subparsers) -> None:
     # engine knobs
     parser.add_argument("--max-nodes", type=int, default=None)
     parser.add_argument("--time-limit", type=float, default=None)
-    parser.add_argument("--grow-threshold", type=float, default=1.5)
+    parser.add_argument("--grow-threshold", type=float,
+                        default=GROW_THRESHOLD)
     parser.add_argument("--evaluator", default="greedy",
                         choices=["greedy", "matching"])
     parser.add_argument("--simplifier", default="restrict",
@@ -206,6 +193,17 @@ def _add_verify_parser(subparsers) -> None:
     parser.add_argument("--auto-decompose", action="store_true",
                         help="split monolithic property conjuncts "
                              "into independent factors first")
+    # observability
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="stream structured engine events to FILE "
+                             "as JSONL (one event per line)")
+    parser.add_argument("--trace-summary", action="store_true",
+                        help="print the aggregated trace summary "
+                             "after the run")
+    parser.add_argument("--json", action="store_true",
+                        help="print the machine-readable result "
+                             "(VerificationResult.to_dict) and suppress "
+                             "the human-readable report")
     parser.set_defaults(func=_cmd_verify)
 
 

@@ -11,9 +11,11 @@ in the iterates themselves.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 from ..bdd.manager import BudgetExceededError, Function
+from ..trace import BACK_IMAGE, TERMINATION
 from ..fsm.machine import Machine
 from ..fsm.image import back_image
 from ..fsm.trace import Trace, backward_counterexample
@@ -38,21 +40,37 @@ def verify_backward(machine: Machine, good_conjuncts: Sequence[Function],
 def _run(machine: Machine, good_conjuncts: Sequence[Function],
          options: Options, recorder: RunRecorder) -> VerificationResult:
     manager = machine.manager
+    tracer = recorder.tracer
     good = manager.conj(good_conjuncts)
     current = good
     not_rings: List[Function] = [~good]
-    recorder.record_iterate(current.size(), str(current.size()))
+    recorder.record_iterate(current.size(), str(current.size()),
+                            conjuncts=[current])
     if not machine.init.entails(current):
         return _violation(machine, not_rings, options, recorder)
     while recorder.iterations < options.max_iterations:
         recorder.check_time()
         recorder.iterations += 1
-        successor = good & back_image(machine, current,
-                                      options.back_image_mode,
-                                      options.cluster_limit)
+        if tracer.enabled:
+            t0 = time.monotonic()
+        image = back_image(machine, current,
+                           options.back_image_mode,
+                           options.cluster_limit)
+        if tracer.enabled:
+            tracer.emit(BACK_IMAGE,
+                        mode=options.back_image_mode,
+                        input_size=current.size(),
+                        output_size=image.size(),
+                        seconds=round(time.monotonic() - t0, 6))
+        successor = good & image
         not_rings.append(~successor)
-        recorder.record_iterate(successor.size(), str(successor.size()))
-        if successor.equiv(current):
+        recorder.record_iterate(successor.size(), str(successor.size()),
+                                conjuncts=[successor])
+        converged = successor.equiv(current)
+        if tracer.enabled:
+            tracer.emit(TERMINATION, converged=converged,
+                        tiers={"canonical": 1})
+        if converged:
             return recorder.finish(Outcome.VERIFIED, holds=True)
         if not machine.init.entails(successor):
             return _violation(machine, not_rings, options, recorder)

@@ -23,10 +23,12 @@ techniques compete against.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bdd.manager import BudgetExceededError, Function
 from ..bdd.sizing import format_profile, shared_size
+from ..trace import IMAGE, TERMINATION
 from ..fsm.machine import Machine
 from ..fsm.image import clustered_image
 from ..fsm.trace import Trace, forward_counterexample
@@ -114,6 +116,7 @@ def _run(machine: Machine, good_conjuncts: List[Function],
     unprime = machine.unprime_map()
     quantify = list(independent) + list(machine.input_names)
 
+    tracer = recorder.tracer
     try:
         reduced, funcs = extract_dependencies(machine.init, dependent)
     except DependencyError:
@@ -121,7 +124,8 @@ def _run(machine: Machine, good_conjuncts: List[Function],
     full_history: List[Tuple[Function, Dict[str, Function]]] = \
         [(reduced, funcs)]
     nodes, profile = _profile(reduced, funcs)
-    recorder.record_iterate(nodes, profile)
+    recorder.record_iterate(nodes, profile,
+                            conjuncts=[reduced] + list(funcs.values()))
     if _violates(reduced, funcs, good_conjuncts):
         return _violation(machine, full_history, good_conjuncts,
                           options, recorder)
@@ -135,10 +139,17 @@ def _run(machine: Machine, good_conjuncts: List[Function],
         source = reduced & assume_c
         indep_parts = [manager.var(prime[name]).iff(delta_c[name])
                        for name in independent]
+        if tracer.enabled:
+            t0 = time.monotonic()
         image_reduced = clustered_image(
             source, indep_parts, quantify,
             {prime[name]: name for name in independent},
             options.cluster_limit)
+        if tracer.enabled:
+            tracer.emit(IMAGE, mode="fd-reduced",
+                        input_size=source.size(),
+                        output_size=image_reduced.size(),
+                        seconds=round(time.monotonic() - t0, 6))
         new_funcs: Dict[str, Function] = {}
         failed = False
         for name in dependent:
@@ -174,7 +185,9 @@ def _run(machine: Machine, good_conjuncts: List[Function],
         if not consistent:
             return recorder.finish(DEPENDENCY_FAILED, holds=None)
         nodes, profile = _profile(union_reduced, merged_funcs)
-        recorder.record_iterate(nodes, profile)
+        recorder.record_iterate(
+            nodes, profile,
+            conjuncts=[union_reduced] + list(merged_funcs.values()))
         full_history.append((union_reduced, merged_funcs))
         if _violates(union_reduced, merged_funcs, good_conjuncts):
             return _violation(machine, full_history, good_conjuncts,
@@ -182,6 +195,9 @@ def _run(machine: Machine, good_conjuncts: List[Function],
         converged = union_reduced.equiv(reduced) and all(
             (reduced & (merged_funcs[n] ^ funcs[n])).is_false
             for n in dependent)
+        if tracer.enabled:
+            tracer.emit(TERMINATION, converged=converged,
+                        tiers={"canonical": 1})
         if converged:
             return recorder.finish(Outcome.VERIFIED, holds=True)
         reduced, funcs = union_reduced, merged_funcs

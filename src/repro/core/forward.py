@@ -14,9 +14,11 @@ that.)
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
 from ..bdd.manager import BudgetExceededError, Function
+from ..trace import IMAGE, TERMINATION
 from ..fsm.machine import Machine
 from ..fsm.image import ImageComputer
 from ..fsm.trace import Trace, forward_counterexample
@@ -41,25 +43,39 @@ def verify_forward(machine: Machine, good_conjuncts: Sequence[Function],
 def _run(machine: Machine, good_conjuncts: Sequence[Function],
          options: Options, recorder: RunRecorder) -> VerificationResult:
     manager = machine.manager
+    tracer = recorder.tracer
     good = manager.conj(good_conjuncts)
     computer = ImageComputer(machine, options.cluster_limit)
     reached = machine.init
     frontier = machine.init
     rings = [reached]
-    recorder.record_iterate(reached.size(), str(reached.size()))
+    recorder.record_iterate(reached.size(), str(reached.size()),
+                            conjuncts=[reached])
     if reached.intersects(~good):
         return _violation(machine, rings, good, options, recorder)
     while recorder.iterations < options.max_iterations:
         recorder.check_time()
         recorder.iterations += 1
         source = frontier if options.use_frontier else reached
+        if tracer.enabled:
+            t0 = time.monotonic()
         image = computer.image(source)
+        if tracer.enabled:
+            tracer.emit(IMAGE, mode="clustered",
+                        input_size=source.size(),
+                        output_size=image.size(),
+                        seconds=round(time.monotonic() - t0, 6))
         successor = reached | image
         rings.append(successor)
-        recorder.record_iterate(successor.size(), str(successor.size()))
+        recorder.record_iterate(successor.size(), str(successor.size()),
+                                conjuncts=[successor])
         if successor.intersects(~good):
             return _violation(machine, rings, good, options, recorder)
-        if successor.equiv(reached):
+        converged = successor.equiv(reached)
+        if tracer.enabled:
+            tracer.emit(TERMINATION, converged=converged,
+                        tiers={"canonical": 1})
+        if converged:
             return recorder.finish(Outcome.VERIFIED, holds=True)
         frontier = image & ~reached
         reached = successor

@@ -25,10 +25,12 @@ here" beyond their key weaknesses (Section II.C):
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 from ..bdd.manager import BudgetExceededError, Function
 from ..bdd.sizing import SizeMemo, format_profile, shared_size
+from ..trace import BACK_IMAGE, TERMINATION
 from ..fsm.machine import Machine
 from ..fsm.image import back_image
 from .options import Options
@@ -102,7 +104,7 @@ def _simplify_positional(manager, conjuncts: List[Function],
 
 
 def _fast_termination(stepped: List[Function],
-                      current: List[Function]) -> bool:
+                      current: List[Function]) -> Optional[str]:
     """The reconstruction of the fast CAV 1993 termination test.
 
     Sound: the iteration is globally monotone (``G_{i+1} <= G_i`` by
@@ -110,38 +112,63 @@ def _fast_termination(stepped: List[Function],
     conjunct then ``G_i => G_{i+1}`` and the sets are equal.  Not
     complete: equality can hold with no per-conjunct witness, which is
     the weakness Section III.B's exact test removes.
+
+    Returns the tier that declared convergence (``"positional"`` for
+    the syntactic identity check, ``"entailment"`` for the per-pair
+    witness check) or None when neither fired.
     """
     if all(new.edge == old.edge for new, old in zip(stepped, current)):
-        return True
-    return all(any(old.entails(new) for old in current)
-               for new in stepped)
+        return "positional"
+    if all(any(old.entails(new) for old in current)
+           for new in stepped):
+        return "entailment"
+    return None
 
 
 def _run(machine: Machine, good_conjuncts: List[Function],
          options: Options, recorder: RunRecorder) -> VerificationResult:
     manager = machine.manager
+    tracer = recorder.tracer
     size_memo = SizeMemo(manager) if options.use_pair_cache else None
     current = _simplify_positional(manager, list(good_conjuncts), options,
                                    size_memo)
     history: List[List[Function]] = [list(good_conjuncts)]
-    recorder.record_iterate(shared_size(current), format_profile(current))
+    recorder.record_iterate(shared_size(current), format_profile(current),
+                            conjuncts=current)
     recorder.extra["list_length"] = len(current)
     if find_failing_conjunct(machine.init, current) is not None:
         return _violation(machine, history, options, recorder)
     while recorder.iterations < options.max_iterations:
         recorder.check_time()
         recorder.iterations += 1
-        stepped = [good & back_image(machine, conjunct,
-                                     options.back_image_mode,
-                                     options.cluster_limit)
-                   for good, conjunct in zip(good_conjuncts, current)]
+        stepped = []
+        for good, conjunct in zip(good_conjuncts, current):
+            if tracer.enabled:
+                t0 = time.monotonic()
+            image = back_image(machine, conjunct,
+                               options.back_image_mode,
+                               options.cluster_limit)
+            if tracer.enabled:
+                tracer.emit(BACK_IMAGE,
+                            mode=options.back_image_mode,
+                            input_size=conjunct.size(),
+                            output_size=image.size(),
+                            seconds=round(time.monotonic() - t0, 6))
+            stepped.append(good & image)
         stepped = _simplify_positional(manager, stepped, options, size_memo)
         history.append(stepped)
         recorder.record_iterate(shared_size(stepped),
-                                format_profile(stepped))
+                                format_profile(stepped),
+                                conjuncts=stepped)
         if size_memo is not None:
             recorder.extra["size_memo_stats"] = size_memo.stats()
-        if _fast_termination(stepped, current):
+        tier = _fast_termination(stepped, current)
+        if tracer.enabled:
+            tracer.emit(TERMINATION,
+                        converged=tier is not None,
+                        tiers={tier: 1} if tier is not None
+                        else {"positional": 0, "entailment": 0})
+        if tier is not None:
             return recorder.finish(Outcome.VERIFIED, holds=True)
         if find_failing_conjunct(machine.init, stepped) is not None:
             return _violation(machine, history, options, recorder)

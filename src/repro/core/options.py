@@ -8,10 +8,12 @@ benches can sweep it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import argparse
+from dataclasses import dataclass, fields
 from typing import Optional
 
 from ..iclist.evaluate import GROW_THRESHOLD
+from ..trace import Tracer
 
 __all__ = ["Options"]
 
@@ -79,6 +81,50 @@ class Options:
     #: before starting (XICI only) — lets a *monolithic* property enter
     #: the implicit-conjunction machinery with no user assistance.
     auto_decompose: bool = False
+
+    # -- observability -------------------------------------------------------
+    #: Structured event sink (see :mod:`repro.trace`).  None means the
+    #: shared null tracer: every emit site is a no-op and all
+    #: event-data preparation is skipped.  Tracing is observational
+    #: only — results are edge-identical with any tracer.
+    tracer: Optional[Tracer] = None
+
+    #: CLI flag name → Options field, for every flag that is a plain
+    #: rename (shared by :meth:`from_args` and the argparse setup).
+    ARG_FIELDS = {
+        "max_nodes": "max_nodes",
+        "time_limit": "time_limit",
+        "grow_threshold": "grow_threshold",
+        "evaluator": "evaluator",
+        "simplifier": "simplifier",
+        "bounded_and": "use_bounded_and",
+        "back_image": "back_image_mode",
+        "monotone": "exploit_monotonicity",
+        "auto_decompose": "auto_decompose",
+    }
+
+    @classmethod
+    def from_args(cls, args: argparse.Namespace,
+                  tracer: Optional[Tracer] = None) -> "Options":
+        """Build Options from CLI-style arguments.
+
+        Accepts any namespace carrying (a subset of) the ``repro
+        verify`` flags: missing attributes keep their dataclass
+        defaults, so programmatic callers can pass a bare
+        ``argparse.Namespace`` with just the flags they care about.
+        The one inversion (``--no-pair-cache`` → ``use_pair_cache``)
+        lives here instead of being hand-wired at every call site.
+        """
+        defaults = {f.name: f.default for f in fields(cls)}
+        values = {}
+        for arg_name, field_name in cls.ARG_FIELDS.items():
+            values[field_name] = getattr(args, arg_name,
+                                         defaults[field_name])
+        no_pair_cache = getattr(args, "no_pair_cache",
+                                not defaults["use_pair_cache"])
+        values["use_pair_cache"] = not no_pair_cache
+        values["tracer"] = tracer
+        return cls(**values)
 
     def validate(self) -> None:
         """Sanity-check option combinations."""

@@ -9,15 +9,32 @@ the counterexample (if any), and engine-specific extras.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
-from ..bdd.manager import BDD, BudgetExceededError
+from ..bdd.manager import BDD, BudgetExceededError, Function
 from ..fsm.trace import Trace
+from ..trace import BUDGET_CHECK, GC, ITERATION, NULL_TRACER, RUN_END, \
+    RUN_START
 from .options import Options
 
 __all__ = ["VerificationResult", "Outcome", "RunRecorder"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of result extras to JSON-safe values."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    return str(value)
 
 
 class Outcome:
@@ -51,6 +68,9 @@ class VerificationResult:
     #: :meth:`repro.bdd.BDD.stats` between start and finish; the
     #: ``nodes_current``/``nodes_peak`` gauges are end-of-run values).
     bdd_stats: Dict[str, int] = field(default_factory=dict)
+    #: Aggregate view of the run's structured trace (see
+    #: :mod:`repro.trace.summary`); None when the run was untraced.
+    trace_summary: Optional[Dict[str, Any]] = None
 
     @property
     def verified(self) -> bool:
@@ -82,6 +102,55 @@ class VerificationResult:
                 f"iterations in {self.elapsed_seconds:.2f}s; largest "
                 f"iterate {self.max_iterate_profile} nodes")
 
+    def to_dict(self, include_profiles: bool = True,
+                include_counterexample: bool = True) -> Dict[str, Any]:
+        """The machine-readable result — the JSON schema of ``--json``.
+
+        Everything a table row, a benchmark harness, or a downstream
+        dashboard needs, as plain JSON-safe values.  Engine-specific
+        ``extra`` entries (evaluation stats, tautology stats, cache
+        counters) are converted best-effort; the counterexample is
+        serialized as its step list.
+        """
+        data: Dict[str, Any] = {
+            "method": self.method,
+            "model": self.model,
+            "outcome": self.outcome,
+            "holds": self.holds,
+            "verified": self.verified,
+            "violated": self.violated,
+            "exhausted": self.exhausted,
+            "iterations": self.iterations,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "time": self.time_string(),
+            "peak_nodes": self.peak_nodes,
+            "estimated_memory_kb": self.estimated_memory_kb,
+            "max_iterate_nodes": self.max_iterate_nodes,
+            "max_iterate_profile": self.max_iterate_profile,
+            "bdd_stats": dict(self.bdd_stats),
+            "trace_summary": self.trace_summary,
+            "extra": _jsonable(self.extra),
+        }
+        if include_profiles:
+            data["iterate_profiles"] = list(self.iterate_profiles)
+        if include_counterexample:
+            data["counterexample"] = None
+            if self.trace is not None:
+                data["counterexample"] = {
+                    "length": len(self.trace),
+                    "steps": [{"state": dict(step.state),
+                               "inputs": (dict(step.inputs)
+                                          if step.inputs is not None
+                                          else None)}
+                              for step in self.trace.steps],
+                }
+        return data
+
+    def to_json(self, indent: Optional[int] = None, **kwargs: Any) -> str:
+        """JSON text of :meth:`to_dict` (``--json`` prints this)."""
+        return json.dumps(self.to_dict(**kwargs), indent=indent,
+                          default=str)
+
 
 class RunRecorder:
     """Shared engine bookkeeping: timing, budgets, iterate profiles.
@@ -98,6 +167,8 @@ class RunRecorder:
         self.model = model
         self.manager = manager
         self.options = options
+        self.tracer = options.tracer if options.tracer is not None \
+            else NULL_TRACER
         self.iterations = 0
         self.iterate_profiles: List[str] = []
         self.max_iterate_nodes = 0
@@ -112,14 +183,69 @@ class RunRecorder:
         if options.time_limit is not None:
             manager._deadline = self._start + options.time_limit
         manager.auto_gc_min_nodes = options.gc_min_nodes
+        self._saved_gc_observer = manager.gc_observer
+        if self.tracer.enabled:
+            tracer = self.tracer
 
-    def record_iterate(self, nodes: int, profile: str) -> None:
+            def _on_gc(freed: int, live: int, epoch: int) -> None:
+                tracer.emit(GC, freed=freed, live=live, epoch=epoch)
+
+            manager.gc_observer = _on_gc
+            self._last_iterate_stats = self._stats_before
+            tracer.emit(RUN_START, method=method, model=model,
+                        options=self._options_summary())
+
+    def _options_summary(self) -> Dict[str, Any]:
+        """The engine-relevant knobs, for the ``run_start`` event."""
+        opts = self.options
+        return {"max_nodes": opts.max_nodes,
+                "time_limit": opts.time_limit,
+                "max_iterations": opts.max_iterations,
+                "gc_min_nodes": opts.gc_min_nodes,
+                "cluster_limit": opts.cluster_limit,
+                "back_image_mode": opts.back_image_mode,
+                "grow_threshold": opts.grow_threshold,
+                "evaluator": opts.evaluator,
+                "use_bounded_and": opts.use_bounded_and,
+                "use_pair_cache": opts.use_pair_cache,
+                "simplifier": opts.simplifier,
+                "var_choice": opts.var_choice,
+                "pairwise_step3": opts.pairwise_step3,
+                "exploit_monotonicity": opts.exploit_monotonicity,
+                "auto_decompose": opts.auto_decompose}
+
+    def record_iterate(self, nodes: int, profile: str,
+                       conjuncts: Optional[Iterable[Function]] = None
+                       ) -> None:
         """Log the size of one iterate R_i / G_i.
 
         Also the engines' garbage-collection point: every iterate
         boundary is operation-free, so edges held only in manager
         caches can be reclaimed safely.
+
+        ``conjuncts`` (the iterate's list, for implicit engines; a
+        singleton for monolithic ones) is only consulted when a tracer
+        is active, to report per-conjunct sizes in the ``iteration``
+        event — untraced runs never walk the BDDs for it.
         """
+        if self.tracer.enabled:
+            conjunct_list = list(conjuncts) if conjuncts is not None \
+                else None
+            stats_now = self.manager.stats()
+            created = stats_now["nodes_created"] \
+                - self._last_iterate_stats["nodes_created"]
+            self._last_iterate_stats = stats_now
+            self.tracer.emit(
+                ITERATION,
+                index=len(self.iterate_profiles),
+                nodes=nodes,
+                profile=profile,
+                list_length=(len(conjunct_list)
+                             if conjunct_list is not None else None),
+                sizes=([fn.size() for fn in conjunct_list]
+                       if conjunct_list is not None else None),
+                nodes_created=created,
+                nodes_current=stats_now["nodes_current"])
         self.iterate_profiles.append(profile)
         if nodes > self.max_iterate_nodes:
             self.max_iterate_nodes = nodes
@@ -128,8 +254,14 @@ class RunRecorder:
 
     def check_time(self) -> None:
         """Engine-level wall-clock check (manager checks are coarse)."""
-        if self.options.time_limit is not None \
-                and time.monotonic() - self._start > self.options.time_limit:
+        if self.options.time_limit is None:
+            return
+        elapsed = time.monotonic() - self._start
+        if self.tracer.enabled:
+            self.tracer.emit(BUDGET_CHECK, kind="time",
+                             elapsed=round(elapsed, 6),
+                             limit=self.options.time_limit)
+        if elapsed > self.options.time_limit:
             raise BudgetExceededError("time", self.options.time_limit)
 
     def budget_outcome(self, error: BudgetExceededError) -> str:
@@ -147,6 +279,15 @@ class RunRecorder:
         elapsed = time.monotonic() - self._start
         (self.manager.max_nodes, self.manager._deadline,
          self.manager.auto_gc_min_nodes) = self._saved_budget
+        self.manager.gc_observer = self._saved_gc_observer
+        trace_summary = None
+        if self.tracer.enabled:
+            self.tracer.emit(RUN_END, outcome=outcome, holds=holds,
+                             iterations=self.iterations,
+                             elapsed_seconds=round(elapsed, 6),
+                             peak_nodes=self.manager.peak_nodes,
+                             max_iterate_nodes=self.max_iterate_nodes)
+            trace_summary = self.tracer.summary()
         return VerificationResult(
             method=self.method,
             model=self.model,
@@ -163,4 +304,5 @@ class RunRecorder:
             extra=self.extra,
             bdd_stats=BDD.stats_delta(self._stats_before,
                                       self.manager.stats()),
+            trace_summary=trace_summary,
         )

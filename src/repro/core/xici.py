@@ -21,9 +21,11 @@ the two DAC 1994 contributions wired in:
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 from ..bdd.manager import BudgetExceededError, Function
+from ..trace import BACK_IMAGE, NULL_TRACER, Tracer
 from ..fsm.machine import Machine
 from ..fsm.image import back_image
 from ..iclist.conjlist import ConjList
@@ -55,7 +57,8 @@ def verify_xici(machine: Machine, good_conjuncts: Sequence[Function],
 
 def _condition(conjlist: ConjList, options: Options,
                eval_stats: EvaluationStats,
-               cache: Optional[PairCache]) -> None:
+               cache: Optional[PairCache],
+               tracer: Tracer = NULL_TRACER) -> None:
     """One simplify-and-evaluate pass (Section III.A).
 
     ``cache`` is the run-long pair-product cache: because it is keyed
@@ -73,7 +76,8 @@ def _condition(conjlist: ConjList, options: Options,
                         grow_threshold=options.grow_threshold,
                         use_bounded=options.use_bounded_and,
                         stats=eval_stats,
-                        cache=cache)
+                        cache=cache,
+                        tracer=tracer)
 
 
 def _run(machine: Machine, good_conjuncts: List[Function],
@@ -96,11 +100,13 @@ def _run(machine: Machine, good_conjuncts: List[Function],
         for conjunct in good_conjuncts:
             split.extend(decompose_conjunction(conjunct))
         good_conjuncts = split
+    tracer = recorder.tracer
     goal = ConjList(manager, good_conjuncts)
     current = goal.copy()
-    _condition(current, options, eval_stats, cache)
+    _condition(current, options, eval_stats, cache, tracer)
     history: List[List[Function]] = [list(goal.conjuncts)]
-    recorder.record_iterate(current.shared_size(), current.profile())
+    recorder.record_iterate(current.shared_size(), current.profile(),
+                            conjuncts=current.conjuncts)
     recorder.extra["evaluation_stats"] = eval_stats
     if cache is not None:
         recorder.extra["pair_cache_stats"] = cache.stats_dict()
@@ -111,13 +117,23 @@ def _run(machine: Machine, good_conjuncts: List[Function],
         recorder.iterations += 1
         stepped = ConjList(manager, goal.conjuncts)
         for conjunct in current:
-            stepped.append(back_image(machine, conjunct,
-                                      options.back_image_mode,
-                                      options.cluster_limit))
+            if tracer.enabled:
+                t0 = time.monotonic()
+            image = back_image(machine, conjunct,
+                               options.back_image_mode,
+                               options.cluster_limit)
+            if tracer.enabled:
+                tracer.emit(BACK_IMAGE,
+                            mode=options.back_image_mode,
+                            input_size=conjunct.size(),
+                            output_size=image.size(),
+                            seconds=round(time.monotonic() - t0, 6))
+            stepped.append(image)
             manager.auto_collect()
-        _condition(stepped, options, eval_stats, cache)
+        _condition(stepped, options, eval_stats, cache, tracer)
         history.append(list(stepped.conjuncts))
-        recorder.record_iterate(stepped.shared_size(), stepped.profile())
+        recorder.record_iterate(stepped.shared_size(), stepped.profile(),
+                                conjuncts=stepped.conjuncts)
         recorder.extra["tautology_stats"] = checker.stats
         recorder.extra["evaluation_stats"] = eval_stats
         if cache is not None:
@@ -125,7 +141,8 @@ def _run(machine: Machine, good_conjuncts: List[Function],
         if find_failing_conjunct(machine.init, stepped.conjuncts) is not None:
             return _violation(machine, history, options, recorder)
         if lists_equal(current, stepped, checker,
-                       assume_right_subset=options.exploit_monotonicity):
+                       assume_right_subset=options.exploit_monotonicity,
+                       tracer=tracer):
             return recorder.finish(Outcome.VERIFIED, holds=True)
         current = stepped
     return recorder.finish(Outcome.NO_CONVERGENCE, holds=None)

@@ -11,8 +11,10 @@ Complement edges make building the ``not Xi`` disjuncts free.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
+from ..trace import TERMINATION, Tracer
 from .conjlist import ConjList
 from .tautology import TautologyChecker
 
@@ -35,7 +37,8 @@ def implies_list(antecedent: ConjList, consequent: ConjList,
 
 def lists_equal(left: ConjList, right: ConjList,
                 checker: Optional[TautologyChecker] = None,
-                assume_right_subset: bool = False) -> bool:
+                assume_right_subset: bool = False,
+                tracer: Optional[Tracer] = None) -> bool:
     """Exact test of ``left = right``.
 
     ``assume_right_subset=True`` skips the ``right => left`` direction.
@@ -44,11 +47,26 @@ def lists_equal(left: ConjList, right: ConjList,
     are monotonic.  The current implementation does not exploit this
     optimization.") — engines keep it off by default to match the paper
     and expose it as an option for the ablation bench.
+
+    When an enabled ``tracer`` is given, one ``termination_test`` event
+    is emitted per call, carrying the per-tier effort tally of the
+    whole equality check (constant / complement / Step 3 /
+    Shannon-with-depth — see
+    :meth:`~repro.iclist.tautology.TautologyChecker.tier_tally`).
     """
     if checker is None:
         checker = TautologyChecker(left.manager)
-    if not implies_list(left, right, checker):
-        return False
-    if assume_right_subset:
-        return True
-    return implies_list(right, left, checker)
+    trace = tracer is not None and tracer.enabled
+    if trace:
+        before = checker.stats.snapshot()
+        t0 = time.monotonic()
+    converged = implies_list(left, right, checker)
+    if converged and not assume_right_subset:
+        converged = implies_list(right, left, checker)
+    if trace:
+        tracer.emit(TERMINATION,
+                    converged=converged,
+                    tiers=checker.tier_tally(before),
+                    max_depth=checker.stats.max_depth,
+                    seconds=round(time.monotonic() - t0, 6))
+    return converged

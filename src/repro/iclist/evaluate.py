@@ -38,6 +38,7 @@ from typing import Dict, List, Optional
 
 from ..bdd.manager import Function
 from ..bdd.bounded import bounded_and
+from ..trace import MERGE, Tracer
 from .conjlist import ConjList
 from .paircache import PairCache
 
@@ -116,7 +117,8 @@ def greedy_evaluate(conjlist: ConjList,
                     use_bounded: bool = False,
                     bound_factor: float = 4.0,
                     stats: Optional[EvaluationStats] = None,
-                    cache: Optional[PairCache] = None) -> EvaluationStats:
+                    cache: Optional[PairCache] = None,
+                    tracer: Optional[Tracer] = None) -> EvaluationStats:
     """Run Figure 1 in place on ``conjlist``; returns statistics.
 
     A smaller ``grow_threshold`` "holds BDD size down, but can get
@@ -127,6 +129,11 @@ def greedy_evaluate(conjlist: ConjList,
     ``cache`` is an optional persistent :class:`PairCache`; results are
     edge-identical with and without one (canonicity guarantees a cached
     product equals a recomputed one), only the amount of work differs.
+
+    An enabled ``tracer`` receives one ``merge`` event per accepted
+    merge: the winning ratio, the pair's shared size, the product size,
+    whether the product came from the pair cache, and the list length
+    after the merge.  Tracing never changes which merges happen.
     """
     if stats is None:
         stats = EvaluationStats()
@@ -134,6 +141,7 @@ def greedy_evaluate(conjlist: ConjList,
         return stats
     if cache is None:
         cache = PairCache(conjlist.manager)
+    trace = tracer is not None and tracer.enabled
     conjuncts = conjlist.conjuncts
     while len(conjuncts) >= 2:
         # Safe point: all live BDDs are held as Functions here.  A
@@ -144,6 +152,8 @@ def greedy_evaluate(conjlist: ConjList,
         best_ratio = math.inf
         best_pair = None
         best_product: Optional[Function] = None
+        best_pair_size = 0
+        best_cached = False
         n = len(conjuncts)
         for i in range(n):
             xi = conjuncts[i]
@@ -161,6 +171,7 @@ def greedy_evaluate(conjlist: ConjList,
                         cache.stats.abort_hits += 1
                         continue
                 product = cache.cached_product(key)
+                was_cached = product is not None
                 if product is None:
                     product = _pair_product(xi, xj, use_bounded, bound,
                                             stats)
@@ -173,11 +184,20 @@ def greedy_evaluate(conjlist: ConjList,
                     best_ratio = ratio
                     best_pair = (i, j)
                     best_product = product
+                    best_pair_size = pair_size
+                    best_cached = was_cached
         if best_pair is None or best_ratio > grow_threshold:
             break
         stats.merges += 1
         stats.record_ratio(best_ratio)
         i, j = best_pair
+        if trace:
+            tracer.emit(MERGE,
+                        ratio=round(best_ratio, 4),
+                        pair_size=best_pair_size,
+                        product_size=cache.sizes.size(best_product),
+                        cached=best_cached,
+                        list_length=len(conjuncts) - 1)
         # Replace Xi and Xj with Pij.  Pairs among the survivors stay
         # valid in the cache; only the new product's pairs are misses
         # on the next round.

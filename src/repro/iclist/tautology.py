@@ -45,15 +45,34 @@ VAR_CHOICES = ("first-top", "lowest-level", "most-common-top")
 
 @dataclass
 class TautologyStats:
-    """Effort counters (ablation benches report these)."""
+    """Effort counters (ablation benches and the tracing layer report
+    these).
+
+    All fields are monotone counters except ``max_depth``, a gauge:
+    the deepest Shannon recursion (Step 4) seen so far.
+    """
 
     calls: int = 0
     cache_hits: int = 0
     shannon_expansions: int = 0
+    step1_hits: int = 0
     step2_hits: int = 0
     step3_hits: int = 0
     simplifications: int = 0
     stale_flushes: int = 0
+    max_depth: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy, for before/after deltas at emit sites."""
+        return {"calls": self.calls,
+                "cache_hits": self.cache_hits,
+                "shannon_expansions": self.shannon_expansions,
+                "step1_hits": self.step1_hits,
+                "step2_hits": self.step2_hits,
+                "step3_hits": self.step3_hits,
+                "simplifications": self.simplifications,
+                "stale_flushes": self.stale_flushes,
+                "max_depth": self.max_depth}
 
 
 class TautologyChecker:
@@ -80,6 +99,28 @@ class TautologyChecker:
 
     # -- public API ---------------------------------------------------------
 
+    def tier_tally(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Per-tier effort since a :meth:`TautologyStats.snapshot`.
+
+        Maps the raw counters onto the paper's tier vocabulary
+        (Section III.B): ``constant`` (Step 1), ``complement``
+        (Step 2), ``pairwise`` or ``restrict_subsumption`` (Step 3,
+        depending on which realization is configured), and ``shannon``
+        (Step 4 expansions).  ``memo_hits`` rides along because the
+        memo table is what keeps the exact test fast in practice.
+        """
+        stats = self.stats
+        step3_tier = ("pairwise" if self.pairwise_step3 == "direct"
+                      else "restrict_subsumption")
+        return {
+            "constant": stats.step1_hits - before["step1_hits"],
+            "complement": stats.step2_hits - before["step2_hits"],
+            step3_tier: stats.step3_hits - before["step3_hits"],
+            "shannon": stats.shannon_expansions
+                       - before["shannon_expansions"],
+            "memo_hits": stats.cache_hits - before["cache_hits"],
+        }
+
     def is_tautology(self, disjuncts: Sequence[Function]) -> bool:
         """Whether the disjunction of ``disjuncts`` is constant True."""
         # Safe point: callers hold only Function handles here; the deep
@@ -95,8 +136,10 @@ class TautologyChecker:
 
     # -- implementation ---------------------------------------------------
 
-    def _check(self, edges: List[int]) -> bool:
+    def _check(self, edges: List[int], depth: int = 0) -> bool:
         self.stats.calls += 1
+        if depth > self.stats.max_depth:
+            self.stats.max_depth = depth
         # Step 1 + 2: constants, duplicates, complements.
         result = self._steps_1_2(edges)
         if result is not None:
@@ -110,11 +153,11 @@ class TautologyChecker:
         if cached is not None:
             self.stats.cache_hits += 1
             return cached
-        result = self._check_uncached(edges)
+        result = self._check_uncached(edges, depth)
         self._memo[key] = result
         return result
 
-    def _check_uncached(self, edges: List[int]) -> bool:
+    def _check_uncached(self, edges: List[int], depth: int = 0) -> bool:
         # Step 3.
         if self.pairwise_step3 == "direct":
             if self._step3_direct(edges):
@@ -132,10 +175,10 @@ class TautologyChecker:
         self.stats.shannon_expansions += 1
         level = self._choose_level(edges)
         high = [self._cofactor(edge, level, True) for edge in edges]
-        if not self._check(high):
+        if not self._check(high, depth + 1):
             return False
         low = [self._cofactor(edge, level, False) for edge in edges]
-        return self._check(low)
+        return self._check(low, depth + 1)
 
     def _steps_1_2(self, edges: List[int]) -> Optional[bool]:
         """Normalize in place; return True if already a tautology."""
@@ -144,6 +187,7 @@ class TautologyChecker:
         while index < len(edges):
             edge = edges[index]
             if edge == 0:
+                self.stats.step1_hits += 1
                 return True
             if edge == 1 or edge in seen:
                 edges.pop(index)

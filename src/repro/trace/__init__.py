@@ -1,0 +1,28 @@
+"""Structured engine tracing.
+
+Every verification engine emits a stream of typed events — run
+boundaries, fixpoint iterations (with per-conjunct sizes), greedy
+merges, per-tier termination-test outcomes, image computations, GC
+runs, budget checks — to a :class:`Tracer` carried on
+:attr:`repro.Options.tracer`.  The default :data:`NULL_TRACER` drops
+everything at near-zero cost; :class:`RecordingTracer` keeps the
+events in memory; :class:`JsonlTracer` streams them to a file that
+``benchmarks/trace_report.py`` renders as a per-iteration table.
+
+The event vocabulary lives in :mod:`repro.trace.events`; the aggregate
+``trace_summary`` attached to :class:`repro.VerificationResult` is
+built incrementally by :mod:`repro.trace.summary`.
+"""
+
+from .events import BACK_IMAGE, BUDGET_CHECK, EVENT_TYPES, GC, IMAGE, \
+    ITERATION, MERGE, RUN_END, RUN_START, TERMINATION
+from .summary import TraceSummaryBuilder
+from .tracer import JsonlTracer, NULL_TRACER, NullTracer, \
+    RecordingTracer, Tracer
+
+__all__ = [
+    "Tracer", "NullTracer", "RecordingTracer", "JsonlTracer",
+    "NULL_TRACER", "TraceSummaryBuilder",
+    "RUN_START", "RUN_END", "ITERATION", "BACK_IMAGE", "IMAGE", "MERGE",
+    "TERMINATION", "GC", "BUDGET_CHECK", "EVENT_TYPES",
+]

@@ -1,0 +1,101 @@
+"""Incremental per-run trace summarization.
+
+Both active tracers feed every event through a
+:class:`TraceSummaryBuilder` as it is emitted, so a summary is
+available at run end without replaying anything — the JSONL tracer in
+particular never re-reads its own output file.  The builder resets on
+``run_start``: when several runs share one tracer, the summary covers
+the most recent run (the full event stream still holds all of them).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .events import BACK_IMAGE, BUDGET_CHECK, GC, IMAGE, ITERATION, \
+    MERGE, RUN_END, RUN_START, TERMINATION
+
+__all__ = ["TraceSummaryBuilder"]
+
+
+class TraceSummaryBuilder:
+    """Accumulates the aggregate view of one verification run."""
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.run: Dict[str, Any] = {}
+        self.event_counts: Dict[str, int] = {}
+        self.iterations: List[Dict[str, Any]] = []
+        self.termination_tiers: Dict[str, int] = {}
+        self.termination_tests = 0
+        self.max_shannon_depth = 0
+        self.merges = 0
+        self.back_images = 0
+        self.images = 0
+        self.gc_runs = 0
+        self.gc_freed = 0
+        self.budget_checks = 0
+        self.outcome: Dict[str, Any] = {}
+
+    def observe(self, event: Dict[str, Any]) -> None:
+        """Fold one emitted event into the running summary."""
+        kind = event["event"]
+        if kind == RUN_START:
+            self.reset()
+            self.run = {key: event[key] for key in ("method", "model")
+                        if key in event}
+        self.event_counts[kind] = self.event_counts.get(kind, 0) + 1
+        if kind == ITERATION:
+            row = {"index": event.get("index"),
+                   "nodes": event.get("nodes"),
+                   "profile": event.get("profile")}
+            if event.get("list_length") is not None:
+                row["list_length"] = event["list_length"]
+            if event.get("sizes") is not None:
+                row["sizes"] = event["sizes"]
+            self.iterations.append(row)
+        elif kind == TERMINATION:
+            self.termination_tests += 1
+            for tier, count in (event.get("tiers") or {}).items():
+                self.termination_tiers[tier] = \
+                    self.termination_tiers.get(tier, 0) + count
+            depth = event.get("max_depth")
+            if depth is not None and depth > self.max_shannon_depth:
+                self.max_shannon_depth = depth
+        elif kind == MERGE:
+            self.merges += 1
+        elif kind == BACK_IMAGE:
+            self.back_images += 1
+        elif kind == IMAGE:
+            self.images += 1
+        elif kind == GC:
+            self.gc_runs += 1
+            self.gc_freed += event.get("freed", 0)
+        elif kind == BUDGET_CHECK:
+            self.budget_checks += 1
+        elif kind == RUN_END:
+            self.outcome = {key: event[key]
+                            for key in ("outcome", "holds", "iterations",
+                                        "elapsed_seconds", "peak_nodes",
+                                        "max_iterate_nodes")
+                            if key in event}
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The machine-readable summary (also the JSON ``trace_summary``)."""
+        return {
+            "run": dict(self.run),
+            "outcome": dict(self.outcome),
+            "event_counts": dict(self.event_counts),
+            "iterations": [dict(row) for row in self.iterations],
+            "termination_tests": self.termination_tests,
+            "termination_tiers": dict(self.termination_tiers),
+            "max_shannon_depth": self.max_shannon_depth,
+            "merges": self.merges,
+            "back_images": self.back_images,
+            "images": self.images,
+            "gc_runs": self.gc_runs,
+            "gc_freed": self.gc_freed,
+            "budget_checks": self.budget_checks,
+        }

@@ -1,0 +1,80 @@
+"""Every engine must hit both budget outcomes cleanly.
+
+The paper's tables report "Exceeded 60MB" / "Exceeded 40 minutes" rows;
+our analogue is the NODE_BUDGET / TIME_BUDGET outcomes.  These tests
+drive all five methods into each budget and check that the manager's
+budget state (the ``_saved_budget`` path in ``RunRecorder.finish``) is
+restored afterward, so a budget-killed run does not poison later runs
+on the same manager.
+"""
+
+import pytest
+
+from repro.core import METHODS, Options, Outcome, verify
+from repro.models import build_model
+
+
+def _problem(method):
+    # fd needs declared functional dependencies; the network model has
+    # them.  Everything else gets a FIFO big enough to always need new
+    # nodes before converging.
+    if method == "fd":
+        return build_model("network", procs=2)
+    return build_model("fifo", depth=5, width=8)
+
+
+def _budget_state(manager):
+    return (manager.max_nodes, manager._deadline,
+            manager.auto_gc_min_nodes)
+
+
+class TestNodeBudget:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_node_budget_outcome(self, method):
+        problem = _problem(method)
+        manager = problem.machine.manager
+        before = _budget_state(manager)
+        result = verify(problem, method, Options(max_nodes=64))
+        assert result.outcome == Outcome.NODE_BUDGET
+        assert result.exhausted
+        assert result.holds is None
+        assert _budget_state(manager) == before
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_manager_usable_after_node_budget(self, method):
+        problem = _problem(method)
+        manager = problem.machine.manager
+        result = verify(problem, method, Options(max_nodes=64))
+        assert result.outcome == Outcome.NODE_BUDGET
+        # the cap is lifted again: fresh BDD work must not raise
+        names = list(problem.machine.current_names)
+        fn = manager.var(names[0]) & ~manager.var(names[1])
+        assert fn.size() >= 1
+
+
+class TestTimeBudget:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_time_budget_outcome(self, method):
+        problem = _problem(method)
+        manager = problem.machine.manager
+        before = _budget_state(manager)
+        result = verify(problem, method, Options(time_limit=0.0))
+        assert result.outcome == Outcome.TIME_BUDGET
+        assert result.exhausted
+        assert result.holds is None
+        assert _budget_state(manager) == before
+
+
+class TestBudgetWithTracing:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_traced_budget_run_reports_outcome(self, method):
+        from repro.trace import RecordingTracer
+        tracer = RecordingTracer()
+        result = verify(_problem(method), method,
+                        Options(max_nodes=64, tracer=tracer))
+        assert result.outcome == Outcome.NODE_BUDGET
+        ends = tracer.events_of("run_end")
+        assert len(ends) == 1
+        assert ends[0]["outcome"] == Outcome.NODE_BUDGET
+        assert result.trace_summary["outcome"]["outcome"] \
+            == Outcome.NODE_BUDGET

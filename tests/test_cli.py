@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -55,6 +57,60 @@ class TestVerifyCommand:
         code = main(["verify", "--model", "network", "--procs", "2",
                      "--method", "fd"])
         assert code == 0
+
+
+class TestMachineReadable:
+    def test_json_output(self, capsys):
+        code = main(["verify", "--model", "movavg", "--depth", "2",
+                     "--width", "4", "--method", "xici", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["outcome"] == "verified"
+        assert payload["method"] == "XICI"
+        assert payload["iterations"] >= 1
+        assert "bdd_stats" in payload
+        # no human-readable report mixed into the JSON stream
+        assert "largest iterate" not in out
+
+    def test_json_violated_exit_code(self, capsys):
+        code = main(["verify", "--model", "fifo", "--depth", "2",
+                     "--width", "4", "--bug", "1", "--json"])
+        out = capsys.readouterr().out
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["violated"] is True
+        assert payload["counterexample"]["length"] >= 1
+
+    def test_trace_writes_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        code = main(["verify", "--model", "movavg", "--depth", "2",
+                     "--width", "4", "--method", "xici",
+                     "--trace", str(path)])
+        assert code == 0
+        events = [json.loads(line)
+                  for line in path.read_text().splitlines() if line]
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_end"
+        assert "iteration" in kinds
+
+    def test_trace_summary_printed(self, capsys):
+        code = main(["verify", "--model", "movavg", "--depth", "2",
+                     "--width", "4", "--method", "xici",
+                     "--trace-summary"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace summary:" in out
+        assert "termination_tiers" in out
+
+    def test_json_includes_trace_summary_with_trace(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        code = main(["verify", "--model", "movavg", "--depth", "2",
+                     "--width", "4", "--json", "--trace", str(path)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace_summary"]["event_counts"]["iteration"] >= 1
 
 
 class TestOtherCommands:
