@@ -8,8 +8,8 @@ Stdlib-only, so it runs anywhere the repo does::
 
 The report shows one row per fixpoint iteration — conjunct-list
 length, shared node count, greedy merges, image/BackImage calls and
-their time, and the termination-test tier tally — followed by the
-run-level totals.  Events that happen *after* an ``iteration`` event
+their time, sifting sessions, and the termination-test tier tally —
+followed by the run-level totals.  Events that happen *after* an ``iteration`` event
 (the engines record the iterate first, then test termination on it)
 are attributed to that iteration's row.
 """
@@ -43,7 +43,8 @@ def read_events(path: str) -> List[Dict[str, Any]]:
 def _new_row(index: int) -> Dict[str, Any]:
     return {"index": index, "nodes": None, "profile": "", "list_length": None,
             "merges": 0, "images": 0, "back_images": 0,
-            "image_seconds": 0.0, "tiers": {}, "t": None}
+            "image_seconds": 0.0, "reorders": 0, "reorder_swaps": 0,
+            "tiers": {}, "t": None}
 
 
 def group_by_iteration(events: Iterable[Dict[str, Any]]
@@ -87,11 +88,15 @@ def group_by_iteration(events: Iterable[Dict[str, Any]]
         elif kind == "back_image":
             pending["back_images"] += 1
             pending["image_seconds"] += event.get("seconds", 0.0)
+        elif kind == "reorder":
+            pending["reorders"] += 1
+            pending["reorder_swaps"] += event.get("swaps", 0)
         elif kind == "termination_test" and current is not None:
             tiers = current["tiers"]
             for tier, count in (event.get("tiers") or {}).items():
                 tiers[tier] = tiers.get(tier, 0) + count
-    if (pending["merges"] or pending["images"] or pending["back_images"]):
+    if (pending["merges"] or pending["images"] or pending["back_images"]
+            or pending["reorders"]):
         pending["nodes"] = None
         rows.append(pending)
     return {"run": run, "rows": rows}
@@ -111,32 +116,40 @@ def format_report(events: List[Dict[str, Any]]) -> str:
                  f"{run.get('model') or '?'} — "
                  f"outcome {run.get('outcome') or '(incomplete)'}")
     header = (f"{'iter':>4}  {'list':>4}  {'nodes':>8}  {'mrg':>4}  "
-              f"{'img':>4}  {'img s':>8}  termination tiers")
+              f"{'img':>4}  {'img s':>8}  {'sift':>4}  termination tiers")
     lines.append(header)
     lines.append("-" * len(header))
     for row in rows:
         nodes = "?" if row["nodes"] is None else str(row["nodes"])
         length = "-" if row["list_length"] is None else str(row["list_length"])
         images = row["images"] + row["back_images"]
+        sifts = str(row["reorders"]) if row["reorders"] else "-"
         lines.append(
             f"{row['index']:>4}  {length:>4}  {nodes:>8}  "
             f"{row['merges']:>4}  {images:>4}  "
-            f"{row['image_seconds']:>8.4f}  {_tier_text(row['tiers'])}")
+            f"{row['image_seconds']:>8.4f}  {sifts:>4}  "
+            f"{_tier_text(row['tiers'])}")
     totals = {
         "events": len(events),
         "iterations": len(rows),
         "merges": sum(r["merges"] for r in rows),
         "images": sum(r["images"] + r["back_images"] for r in rows),
+        "reorders": sum(r["reorders"] for r in rows),
+        "reorder_swaps": sum(r["reorder_swaps"] for r in rows),
     }
     all_tiers: Dict[str, int] = {}
     for row in rows:
         for tier, count in row["tiers"].items():
             all_tiers[tier] = all_tiers.get(tier, 0) + count
     lines.append("-" * len(header))
+    sift_text = (f"{totals['reorders']} sifts "
+                 f"({totals['reorder_swaps']} swaps), "
+                 if totals["reorders"] else "")
     lines.append(f"totals: {totals['events']} events, "
                  f"{totals['iterations']} iterations, "
                  f"{totals['merges']} merges, "
-                 f"{totals['images']} image calls; "
+                 f"{totals['images']} image calls, "
+                 f"{sift_text}"
                  f"tiers {_tier_text(all_tiers)}")
     if run.get("elapsed_seconds") is not None:
         lines.append(f"run: {run['elapsed_seconds']}s, "

@@ -9,6 +9,7 @@ Public surface:
 * :func:`bounded_and` — size-bounded conjunction (paper Section V).
 * :func:`sat_count` / :func:`pick_one` / :func:`iter_assignments`.
 * :func:`interleaved` / :func:`blocked` — variable-order recipes.
+* :func:`sift` / :meth:`BDD.swap_levels` — in-place dynamic reordering.
 * :func:`to_dot` — Graphviz export.
 """
 
@@ -23,6 +24,7 @@ from .order import blocked, interleaved
 from .dot import to_dot
 from .transfer import copy_function, order_sensitivity
 from .reorder import improve_order, order_cost
+from .sift import SiftResult, sift
 
 __all__ = [
     "BDD",
@@ -47,4 +49,6 @@ __all__ = [
     "order_sensitivity",
     "improve_order",
     "order_cost",
+    "sift",
+    "SiftResult",
 ]

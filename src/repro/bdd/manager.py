@@ -73,8 +73,11 @@ class BDD:
     """A BDD manager: variable order, unique table, and operation caches.
 
     Variables are created with :meth:`new_var` and are ordered by
-    creation; there is no dynamic reordering (the paper fixes orders up
-    front with the interleaved-bitslice heuristic, and so do we).
+    creation.  The order is not fixed forever: :meth:`swap_levels`
+    exchanges two adjacent levels in place (node ids — and therefore
+    live :class:`Function` handles — are untouched), :meth:`sift` runs
+    Rudell sifting on top of it, and :meth:`reorder` rebuilds the whole
+    manager under an arbitrary permutation.
     """
 
     def __init__(self, max_nodes: Optional[int] = None,
@@ -84,6 +87,11 @@ class BDD:
         self._high: List[int] = [0]
         self._low: List[int] = [0]
         self._unique: Dict[Tuple[int, int, int], int] = {}
+        # Node ids at each level (dead nodes included until the next
+        # collection, exactly like the unique table).  Maintained
+        # incrementally by _mk_raw/swap/GC so per-level sizes — the
+        # quantity sifting optimizes — are O(1) to read.
+        self._level_members: List[List[int]] = []
         self._var_names: List[str] = []
         self._name_to_level: Dict[str, int] = {}
         # Operation caches.
@@ -107,6 +115,27 @@ class BDD:
         #: When set (engines do this for the duration of a run),
         #: :meth:`auto_collect` becomes active at library safe points.
         self.auto_gc_min_nodes: Optional[int] = None
+        #: When set (engines arm this via ``Options(reorder="auto")``),
+        #: :meth:`auto_collect` also runs :meth:`maybe_sift`: a sift
+        #: fires once live nodes grow by this factor since the last
+        #: sift (the classic dynamic-reordering trigger).
+        self.auto_sift_trigger: Optional[float] = None
+        #: Live-node floor below which :meth:`maybe_sift` never fires —
+        #: sifting a near-empty table cannot pay for itself.
+        self.auto_sift_min_live: int = 256
+        self._auto_sift_baseline: Optional[int] = None
+        #: Optional observer called with one summary dict after every
+        #: :meth:`sift` session (even an aborted one).  Purely
+        #: observational — the structured-tracing layer uses it to emit
+        #: ``reorder`` events and engines collect per-run sift totals.
+        self.reorder_observer = None
+        self._in_reorder = False
+        # Session-local reference counts, installed by sift() so swaps
+        # can unlink nodes the moment they die (this manager has no
+        # permanent refcounts; without these, swap garbage would make
+        # per-level sizes monotone and sifting blind).  None outside a
+        # sifting session.
+        self._sift_refs: Optional[List[int]] = None
         #: Optional observer called as ``observer(freed, live, epoch)``
         #: after every :meth:`garbage_collect`.  Purely observational —
         #: the structured-tracing layer uses it to emit ``gc`` events;
@@ -140,6 +169,11 @@ class BDD:
         self._gc_freed = 0
         self._bounded_and_calls = 0
         self._bounded_and_aborts = 0
+        self._reorder_runs = 0
+        self._reorder_swaps = 0
+        self._reorder_time_ms = 0
+        self._reorder_nodes_before = 0
+        self._reorder_nodes_after = 0
 
     # ------------------------------------------------------------------
     # Constants and variables
@@ -162,6 +196,7 @@ class BDD:
         level = len(self._var_names)
         self._var_names.append(name)
         self._name_to_level[name] = level
+        self._level_members.append([])
         return Function(self, self._mk(level, 0, 1))
 
     def var(self, name: str) -> "Function":
@@ -261,6 +296,11 @@ class BDD:
             "gc_freed": self._gc_freed,
             "bounded_and_calls": self._bounded_and_calls,
             "bounded_and_aborts": self._bounded_and_aborts,
+            "reorder_runs": self._reorder_runs,
+            "reorder_swaps": self._reorder_swaps,
+            "reorder_time_ms": self._reorder_time_ms,
+            "reorder_nodes_before": self._reorder_nodes_before,
+            "reorder_nodes_after": self._reorder_nodes_after,
         }
 
     #: stats() keys that are point-in-time gauges, not monotone counters.
@@ -330,15 +370,18 @@ class BDD:
             stack.append(self._low[node] >> 1)
         before = len(self._level)
         remap: List[int] = [0] * before
+        # Two passes: swap_levels rewrites parents in place, so children
+        # no longer always precede parents in id order — every remapped
+        # id must exist before any edge is translated.
+        survivors: List[int] = []
+        for node in range(before):
+            if marked[node]:
+                remap[node] = len(survivors)
+                survivors.append(node)
         new_level: List[int] = []
         new_high: List[int] = []
         new_low: List[int] = []
-        for node in range(before):
-            if not marked[node]:
-                continue
-            remap[node] = len(new_level)
-            # Children precede parents in creation order, so their
-            # remapped ids are already final.
+        for node in survivors:
             new_level.append(self._level[node])
             new_high.append(self._remap_edge(self._high[node], remap)
                             if node else 0)
@@ -350,6 +393,10 @@ class BDD:
         self._unique = {
             (self._level[node], self._high[node], self._low[node]): node
             for node in range(1, len(self._level))}
+        members: List[List[int]] = [[] for _ in self._var_names]
+        for node in range(1, len(self._level)):
+            members[self._level[node]].append(node)
+        self._level_members = members
         for fn in handles:
             fn.edge = self._remap_edge(fn.edge, remap)
         self.clear_caches()
@@ -428,6 +475,7 @@ class BDD:
         self._high = shadow._high
         self._low = shadow._low
         self._unique = shadow._unique
+        self._level_members = shadow._level_members
         self._var_names = list(new_order)
         self._name_to_level = dict(shadow._name_to_level)
         for fn, edge in zip(handles, new_edges):
@@ -449,6 +497,251 @@ class BDD:
         """
         if self.auto_gc_min_nodes is not None:
             self.maybe_collect(min_nodes=self.auto_gc_min_nodes)
+        if self.auto_sift_trigger is not None:
+            self.maybe_sift()
+
+    # ------------------------------------------------------------------
+    # In-place dynamic reordering: adjacent-level swap and sifting
+    # ------------------------------------------------------------------
+
+    def level_sizes(self) -> List[int]:
+        """Allocated node count per level (dead nodes included).
+
+        This is the quantity sifting minimizes.  Counting only *live*
+        nodes would need a reachability sweep per measurement; the
+        allocated count is O(1) per level and converges to the live
+        count at every garbage collection.
+        """
+        return [len(members) for members in self._level_members]
+
+    def swap_levels(self, i: int) -> int:
+        """Exchange variable levels ``i`` and ``i+1`` in place.
+
+        Only nodes at the two levels are relinked; every node keeps its
+        id, so live :class:`Function` handles are untouched and keep
+        denoting the same functions.  Level-keyed state does go stale,
+        so the op caches are flushed and :attr:`gc_epoch` is bumped —
+        :meth:`sift` batches many swaps and pays that once per session.
+        Returns the change in the allocated size of the two levels.
+        """
+        if not 0 <= i < len(self._var_names) - 1:
+            raise IndexError(f"no adjacent level pair at {i}")
+        if len(self._compose_caches) > 0:
+            raise RuntimeError("swap_levels during vector compose")
+        delta = self._swap_adjacent(i)
+        self._flush_after_reorder()
+        self._check_budgets()
+        return delta
+
+    def _swap_adjacent(self, i: int) -> int:
+        """Swap levels ``i`` and ``i+1``; caches are NOT flushed.
+
+        The classic in-place swap (Rudell, ICCAD 1993).  With x at
+        level i and y at level i+1, a level-i node f = x?H:L falls into
+        one of two classes:
+
+        * *independent* — neither child is at level i+1, so f does not
+          depend on y; it keeps its children and just takes x's new
+          position (level i+1);
+        * *interacting* — f is rewritten in place as a level-i root of
+          the *same function* under the new order, y ? (x?f11:f01)
+          : (x?f10:f00), where fab are the grandchild cofactors.  Its
+          id is preserved, so parents above need no adjustment.
+
+        Old level-(i+1) nodes move up to level i unchanged (their
+        children are strictly deeper than both levels).  No unique-key
+        collisions are possible: prior canonicity means distinct nodes
+        denote distinct functions, and a rewritten node always keeps at
+        least one child at level i+1 while a moved-up y node has none.
+        The stored-high-regular invariant is preserved because f11 is a
+        cofactor of a regular edge.  Budgets are deliberately ignored
+        here — a half-finished swap must never be observable — and are
+        re-checked by the caller at the swap boundary.
+        """
+        j = i + 1
+        levels = self._level
+        highs = self._high
+        lows = self._low
+        unique = self._unique
+        members = self._level_members
+        refs = self._sift_refs
+        xs = members[i]
+        ys = members[j]
+        before = len(xs) + len(ys)
+        # Pass 1: classify level-i nodes, capturing grandchild cofactors
+        # before any relabelling mutates the arrays.
+        independent: List[int] = []
+        interacting: List[Tuple[int, int, int, int, int, int, int]] = []
+        for n in xs:
+            h = highs[n]  # regular, by the canonical form
+            l = lows[n]
+            hn = h >> 1
+            ln = l >> 1
+            h_at_j = levels[hn] == j
+            l_at_j = levels[ln] == j
+            if not h_at_j and not l_at_j:
+                independent.append(n)
+                continue
+            if h_at_j:
+                f11, f10 = highs[hn], lows[hn]
+            else:
+                f11 = f10 = h
+            if l_at_j:
+                sign = l & 1
+                f01, f00 = highs[ln] ^ sign, lows[ln] ^ sign
+            else:
+                f01 = f00 = l
+            interacting.append((n, f11, f10, f01, f00, h, l))
+        # Pass 2: every key at the two levels is about to change.
+        for n in xs:
+            del unique[(i, highs[n], lows[n])]
+        for n in ys:
+            del unique[(j, highs[n], lows[n])]
+        # Pass 3: old level-(i+1) nodes move up to level i unchanged.
+        for n in ys:
+            levels[n] = i
+            unique[(i, highs[n], lows[n])] = n
+        members[i] = list(ys)
+        # Pass 4: independent nodes take x's new position, children kept.
+        # (Must precede pass 5 so its _mk calls can share them, and so
+        # fresh level-j allocations land in the new members list.)
+        for n in independent:
+            levels[n] = j
+            unique[(j, highs[n], lows[n])] = n
+        members[j] = independent
+        # Pass 5: rewrite interacting nodes in place.  Budgets off for
+        # atomicity; the public callers re-check at the boundary.
+        # Under a sifting session (refs is not None) the reference
+        # counts are kept exact: fresh nodes charge their children, the
+        # rewritten node charges its new children and releases its old
+        # ones, and anything that drops to zero is unlinked on the spot
+        # (cascading downward) so level sizes track the live structure.
+        saved_max, saved_deadline = self.max_nodes, self._deadline
+        self.max_nodes = None
+        self._deadline = None
+        try:
+            for n, f11, f10, f01, f00, h, l in interacting:
+                if refs is None:
+                    nh = self._mk(j, f11, f01)
+                    nl = self._mk(j, f10, f00)
+                else:
+                    mark = len(levels)
+                    nh = self._mk(j, f11, f01)
+                    if len(levels) > mark:
+                        refs.append(0)
+                        refs[f11 >> 1] += 1
+                        refs[f01 >> 1] += 1
+                    mark = len(levels)
+                    nl = self._mk(j, f10, f00)
+                    if len(levels) > mark:
+                        refs.append(0)
+                        refs[f10 >> 1] += 1
+                        refs[f00 >> 1] += 1
+                    refs[nh >> 1] += 1
+                    refs[nl >> 1] += 1
+                highs[n] = nh
+                lows[n] = nl
+                unique[(i, nh, nl)] = n
+                members[i].append(n)
+                if refs is not None:
+                    self._deref(h >> 1, refs)
+                    self._deref(l >> 1, refs)
+        finally:
+            self.max_nodes = saved_max
+            self._deadline = saved_deadline
+        name_i, name_j = self._var_names[i], self._var_names[j]
+        self._var_names[i], self._var_names[j] = name_j, name_i
+        self._name_to_level[name_i] = j
+        self._name_to_level[name_j] = i
+        self._reorder_swaps += 1
+        if len(self._level) > self._peak_nodes:
+            self._peak_nodes = len(self._level)
+        return len(members[i]) + len(members[j]) - before
+
+    def _deref(self, node: int, refs: List[int]) -> None:
+        """Drop one reference; unlink the node if none remain.
+
+        Only used under a sifting session.  A dead node is removed from
+        the unique table and its level's member list (so sizes stay
+        honest) but its array slots remain as a tombstone until the
+        next collection — node ids must stay stable.  Children are
+        dereferenced recursively; depth is bounded by the level count.
+        """
+        refs[node] -= 1
+        if node == 0 or refs[node] > 0:
+            return
+        level = self._level[node]
+        del self._unique[(level, self._high[node], self._low[node])]
+        self._level_members[level].remove(node)
+        self._deref(self._high[node] >> 1, refs)
+        self._deref(self._low[node] >> 1, refs)
+
+    def _flush_after_reorder(self) -> None:
+        """Close a reordering session: level-keyed state is stale.
+
+        The purely edge-keyed memo tables (_ite_cache & co.) would stay
+        semantically valid — node ids keep their functions across a
+        swap — but the quantification caches key on level-set ids, and
+        _levelset_ids itself now maps frozensets of levels that mean
+        different variables, so everything goes in one flush.
+        gc_epoch bumps so external caches flush too: SizeMemo holds
+        node counts and PairCache holds pair-product profiles that the
+        new order has invalidated.
+        """
+        self.clear_caches()
+        self._levelset_ids.clear()
+        self.gc_epoch += 1
+
+    def _check_budgets(self) -> None:
+        """Enforce node/time budgets at a swap boundary.
+
+        Swaps are atomic with respect to budgets: _swap_adjacent runs
+        unbudgeted and the caller checks here, so a
+        BudgetExceededError always leaves a consistent manager.
+        """
+        if self.max_nodes is not None \
+                and len(self._level) - 1 > self.max_nodes:
+            raise BudgetExceededError("node", self.max_nodes)
+        if self._deadline is not None \
+                and time.monotonic() > self._deadline:
+            raise BudgetExceededError("time", self._deadline)
+
+    def maybe_sift(self) -> bool:
+        """Sift when live nodes grew past the trigger factor.
+
+        Runs at the same safe points as :meth:`auto_collect` (which
+        calls it) when an engine armed :attr:`auto_sift_trigger`.  The
+        baseline is the live size after the previous sift, established
+        lazily on the first call past the floor.  A cheap allocated-size
+        gate avoids the O(live) reachability sweep on most calls.
+        """
+        if self.auto_sift_trigger is None or self._in_reorder:
+            return False
+        if len(self._var_names) < 2:
+            return False
+        baseline = self._auto_sift_baseline
+        floor = max(self.auto_sift_min_live,
+                    int((baseline or 0) * self.auto_sift_trigger))
+        if len(self._level) < floor:
+            return False  # allocated >= live, so live can't be there yet
+        live = self.num_live_nodes()
+        if baseline is None or live < self.auto_sift_min_live:
+            if baseline is None:
+                self._auto_sift_baseline = live
+            return False
+        if live < baseline * self.auto_sift_trigger:
+            return False
+        self.sift(reason="auto")
+        # sift() ends with a collection, so allocated == live here.
+        self._auto_sift_baseline = len(self._level)
+        return True
+
+    def sift(self, max_growth: float = 1.2,
+             max_vars: Optional[int] = None, reason: str = "manual"):
+        """Rudell sifting, in place; see :func:`repro.bdd.sift.sift`."""
+        from .sift import sift as _sift
+        return _sift(self, max_growth=max_growth, max_vars=max_vars,
+                     reason=reason)
 
     # ------------------------------------------------------------------
     # Node construction
@@ -488,6 +781,7 @@ class BDD:
         self._high.append(high)
         self._low.append(low)
         self._unique[key] = node
+        self._level_members[level].append(node)
         self._nodes_created += 1
         if node + 1 > self._peak_nodes:
             self._peak_nodes = node + 1

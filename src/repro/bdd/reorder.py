@@ -1,23 +1,29 @@
-"""Variable-order search — an offline sifting-style optimizer.
+"""Variable-order search, now running on in-place sifting.
 
 The paper (like us) fixes variable orders up front with the
 interleaved-bitslice heuristic; David Long's package could also sift
-dynamically.  We provide the offline equivalent: given a set of
-functions, :func:`improve_order` hill-climbs over adjacent
-transpositions (each trial evaluated by rebuilding the functions in a
-scratch manager via :func:`~repro.bdd.transfer.copy_function`) and
-returns the best order found.  :meth:`BDD.reorder` then applies an
-order to a live manager in place.
+dynamically.  :func:`improve_order` used to emulate that offline — one
+full scratch-manager rebuild per adjacent-transposition trial — but it
+now drives :func:`repro.bdd.sift.sift` directly on the live manager:
+each pass costs a sequence of O(two-level) swaps instead of whole-set
+rebuilds, and the manager is *left under the best order found* (this
+is a mutating optimizer, matching :meth:`BDD.sift`).
 
-This is a tool for experiments and model development, not a hot-path
-optimization: every trial costs a full rebuild of the function set.
+:func:`order_cost` keeps the scratch-rebuild evaluation — it is the
+order-independent ground truth the sift tests cross-check against —
+but the scratch manager now inherits the live manager's node and time
+budgets, so an order search can no longer silently blow past the
+limits a run was started under.  :exc:`BudgetExceededError` from
+either function leaves the live manager consistent;
+:func:`improve_order` catches it and returns the partially improved
+order.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from .manager import BDD, Function
+from .manager import BDD, BudgetExceededError, Function
 from .transfer import copy_function
 
 __all__ = ["improve_order", "order_cost"]
@@ -25,10 +31,19 @@ __all__ = ["improve_order", "order_cost"]
 
 def order_cost(functions: Sequence[Function],
                order: Sequence[str]) -> int:
-    """Shared node count of ``functions`` rebuilt under ``order``."""
+    """Shared node count of ``functions`` rebuilt under ``order``.
+
+    Evaluated in a scratch manager (the live one is untouched) that
+    inherits the live manager's ``max_nodes`` and any active deadline:
+    a trial too expensive for the run's budgets raises
+    :exc:`BudgetExceededError` instead of quietly consuming memory the
+    engines believe is capped.
+    """
     if not functions:
         return 0
-    scratch = BDD()
+    manager = functions[0].bdd
+    scratch = BDD(max_nodes=manager.max_nodes)
+    scratch._deadline = manager._deadline
     for name in order:
         scratch.new_var(name)
     copies = [copy_function(fn, scratch) for fn in functions]
@@ -39,14 +54,23 @@ def improve_order(functions: Sequence[Function],
                   max_passes: int = 3,
                   start_order: Optional[Sequence[str]] = None
                   ) -> Tuple[List[str], int]:
-    """Hill-climb adjacent swaps; returns ``(best_order, best_cost)``.
+    """Sift the functions' manager in place; returns ``(order, cost)``.
 
-    The search covers only the functions' combined support (other
-    manager variables keep their relative positions when the result is
-    fed to :meth:`BDD.reorder`: extend it yourself or reorder a manager
-    that holds exactly these variables).  Each pass sweeps all adjacent
-    pairs once and keeps every improving swap; passes stop early when a
-    sweep finds nothing.
+    Runs up to ``max_passes`` Rudell sifting passes on the *live*
+    manager (no scratch rebuilds), stopping early when a pass stops
+    improving the functions' shared node count.  The manager is left
+    under the final order; the returned order lists the functions'
+    combined support in manager order, ready to feed back to
+    :meth:`BDD.reorder` elsewhere, and the returned cost is the
+    functions' shared node count under it (identical to
+    :func:`order_cost` of that order, since variables outside the
+    support never appear in the functions).
+
+    ``start_order`` (covering exactly the support) is applied first via
+    :meth:`BDD.reorder`, keeping non-support variables in place.  A
+    budget exhausted mid-search aborts cleanly: the
+    :exc:`BudgetExceededError` is swallowed and the best order reached
+    so far is returned — the manager is always left consistent.
     """
     if not functions:
         return ([], 0)
@@ -54,23 +78,22 @@ def improve_order(functions: Sequence[Function],
     support: set = set()
     for fn in functions:
         support |= fn.support()
-    if start_order is None:
-        order = [name for name in manager.var_names if name in support]
-    else:
+    if start_order is not None:
         if set(start_order) != support:
             raise ValueError("start_order must cover exactly the support")
-        order = list(start_order)
-    best_cost = order_cost(functions, order)
+        sequence = iter(start_order)
+        full = [next(sequence) if name in support else name
+                for name in manager.var_names]
+        manager.reorder(full)
+    best_cost = manager.count_nodes(functions)
     for _ in range(max_passes):
-        improved = False
-        for index in range(len(order) - 1):
-            trial = list(order)
-            trial[index], trial[index + 1] = trial[index + 1], trial[index]
-            cost = order_cost(functions, trial)
-            if cost < best_cost:
-                best_cost = cost
-                order = trial
-                improved = True
-        if not improved:
+        try:
+            manager.sift(max_growth=1.2)
+        except BudgetExceededError:
             break
-    return (order, best_cost)
+        cost = manager.count_nodes(functions)
+        if cost >= best_cost:
+            break
+        best_cost = cost
+    order = [name for name in manager.var_names if name in support]
+    return (order, manager.count_nodes(functions))

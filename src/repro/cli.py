@@ -120,6 +120,14 @@ def _print_stats(result) -> None:
         print("pair cache:")
         for key in sorted(pair_cache):
             print(f"  {key:<22} {pair_cache[key]}")
+    reorder = result.reorder_stats
+    if reorder and reorder.get("runs"):
+        print("reordering:")
+        print(f"  sift_runs              {reorder['runs']}")
+        print(f"  swaps                  {reorder['swaps']}")
+        print(f"  vars_sifted            {reorder['vars_sifted']}")
+        print(f"  nodes_saved            {reorder['nodes_saved']}")
+        print(f"  seconds                {reorder['seconds']:.3f}")
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -183,6 +191,16 @@ def _add_verify_parser(subparsers) -> None:
     parser.add_argument("--no-pair-cache", action="store_true",
                         help="disable the persistent pair-product cache "
                              "(recompute every evaluation from scratch)")
+    parser.add_argument("--reorder", default="none",
+                        choices=["none", "sift", "auto"],
+                        help="dynamic variable reordering: one sifting "
+                             "pass before the run (sift) or sift "
+                             "automatically when live nodes grow past "
+                             "the trigger (auto)")
+    parser.add_argument("--reorder-trigger", type=float, default=2.0,
+                        metavar="GROWTH",
+                        help="growth factor that fires an automatic "
+                             "sift under --reorder auto (default 2.0)")
     parser.add_argument("--stats", action="store_true",
                         help="print BDD.stats() and cache counters "
                              "after the run")

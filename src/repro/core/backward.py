@@ -39,6 +39,7 @@ def verify_backward(machine: Machine, good_conjuncts: Sequence[Function],
 
 def _run(machine: Machine, good_conjuncts: Sequence[Function],
          options: Options, recorder: RunRecorder) -> VerificationResult:
+    recorder.initial_reorder()
     manager = machine.manager
     tracer = recorder.tracer
     good = manager.conj(good_conjuncts)

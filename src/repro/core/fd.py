@@ -107,6 +107,7 @@ def _violates(reduced: Function, funcs: Dict[str, Function],
 def _run(machine: Machine, good_conjuncts: List[Function],
          dependent: List[str], options: Options,
          recorder: RunRecorder) -> VerificationResult:
+    recorder.initial_reorder()
     manager = machine.manager
     unknown = [n for n in dependent if n not in machine.current_names]
     if unknown:

@@ -42,6 +42,7 @@ def verify_forward(machine: Machine, good_conjuncts: Sequence[Function],
 
 def _run(machine: Machine, good_conjuncts: Sequence[Function],
          options: Options, recorder: RunRecorder) -> VerificationResult:
+    recorder.initial_reorder()
     manager = machine.manager
     tracer = recorder.tracer
     good = manager.conj(good_conjuncts)

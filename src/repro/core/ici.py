@@ -127,6 +127,7 @@ def _fast_termination(stepped: List[Function],
 
 def _run(machine: Machine, good_conjuncts: List[Function],
          options: Options, recorder: RunRecorder) -> VerificationResult:
+    recorder.initial_reorder()
     manager = machine.manager
     tracer = recorder.tracer
     size_memo = SizeMemo(manager) if options.use_pair_cache else None

@@ -40,6 +40,16 @@ class Options:
     #: exceeds this size (None disables collection).
     gc_min_nodes: Optional[int] = 200_000
 
+    # -- dynamic variable reordering -----------------------------------------
+    #: "none" keeps the build-time order; "sift" runs one Rudell
+    #: sifting pass before the fixpoint loop starts; "auto" arms the
+    #: manager's growth trigger for the duration of the run (sift at
+    #: safe points whenever live nodes grow ``reorder_trigger``-fold
+    #: since the last sift).
+    reorder: str = "none"
+    #: Growth factor for ``reorder="auto"`` (the classic 2x trigger).
+    reorder_trigger: float = 2.0
+
     # -- image computation ---------------------------------------------------
     #: Node limit when clustering the partitioned transition relation.
     cluster_limit: int = 2500
@@ -101,6 +111,8 @@ class Options:
         "back_image": "back_image_mode",
         "monotone": "exploit_monotonicity",
         "auto_decompose": "auto_decompose",
+        "reorder": "reorder",
+        "reorder_trigger": "reorder_trigger",
     }
 
     @classmethod
@@ -139,3 +151,7 @@ class Options:
                 f"unknown back_image_mode {self.back_image_mode!r}")
         if self.pair_cache_capacity <= 0:
             raise ValueError("pair_cache_capacity must be positive")
+        if self.reorder not in ("none", "sift", "auto"):
+            raise ValueError(f"unknown reorder mode {self.reorder!r}")
+        if self.reorder_trigger <= 1.0:
+            raise ValueError("reorder_trigger must exceed 1.0")

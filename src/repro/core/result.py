@@ -17,8 +17,8 @@ from typing import Any, Dict, Iterable, List, Optional
 
 from ..bdd.manager import BDD, BudgetExceededError, Function
 from ..fsm.trace import Trace
-from ..trace import BUDGET_CHECK, GC, ITERATION, NULL_TRACER, RUN_END, \
-    RUN_START
+from ..trace import BUDGET_CHECK, GC, ITERATION, NULL_TRACER, REORDER, \
+    RUN_END, RUN_START
 from .options import Options
 
 __all__ = ["VerificationResult", "Outcome", "RunRecorder"]
@@ -71,6 +71,10 @@ class VerificationResult:
     #: Aggregate view of the run's structured trace (see
     #: :mod:`repro.trace.summary`); None when the run was untraced.
     trace_summary: Optional[Dict[str, Any]] = None
+    #: Per-run dynamic-reordering totals (sift sessions, swaps,
+    #: variables sifted, live nodes saved, time spent).  All zero when
+    #: ``Options.reorder`` was "none" and nothing sifted the manager.
+    reorder_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def verified(self) -> bool:
@@ -129,6 +133,7 @@ class VerificationResult:
             "max_iterate_profile": self.max_iterate_profile,
             "bdd_stats": dict(self.bdd_stats),
             "trace_summary": self.trace_summary,
+            "reorder_stats": _jsonable(self.reorder_stats),
             "extra": _jsonable(self.extra),
         }
         if include_profiles:
@@ -183,6 +188,39 @@ class RunRecorder:
         if options.time_limit is not None:
             manager._deadline = self._start + options.time_limit
         manager.auto_gc_min_nodes = options.gc_min_nodes
+        # Dynamic reordering: arm the growth trigger for "auto" (the
+        # one-shot "sift" pass runs via initial_reorder(), *inside* the
+        # engine's budget handling) and observe every sift session —
+        # whatever triggered it — for per-run totals + trace events.
+        self._saved_reorder = (manager.auto_sift_trigger,
+                               manager._auto_sift_baseline,
+                               manager.reorder_observer)
+        if options.reorder == "auto":
+            manager.auto_sift_trigger = options.reorder_trigger
+            manager._auto_sift_baseline = None
+        self.reorder_stats: Dict[str, Any] = {
+            "runs": 0, "swaps": 0, "vars_sifted": 0,
+            "nodes_saved": 0, "seconds": 0.0}
+
+        def _on_reorder(info: Dict[str, Any]) -> None:
+            totals = self.reorder_stats
+            totals["runs"] += 1
+            totals["swaps"] += info.get("swaps", 0)
+            totals["vars_sifted"] += info.get("vars_sifted", 0)
+            totals["nodes_saved"] += (info.get("nodes_before", 0)
+                                      - info.get("nodes_after", 0))
+            totals["seconds"] += info.get("seconds", 0.0)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    REORDER, reason=info.get("reason"),
+                    vars_sifted=info.get("vars_sifted"),
+                    swaps=info.get("swaps"),
+                    nodes_before=info.get("nodes_before"),
+                    nodes_after=info.get("nodes_after"),
+                    seconds=round(info.get("seconds", 0.0), 6),
+                    aborted=info.get("aborted"))
+
+        manager.reorder_observer = _on_reorder
         self._saved_gc_observer = manager.gc_observer
         if self.tracer.enabled:
             tracer = self.tracer
@@ -212,7 +250,21 @@ class RunRecorder:
                 "var_choice": opts.var_choice,
                 "pairwise_step3": opts.pairwise_step3,
                 "exploit_monotonicity": opts.exploit_monotonicity,
-                "auto_decompose": opts.auto_decompose}
+                "auto_decompose": opts.auto_decompose,
+                "reorder": opts.reorder,
+                "reorder_trigger": opts.reorder_trigger}
+
+    def initial_reorder(self) -> None:
+        """Run the one-shot pre-loop sift when ``reorder="sift"``.
+
+        Engines call this as the first statement of their budgeted
+        region — not in ``__init__`` — so that a sift that exhausts a
+        node or time budget flows through the same
+        :class:`BudgetExceededError` handling as the fixpoint loop.
+        """
+        if self.options.reorder == "sift" \
+                and self.manager.num_vars >= 2:
+            self.manager.sift(reason="sift")
 
     def record_iterate(self, nodes: int, profile: str,
                        conjuncts: Optional[Iterable[Function]] = None
@@ -279,6 +331,9 @@ class RunRecorder:
         elapsed = time.monotonic() - self._start
         (self.manager.max_nodes, self.manager._deadline,
          self.manager.auto_gc_min_nodes) = self._saved_budget
+        (self.manager.auto_sift_trigger,
+         self.manager._auto_sift_baseline,
+         self.manager.reorder_observer) = self._saved_reorder
         self.manager.gc_observer = self._saved_gc_observer
         trace_summary = None
         if self.tracer.enabled:
@@ -305,4 +360,5 @@ class RunRecorder:
             bdd_stats=BDD.stats_delta(self._stats_before,
                                       self.manager.stats()),
             trace_summary=trace_summary,
+            reorder_stats=dict(self.reorder_stats),
         )

@@ -82,6 +82,7 @@ def _condition(conjlist: ConjList, options: Options,
 
 def _run(machine: Machine, good_conjuncts: List[Function],
          options: Options, recorder: RunRecorder) -> VerificationResult:
+    recorder.initial_reorder()
     manager = machine.manager
     # The tautology engine only knows the two Theorem 3 simplifiers;
     # with the multiway list simplifier it falls back to Restrict.

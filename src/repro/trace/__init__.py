@@ -15,7 +15,7 @@ built incrementally by :mod:`repro.trace.summary`.
 """
 
 from .events import BACK_IMAGE, BUDGET_CHECK, EVENT_TYPES, GC, IMAGE, \
-    ITERATION, MERGE, RUN_END, RUN_START, TERMINATION
+    ITERATION, MERGE, REORDER, RUN_END, RUN_START, TERMINATION
 from .summary import TraceSummaryBuilder
 from .tracer import JsonlTracer, NULL_TRACER, NullTracer, \
     RecordingTracer, Tracer
@@ -24,5 +24,5 @@ __all__ = [
     "Tracer", "NullTracer", "RecordingTracer", "JsonlTracer",
     "NULL_TRACER", "TraceSummaryBuilder",
     "RUN_START", "RUN_END", "ITERATION", "BACK_IMAGE", "IMAGE", "MERGE",
-    "TERMINATION", "GC", "BUDGET_CHECK", "EVENT_TYPES",
+    "TERMINATION", "GC", "REORDER", "BUDGET_CHECK", "EVENT_TYPES",
 ]

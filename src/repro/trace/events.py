@@ -33,6 +33,13 @@ event-specific fields:
     engines report ``canonical`` (constant-time pointer comparison).
 ``gc``
     One manager garbage collection: ``freed``, ``live``, ``epoch``.
+``reorder``
+    One dynamic-reordering (sifting) session: ``reason`` (what
+    triggered it — ``sift`` for the one-shot pre-run pass, ``auto``
+    for the growth trigger, ``manual``), ``vars_sifted``, ``swaps``,
+    ``nodes_before`` / ``nodes_after`` (live counts around the
+    session), ``seconds``, and ``aborted`` (the budget kind that cut
+    the session short, or null).
 ``budget_check``
     One engine-level budget check: ``kind``, ``elapsed``, ``limit``.
 ``run_end``
@@ -43,7 +50,8 @@ event-specific fields:
 from __future__ import annotations
 
 __all__ = ["RUN_START", "RUN_END", "ITERATION", "BACK_IMAGE", "IMAGE",
-           "MERGE", "TERMINATION", "GC", "BUDGET_CHECK", "EVENT_TYPES"]
+           "MERGE", "TERMINATION", "GC", "REORDER", "BUDGET_CHECK",
+           "EVENT_TYPES"]
 
 RUN_START = "run_start"
 RUN_END = "run_end"
@@ -53,8 +61,9 @@ IMAGE = "image"
 MERGE = "merge"
 TERMINATION = "termination_test"
 GC = "gc"
+REORDER = "reorder"
 BUDGET_CHECK = "budget_check"
 
 #: Every event type a tracer can receive.
 EVENT_TYPES = (RUN_START, RUN_END, ITERATION, BACK_IMAGE, IMAGE, MERGE,
-               TERMINATION, GC, BUDGET_CHECK)
+               TERMINATION, GC, REORDER, BUDGET_CHECK)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Dict, List
 
 from .events import BACK_IMAGE, BUDGET_CHECK, GC, IMAGE, ITERATION, \
-    MERGE, RUN_END, RUN_START, TERMINATION
+    MERGE, REORDER, RUN_END, RUN_START, TERMINATION
 
 __all__ = ["TraceSummaryBuilder"]
 
@@ -36,6 +36,9 @@ class TraceSummaryBuilder:
         self.images = 0
         self.gc_runs = 0
         self.gc_freed = 0
+        self.reorders = 0
+        self.reorder_swaps = 0
+        self.reorder_nodes_saved = 0
         self.budget_checks = 0
         self.outcome: Dict[str, Any] = {}
 
@@ -73,6 +76,13 @@ class TraceSummaryBuilder:
         elif kind == GC:
             self.gc_runs += 1
             self.gc_freed += event.get("freed", 0)
+        elif kind == REORDER:
+            self.reorders += 1
+            self.reorder_swaps += event.get("swaps", 0)
+            before = event.get("nodes_before")
+            after = event.get("nodes_after")
+            if before is not None and after is not None:
+                self.reorder_nodes_saved += before - after
         elif kind == BUDGET_CHECK:
             self.budget_checks += 1
         elif kind == RUN_END:
@@ -97,5 +107,8 @@ class TraceSummaryBuilder:
             "images": self.images,
             "gc_runs": self.gc_runs,
             "gc_freed": self.gc_freed,
+            "reorders": self.reorders,
+            "reorder_swaps": self.reorder_swaps,
+            "reorder_nodes_saved": self.reorder_nodes_saved,
             "budget_checks": self.budget_checks,
         }

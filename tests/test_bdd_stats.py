@@ -14,7 +14,8 @@ EXPECTED_KEYS = {
     "restrict_misses", "constrain_hits", "constrain_misses",
     "cache_evictions", "cache_flushes", "nodes_created", "nodes_current",
     "nodes_peak", "gc_runs", "gc_freed", "bounded_and_calls",
-    "bounded_and_aborts",
+    "bounded_and_aborts", "reorder_runs", "reorder_swaps",
+    "reorder_time_ms", "reorder_nodes_before", "reorder_nodes_after",
 }
 
 
