@@ -9,6 +9,10 @@ construction (see ``tests/test_paircache.py``); only the amount of
 work differs, so ``pairs_built`` dropping with the cache on *is* the
 speedup, stated in operation counts rather than noisy seconds.
 
+The output is the unified versioned schema of
+:mod:`repro.obs.benchjson` — ``benchmarks/regress.py`` compares it
+against the committed baseline as part of the CI perf gate.
+
 Standalone (no pytest-benchmark dependency) so CI can smoke it::
 
     PYTHONPATH=src python benchmarks/bench_evaluator_cache.py
@@ -19,7 +23,6 @@ Standalone (no pytest-benchmark dependency) so CI can smoke it::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -31,6 +34,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.core import Options, verify  # noqa: E402
 from repro.models import moving_average, pipelined_processor  # noqa: E402
+from repro.obs import benchjson  # noqa: E402
 
 
 def _models(scale: str) -> Dict[str, Callable]:
@@ -66,22 +70,40 @@ def run_config(factory: Callable, use_cache: bool,
         if best_seconds is None or elapsed < best_seconds:
             best_seconds = elapsed
             eval_stats = result.extra["evaluation_stats"]
-            record = {
-                "seconds": round(elapsed, 4),
-                "outcome": result.outcome,
-                "iterations": result.iterations,
+            record = benchjson.result_metrics(result, seconds=elapsed)
+            record.update({
                 "pairs_built": eval_stats.pairs_built,
                 "pairs_aborted": eval_stats.pairs_aborted,
                 "merges": eval_stats.merges,
                 "ite_misses": result.bdd_stats["ite_misses"],
                 "nodes_created": result.bdd_stats["nodes_created"],
-                "peak_nodes": result.peak_nodes,
-            }
+            })
             cache_stats = result.extra.get("pair_cache_stats")
             if cache_stats is not None:
                 record["product_hits"] = cache_stats["product_hits"]
                 record["product_misses"] = cache_stats["product_misses"]
     return record
+
+
+def build_report(scale: str = "quick", rounds: int = 3) -> Dict[str, object]:
+    """Run every cell and return the unified benchjson report."""
+    report = benchjson.new_report("evaluator_cache", scale=scale,
+                                  rounds=rounds)
+    derived = report["derived"]
+    for name, factory in _models(scale).items():
+        on = run_config(factory, use_cache=True, rounds=rounds)
+        off = run_config(factory, use_cache=False, rounds=rounds)
+        benchjson.add_entry(report, name, "xici", "cache_on", on)
+        benchjson.add_entry(report, name, "xici", "cache_off", off)
+        derived[name] = {
+            "pairs_built_saved": off["pairs_built"] - on["pairs_built"],
+            "speedup": round(off["seconds"] / max(on["seconds"], 1e-9), 3),
+        }
+        print(f"{name:<10} cache-on  {on['seconds']:>8.3f}s  "
+              f"pairs_built={on['pairs_built']}")
+        print(f"{name:<10} cache-off {off['seconds']:>8.3f}s  "
+              f"pairs_built={off['pairs_built']}")
+    return report
 
 
 def main(argv=None) -> int:
@@ -94,32 +116,13 @@ def main(argv=None) -> int:
                         choices=["quick", "full"])
     args = parser.parse_args(argv)
 
-    report: Dict[str, object] = {
-        "benchmark": "evaluator_cache",
-        "scale": args.scale,
-        "rounds": args.rounds,
-        "models": {},
-    }
+    report = build_report(scale=args.scale, rounds=args.rounds)
     exit_code = 0
-    for name, factory in _models(args.scale).items():
-        on = run_config(factory, use_cache=True, rounds=args.rounds)
-        off = run_config(factory, use_cache=False, rounds=args.rounds)
-        cell = {
-            "cache_on": on,
-            "cache_off": off,
-            "pairs_built_saved": off["pairs_built"] - on["pairs_built"],
-            "speedup": round(off["seconds"] / max(on["seconds"], 1e-9), 3),
-        }
-        report["models"][name] = cell
-        print(f"{name:<10} cache-on  {on['seconds']:>8.3f}s  "
-              f"pairs_built={on['pairs_built']}")
-        print(f"{name:<10} cache-off {off['seconds']:>8.3f}s  "
-              f"pairs_built={off['pairs_built']}")
-        if on["pairs_built"] >= off["pairs_built"]:
+    for name, cell in report["derived"].items():
+        if cell["pairs_built_saved"] <= 0:
             print(f"{name:<10} WARNING: cache did not reduce pairs_built")
             exit_code = 1
-    args.output.write_text(json.dumps(report, indent=2, sort_keys=True)
-                           + "\n")
+    benchjson.write_report(report, args.output)
     print(f"wrote {args.output}")
     return exit_code
 

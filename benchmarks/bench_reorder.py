@@ -15,6 +15,10 @@ comparisons are the known-sensitive case); models whose interleaved
 order is already near-optimal (network) are reported as-is — dynamic
 reordering is allowed to not help there.
 
+The output is the unified versioned schema of
+:mod:`repro.obs.benchjson` — ``benchmarks/regress.py`` compares it
+against the committed baseline as part of the CI perf gate.
+
 Standalone (no pytest-benchmark dependency) so CI can smoke it::
 
     PYTHONPATH=src python benchmarks/bench_reorder.py
@@ -25,7 +29,6 @@ Standalone (no pytest-benchmark dependency) so CI can smoke it::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -38,6 +41,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 from repro.core import Options, verify  # noqa: E402
 from repro.models import message_network, moving_average, \
     typed_fifo  # noqa: E402
+from repro.obs import benchjson  # noqa: E402
 
 #: Growth factor for the "auto" column.  More eager than the manager's
 #: 2.0 default: the bench models converge in few iterations, so a late
@@ -80,18 +84,36 @@ def run_config(factory: Callable, mode: str,
                 f"(reorder={mode}): {result.outcome}")
         if best_seconds is None or elapsed < best_seconds:
             best_seconds = elapsed
-            record = {
-                "seconds": round(elapsed, 4),
-                "outcome": result.outcome,
-                "iterations": result.iterations,
-                "peak_nodes": result.peak_nodes,
-                "max_iterate_nodes": result.max_iterate_nodes,
+            record = benchjson.result_metrics(result, seconds=elapsed)
+            record.update({
                 "sift_runs": result.reorder_stats["runs"],
                 "sift_swaps": result.reorder_stats["swaps"],
                 "sift_nodes_saved": result.reorder_stats["nodes_saved"],
                 "sift_seconds": round(result.reorder_stats["seconds"], 4),
-            }
+            })
     return record
+
+
+def build_report(scale: str = "quick", rounds: int = 3) -> Dict[str, object]:
+    """Run every cell and return the unified benchjson report."""
+    report = benchjson.new_report("reorder", scale=scale, rounds=rounds,
+                                  params={"auto_trigger": AUTO_TRIGGER})
+    derived = report["derived"]
+    for name, factory in _models(scale).items():
+        rows: Dict[str, Dict[str, object]] = {}
+        for mode in MODES:
+            row = run_config(factory, mode, rounds=rounds)
+            rows[mode] = row
+            benchjson.add_entry(report, name, "fwd", mode, row)
+            print(f"{name:<8} {mode:<5} {row['seconds']:>8.3f}s  "
+                  f"peak={row['peak_nodes']:<8} "
+                  f"max_iterate={row['max_iterate_nodes']:<7} "
+                  f"sifts={row['sift_runs']}")
+        derived[name] = {
+            "auto_peak_saved": (rows["none"]["peak_nodes"]
+                                - rows["auto"]["peak_nodes"]),
+        }
+    return report
 
 
 def main(argv=None) -> int:
@@ -104,32 +126,11 @@ def main(argv=None) -> int:
                         choices=["quick", "full"])
     args = parser.parse_args(argv)
 
-    report: Dict[str, object] = {
-        "benchmark": "reorder",
-        "scale": args.scale,
-        "rounds": args.rounds,
-        "auto_trigger": AUTO_TRIGGER,
-        "models": {},
-    }
-    auto_won_somewhere = False
-    for name, factory in _models(args.scale).items():
-        cell: Dict[str, object] = {}
-        for mode in MODES:
-            cell[mode] = run_config(factory, mode, rounds=args.rounds)
-            row = cell[mode]
-            print(f"{name:<8} {mode:<5} {row['seconds']:>8.3f}s  "
-                  f"peak={row['peak_nodes']:<8} "
-                  f"max_iterate={row['max_iterate_nodes']:<7} "
-                  f"sifts={row['sift_runs']}")
-        fixed_peak = cell["none"]["peak_nodes"]
-        auto_peak = cell["auto"]["peak_nodes"]
-        cell["auto_peak_saved"] = fixed_peak - auto_peak
-        if auto_peak < fixed_peak:
-            auto_won_somewhere = True
-        report["models"][name] = cell
-    args.output.write_text(json.dumps(report, indent=2, sort_keys=True)
-                           + "\n")
+    report = build_report(scale=args.scale, rounds=args.rounds)
+    benchjson.write_report(report, args.output)
     print(f"wrote {args.output}")
+    auto_won_somewhere = any(cell["auto_peak_saved"] > 0
+                             for cell in report["derived"].values())
     if not auto_won_somewhere:
         print("WARNING: auto-sift reduced peak nodes on no model")
         return 1

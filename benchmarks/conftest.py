@@ -18,6 +18,7 @@ import pytest
 
 from repro.bench import ReportRow
 from repro.core import Options
+from repro.obs import benchjson
 
 
 def run_cell(benchmark, make_row: Callable[[], ReportRow],
@@ -31,15 +32,21 @@ def run_cell(benchmark, make_row: Callable[[], ReportRow],
                              warmup_rounds=0)
     result = row.result
     # One serialization path for machine consumers: the result's own
-    # to_dict().  The flat legacy keys stay for old dashboards.
+    # to_dict(), plus the unified benchjson metrics block every
+    # BENCH_*.json emitter shares.  The flat legacy keys stay for old
+    # dashboards.
     info = result.to_dict(include_profiles=False,
                           include_counterexample=False)
+    metrics = benchjson.result_metrics(result)
     benchmark.extra_info["result"] = info
-    benchmark.extra_info["outcome"] = info["outcome"]
-    benchmark.extra_info["iterations"] = info["iterations"]
-    benchmark.extra_info["max_iterate_nodes"] = info["max_iterate_nodes"]
+    benchmark.extra_info["metrics"] = metrics
+    benchmark.extra_info["schema_version"] = benchjson.SCHEMA_VERSION
+    benchmark.extra_info["outcome"] = metrics["outcome"]
+    benchmark.extra_info["iterations"] = metrics["iterations"]
+    benchmark.extra_info["max_iterate_nodes"] = \
+        metrics["max_iterate_nodes"]
     benchmark.extra_info["profile"] = info["max_iterate_profile"]
-    benchmark.extra_info["peak_nodes"] = info["peak_nodes"]
+    benchmark.extra_info["peak_nodes"] = metrics["peak_nodes"]
     if row.paper is not None:
         benchmark.extra_info["paper_nodes"] = row.paper.nodes
         benchmark.extra_info["paper_iterations"] = row.paper.iterations

@@ -1,0 +1,188 @@
+"""Benchmark-regression gate: current run vs committed baselines.
+
+Re-runs the standalone benches (``bench_evaluator_cache.py`` and
+``bench_reorder.py``), compares every (model, method, config) cell of
+the fresh reports against the committed ``BENCH_*.json`` baselines,
+and exits nonzero on any violation — this is the CI ``perf-gate`` job.
+
+Per-metric tolerances, chosen for what each number *is*:
+
+* ``iterations`` — exact.  The engines are deterministic; a different
+  iteration count means behavior changed, not noise.
+* ``peak_nodes`` / ``max_iterate_nodes`` — ratio bound (default
+  1.10x).  Node counts are deterministic too, but GC timing makes the
+  allocated peak mildly schedule-sensitive; small drift is tolerated,
+  a 2x blowup is not.
+* ``seconds`` — generous ratio bound (default 5x) *plus* an absolute
+  slack (default 1s): ``limit = max(base * ratio, base + slack)``.
+  Shared CI runners jitter wall time badly; this only catches
+  order-of-magnitude slowdowns, by design.
+
+Anything absent from the baseline (new cell, new metric) passes with a
+note; a cell present in the baseline but missing from the current run
+fails — silently dropping coverage must not read as green.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regress.py            # full rounds
+    PYTHONPATH=src python benchmarks/regress.py --quick    # 1 round, CI
+    PYTHONPATH=src python benchmarks/regress.py --update-baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import benchjson  # noqa: E402
+
+import bench_evaluator_cache  # noqa: E402
+import bench_reorder  # noqa: E402
+
+__all__ = ["Tolerance", "DEFAULT_TOLERANCES", "compare_reports", "main"]
+
+
+class Tolerance:
+    """How far a current metric may drift from its baseline.
+
+    ``ratio`` bounds the multiplicative growth, ``abs_slack`` adds a
+    flat allowance on top: ``limit = max(base * ratio, base + abs_slack)``.
+    ``exact=True`` means any difference (in either direction) fails.
+    Metrics only regress upward here — a *drop* in peak_nodes or
+    seconds is an improvement and always passes.
+    """
+
+    def __init__(self, ratio: float = 1.0, abs_slack: float = 0.0,
+                 exact: bool = False) -> None:
+        self.ratio = ratio
+        self.abs_slack = abs_slack
+        self.exact = exact
+
+    def check(self, base: float, current: float) -> Optional[str]:
+        """None when within tolerance, else a violation description."""
+        if self.exact:
+            if current != base:
+                return f"expected exactly {base}, got {current}"
+            return None
+        limit = max(base * self.ratio, base + self.abs_slack)
+        if current > limit:
+            return (f"{current} exceeds limit {limit:.4g} "
+                    f"(baseline {base}, ratio {self.ratio}, "
+                    f"slack {self.abs_slack})")
+        return None
+
+
+#: metric name -> Tolerance; metrics not listed are informational only.
+DEFAULT_TOLERANCES: Dict[str, Tolerance] = {
+    "outcome": Tolerance(exact=True),
+    "iterations": Tolerance(exact=True),
+    "peak_nodes": Tolerance(ratio=1.10),
+    "max_iterate_nodes": Tolerance(ratio=1.10),
+    "seconds": Tolerance(ratio=5.0, abs_slack=1.0),
+}
+
+
+def compare_reports(baseline: Dict[str, Any], current: Dict[str, Any],
+                    tolerances: Optional[Dict[str, Tolerance]] = None
+                    ) -> Tuple[List[str], List[str]]:
+    """Compare two benchjson reports cell by cell.
+
+    Returns ``(violations, notes)``: violations fail the gate, notes
+    are informational (new cells, new metrics).
+    """
+    if tolerances is None:
+        tolerances = DEFAULT_TOLERANCES
+    violations: List[str] = []
+    notes: List[str] = []
+    name = current.get("benchmark", "?")
+    base_index = benchjson.entry_index(baseline)
+    current_index = benchjson.entry_index(current)
+    for key in sorted(base_index):
+        label = f"{name}:{'/'.join(key)}"
+        if key not in current_index:
+            violations.append(f"{label}: cell missing from current run")
+            continue
+        base_metrics = base_index[key]
+        cur_metrics = current_index[key]
+        for metric, tolerance in tolerances.items():
+            if metric not in base_metrics:
+                continue
+            if metric not in cur_metrics:
+                violations.append(
+                    f"{label}: metric {metric!r} missing from "
+                    "current run")
+                continue
+            problem = tolerance.check(base_metrics[metric],
+                                      cur_metrics[metric])
+            if problem is not None:
+                violations.append(f"{label}: {metric}: {problem}")
+    for key in sorted(current_index):
+        if key not in base_index:
+            notes.append(f"{name}:{'/'.join(key)}: new cell "
+                         "(no baseline; passes)")
+    return violations, notes
+
+
+#: (baseline filename, module with build_report) for every gated bench.
+BENCHES = (
+    ("BENCH_evaluator.json", bench_evaluator_cache),
+    ("BENCH_reorder.json", bench_reorder),
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="one round per cell (CI mode; the default "
+                             "tolerances absorb the extra noise)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="override repetitions per cell")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="write the fresh reports over the "
+                             "committed BENCH_*.json files instead of "
+                             "comparing")
+    parser.add_argument("--baseline-dir", type=Path, default=REPO_ROOT,
+                        help="where the committed baselines live")
+    args = parser.parse_args(argv)
+    rounds = args.rounds if args.rounds is not None \
+        else (1 if args.quick else 3)
+
+    all_violations: List[str] = []
+    for filename, module in BENCHES:
+        baseline_path = args.baseline_dir / filename
+        print(f"== {filename} (rounds={rounds}) ==")
+        report = module.build_report(scale="quick", rounds=rounds)
+        if args.update_baselines:
+            benchjson.write_report(report, baseline_path)
+            print(f"updated {baseline_path}")
+            continue
+        if not baseline_path.exists():
+            all_violations.append(
+                f"{filename}: baseline missing — run with "
+                "--update-baselines and commit it")
+            continue
+        baseline = benchjson.load_report(baseline_path)
+        violations, notes = compare_reports(baseline, report)
+        for note in notes:
+            print(f"  note: {note}")
+        if violations:
+            for violation in violations:
+                print(f"  REGRESSION: {violation}")
+            all_violations.extend(violations)
+        else:
+            print("  ok: all cells within tolerance")
+    if all_violations:
+        print(f"\n{len(all_violations)} regression(s) detected")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,13 @@ their time, sifting sessions, and the termination-test tier tally —
 followed by the run-level totals.  Events that happen *after* an ``iteration`` event
 (the engines record the iterate first, then test termination on it)
 are attributed to that iteration's row.
+
+``--metrics FILE`` additionally folds in a metrics JSONL timeline from
+the same run (``verify --trace t.jsonl --metrics m.jsonl``): the
+resource sampler takes one forced sample per iterate boundary, so each
+iteration row gains the node-table peak at that point and the op-cache
+hit rate over that iteration's window (delta of the cumulative
+hit/miss counters between consecutive iterate samples).
 """
 
 from __future__ import annotations
@@ -40,11 +47,28 @@ def read_events(path: str) -> List[Dict[str, Any]]:
     return events
 
 
+def read_metrics_samples(path: str) -> List[Dict[str, Any]]:
+    """Parse a metrics JSONL timeline; returns the sample lines only."""
+    samples = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{lineno}: not JSON: {error}")
+            if record.get("kind") == "sample":
+                samples.append(record)
+    return samples
+
+
 def _new_row(index: int) -> Dict[str, Any]:
     return {"index": index, "nodes": None, "profile": "", "list_length": None,
             "merges": 0, "images": 0, "back_images": 0,
             "image_seconds": 0.0, "reorders": 0, "reorder_swaps": 0,
-            "tiers": {}, "t": None}
+            "tiers": {}, "t": None, "peak_nodes": None, "hit_rate": None}
 
 
 def group_by_iteration(events: Iterable[Dict[str, Any]]
@@ -102,21 +126,54 @@ def group_by_iteration(events: Iterable[Dict[str, Any]]
     return {"run": run, "rows": rows}
 
 
+def fold_metrics(rows: List[Dict[str, Any]],
+                 samples: List[Dict[str, Any]]) -> None:
+    """Attach per-iteration metrics columns from a sampler timeline.
+
+    The k-th ``reason == "iterate"`` sample is the forced snapshot the
+    :class:`RunRecorder` takes at the k-th iterate boundary, so the
+    mapping to rows is positional and exact.  The hit rate is computed
+    over each iteration's *window*: the delta of the cumulative
+    aggregate op-cache hit/miss counters between consecutive iterate
+    samples.
+    """
+    iterate_samples = [s for s in samples
+                       if s.get("reason") == "iterate"]
+    prev_hits = 0
+    prev_misses = 0
+    for row, sample in zip(rows, iterate_samples):
+        row["peak_nodes"] = sample.get("nodes_peak")
+        hits = sample.get("cache_hits") or 0
+        misses = sample.get("cache_misses") or 0
+        delta_hits = hits - prev_hits
+        delta_misses = misses - prev_misses
+        total = delta_hits + delta_misses
+        row["hit_rate"] = (delta_hits / total) if total > 0 else None
+        prev_hits, prev_misses = hits, misses
+
+
 def _tier_text(tiers: Dict[str, int]) -> str:
     hits = [f"{name}:{count}" for name, count in sorted(tiers.items())
             if count and name != "memo_hits"]
     return " ".join(hits) if hits else "-"
 
 
-def format_report(events: List[Dict[str, Any]]) -> str:
+def format_report(events: List[Dict[str, Any]],
+                  metrics_samples: Optional[List[Dict[str, Any]]] = None
+                  ) -> str:
     grouped = group_by_iteration(events)
     run, rows = grouped["run"], grouped["rows"]
+    with_metrics = metrics_samples is not None
+    if with_metrics:
+        fold_metrics(rows, metrics_samples)
     lines = []
     lines.append(f"trace: {run.get('method') or '?'} on "
                  f"{run.get('model') or '?'} — "
                  f"outcome {run.get('outcome') or '(incomplete)'}")
+    metrics_header = f"  {'peak':>8}  {'hit%':>6}" if with_metrics else ""
     header = (f"{'iter':>4}  {'list':>4}  {'nodes':>8}  {'mrg':>4}  "
-              f"{'img':>4}  {'img s':>8}  {'sift':>4}  termination tiers")
+              f"{'img':>4}  {'img s':>8}  {'sift':>4}"
+              f"{metrics_header}  termination tiers")
     lines.append(header)
     lines.append("-" * len(header))
     for row in rows:
@@ -124,10 +181,18 @@ def format_report(events: List[Dict[str, Any]]) -> str:
         length = "-" if row["list_length"] is None else str(row["list_length"])
         images = row["images"] + row["back_images"]
         sifts = str(row["reorders"]) if row["reorders"] else "-"
+        metrics_cols = ""
+        if with_metrics:
+            peak = ("?" if row["peak_nodes"] is None
+                    else str(row["peak_nodes"]))
+            rate = ("-" if row["hit_rate"] is None
+                    else f"{100.0 * row['hit_rate']:.1f}")
+            metrics_cols = f"  {peak:>8}  {rate:>6}"
         lines.append(
             f"{row['index']:>4}  {length:>4}  {nodes:>8}  "
             f"{row['merges']:>4}  {images:>4}  "
-            f"{row['image_seconds']:>8.4f}  {sifts:>4}  "
+            f"{row['image_seconds']:>8.4f}  {sifts:>4}"
+            f"{metrics_cols}  "
             f"{_tier_text(row['tiers'])}")
     totals = {
         "events": len(events),
@@ -161,9 +226,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="render a repro --trace JSONL file as a table")
     parser.add_argument("file", help="JSONL trace from verify --trace")
+    parser.add_argument("--metrics", metavar="FILE", default=None,
+                        help="metrics JSONL timeline from the same run "
+                             "(verify --metrics FILE); adds per-"
+                             "iteration peak-nodes and op-cache "
+                             "hit-rate columns")
     args = parser.parse_args(argv)
     events = read_events(args.file)
-    print(format_report(events))
+    metrics_samples = None
+    if args.metrics:
+        metrics_samples = read_metrics_samples(args.metrics)
+    print(format_report(events, metrics_samples))
     return 0
 
 

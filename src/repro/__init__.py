@@ -26,6 +26,10 @@ including every substrate the paper relies on:
 * :mod:`repro.trace` — structured engine tracing: typed events from
   every engine (iterations, merges, termination tiers, GC, budgets)
   to null / recording / JSONL tracers.
+* :mod:`repro.obs` — metrics and profiling: counters, fixed-bucket
+  histograms, phase timers, a periodic resource sampler, and JSONL /
+  Prometheus / terminal exporters, plus the versioned ``BENCH_*.json``
+  schema behind ``benchmarks/regress.py``.
 
 **The stable public API** is this module's top level::
 
@@ -47,15 +51,18 @@ but are implementation layout, not interface.
 
 __version__ = "1.1.0"
 
-from . import bdd, bench, core, explicit, expr, fsm, iclist, models, trace
+from . import bdd, bench, core, explicit, expr, fsm, iclist, models, \
+    obs, trace
 from .core import METHODS, Options, Outcome, Problem, \
     VerificationResult, verify
 from .models import MODELS, available_models, build_model
+from .obs import MetricsRegistry, NullRegistry, ResourceSampler
 from .trace import JsonlTracer, NullTracer, RecordingTracer, Tracer
 
 __all__ = ["bdd", "bench", "core", "explicit", "expr", "fsm", "iclist",
-           "models", "trace", "__version__",
+           "models", "obs", "trace", "__version__",
            "verify", "METHODS", "Options", "Outcome", "Problem",
            "VerificationResult",
            "available_models", "build_model", "MODELS",
-           "Tracer", "NullTracer", "RecordingTracer", "JsonlTracer"]
+           "Tracer", "NullTracer", "RecordingTracer", "JsonlTracer",
+           "MetricsRegistry", "NullRegistry", "ResourceSampler"]

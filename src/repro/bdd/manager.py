@@ -39,8 +39,12 @@ from __future__ import annotations
 
 import sys
 import time
+import warnings
 import weakref
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, \
+    Tuple
+
+from ..obs.registry import NULL_REGISTRY
 
 __all__ = ["BDD", "EpochGuard", "Function", "BudgetExceededError",
            "TERMINAL_LEVEL"]
@@ -136,12 +140,24 @@ class BDD:
         # per-level sizes monotone and sifting blind).  None outside a
         # sifting session.
         self._sift_refs: Optional[List[int]] = None
-        #: Optional observer called as ``observer(freed, live, epoch)``
-        #: after every :meth:`garbage_collect`.  Purely observational —
-        #: the structured-tracing layer uses it to emit ``gc`` events;
-        #: engines install it for the duration of a run and restore the
-        #: previous value afterwards.
-        self.gc_observer = None
+        #: Observers called as ``observer(freed, live, epoch)`` after
+        #: every :meth:`garbage_collect`.  Purely observational — the
+        #: structured-tracing layer emits ``gc`` events from one, the
+        #: resource sampler snapshots from another.  Register with
+        #: :meth:`add_gc_observer` / :meth:`remove_gc_observer`; the
+        #: legacy single-slot :attr:`gc_observer` attribute still works
+        #: via a deprecation shim.
+        self._gc_observers: List[Callable[[int, int, int], None]] = []
+        self._gc_observer_legacy = None
+        #: Metrics sink for the op-level histograms.  Always a registry
+        #: object; the default :data:`~repro.obs.registry.NULL_REGISTRY`
+        #: has ``enabled = False``, so every hot-path emit reduces to
+        #: one attribute check.
+        self.metrics = NULL_REGISTRY
+        #: A :class:`~repro.obs.sampler.ResourceSampler` while one is
+        #: installed — :meth:`auto_collect` gives it the same safe
+        #: points it gives the collector and sifter.
+        self.resource_sampler = None
         # Budgets.
         self.max_nodes = max_nodes
         self._deadline = (time.monotonic() + time_limit
@@ -343,6 +359,54 @@ class BDD:
         return self._count_nodes(
             [fn.edge for fn in self._live_functions()])
 
+    def add_gc_observer(
+            self, observer: Callable[[int, int, int], None]) -> None:
+        """Register ``observer(freed, live, epoch)`` on the GC fan-out.
+
+        Observers fire in registration order after every
+        :meth:`garbage_collect`; registering the same callable twice
+        fires it twice.  Purely observational — observers must not
+        mutate the manager.
+        """
+        self._gc_observers.append(observer)
+
+    def remove_gc_observer(
+            self, observer: Callable[[int, int, int], None]) -> None:
+        """Remove one registration of ``observer`` (no-op if absent)."""
+        try:
+            self._gc_observers.remove(observer)
+        except ValueError:
+            return
+        if self._gc_observer_legacy is observer:
+            self._gc_observer_legacy = None
+
+    @property
+    def gc_observer(self):
+        """Deprecated single-slot view of the GC observer fan-out.
+
+        Reading returns the callable last assigned through this
+        attribute (None if none).  Assigning replaces that callable on
+        the fan-out list; other observers registered via
+        :meth:`add_gc_observer` are unaffected.  New code should use
+        :meth:`add_gc_observer` / :meth:`remove_gc_observer`.
+        """
+        return self._gc_observer_legacy
+
+    @gc_observer.setter
+    def gc_observer(self, observer) -> None:
+        warnings.warn(
+            "BDD.gc_observer is deprecated; use add_gc_observer() / "
+            "remove_gc_observer()", DeprecationWarning, stacklevel=2)
+        previous = self._gc_observer_legacy
+        if previous is not None:
+            try:
+                self._gc_observers.remove(previous)
+            except ValueError:
+                pass
+        self._gc_observer_legacy = observer
+        if observer is not None:
+            self._gc_observers.append(observer)
+
     def garbage_collect(self) -> int:
         """Mark-compact collection; returns the number of nodes freed.
 
@@ -404,8 +468,9 @@ class BDD:
         self._gc_runs += 1
         freed = before - len(self._level)
         self._gc_freed += freed
-        if self.gc_observer is not None:
-            self.gc_observer(freed, len(self._level), self.gc_epoch)
+        if self._gc_observers:
+            for observer in list(self._gc_observers):
+                observer(freed, len(self._level), self.gc_epoch)
         return freed
 
     @staticmethod
@@ -499,6 +564,8 @@ class BDD:
             self.maybe_collect(min_nodes=self.auto_gc_min_nodes)
         if self.auto_sift_trigger is not None:
             self.maybe_sift()
+        if self.resource_sampler is not None:
+            self.resource_sampler.maybe_sample()
 
     # ------------------------------------------------------------------
     # In-place dynamic reordering: adjacent-level swap and sifting
@@ -972,6 +1039,17 @@ class BDD:
         return result
 
     def _relprod(self, f: int, g: int, levels: Iterable[int]) -> int:
+        metrics = self.metrics
+        if metrics.enabled:
+            started = time.perf_counter()
+            result = self._relprod_impl(f, g, levels)
+            metrics.inc("bdd_relprod_calls")
+            metrics.observe_time("bdd_relprod_seconds",
+                                 time.perf_counter() - started)
+            return result
+        return self._relprod_impl(f, g, levels)
+
+    def _relprod_impl(self, f: int, g: int, levels: Iterable[int]) -> int:
         levelset = frozenset(levels)
         if not levelset:
             return self._and(f, g)
@@ -1041,6 +1119,15 @@ class BDD:
         which any result is acceptable; we return ``f`` unchanged so the
         operator stays total.
         """
+        metrics = self.metrics
+        if metrics.enabled:
+            started = time.perf_counter()
+            sign = f & 1
+            result = self._restrict_rec(f ^ sign, c)
+            metrics.inc("bdd_restrict_calls")
+            metrics.observe_time("bdd_restrict_seconds",
+                                 time.perf_counter() - started)
+            return result ^ sign
         sign = f & 1
         result = self._restrict_rec(f ^ sign, c)
         return result ^ sign
@@ -1080,6 +1167,15 @@ class BDD:
 
     def _constrain(self, f: int, c: int) -> int:
         """Coudert–Madre Constrain (the original generalized cofactor)."""
+        metrics = self.metrics
+        if metrics.enabled:
+            started = time.perf_counter()
+            sign = f & 1
+            result = self._constrain_rec(f ^ sign, c)
+            metrics.inc("bdd_constrain_calls")
+            metrics.observe_time("bdd_constrain_seconds",
+                                 time.perf_counter() - started)
+            return result ^ sign
         sign = f & 1
         result = self._constrain_rec(f ^ sign, c)
         return result ^ sign
@@ -1279,14 +1375,38 @@ class Function:
 
     def __and__(self, other: "Function") -> "Function":
         self.bdd._check_manager(other)
+        metrics = self.bdd.metrics
+        if metrics.enabled:
+            started = time.perf_counter()
+            edge = self.bdd._and(self.edge, other.edge)
+            metrics.inc("bdd_apply_calls")
+            metrics.observe_time("bdd_apply_seconds",
+                                 time.perf_counter() - started)
+            return Function(self.bdd, edge)
         return Function(self.bdd, self.bdd._and(self.edge, other.edge))
 
     def __or__(self, other: "Function") -> "Function":
         self.bdd._check_manager(other)
+        metrics = self.bdd.metrics
+        if metrics.enabled:
+            started = time.perf_counter()
+            edge = self.bdd._or(self.edge, other.edge)
+            metrics.inc("bdd_apply_calls")
+            metrics.observe_time("bdd_apply_seconds",
+                                 time.perf_counter() - started)
+            return Function(self.bdd, edge)
         return Function(self.bdd, self.bdd._or(self.edge, other.edge))
 
     def __xor__(self, other: "Function") -> "Function":
         self.bdd._check_manager(other)
+        metrics = self.bdd.metrics
+        if metrics.enabled:
+            started = time.perf_counter()
+            edge = self.bdd._xor(self.edge, other.edge)
+            metrics.inc("bdd_apply_calls")
+            metrics.observe_time("bdd_apply_seconds",
+                                 time.perf_counter() - started)
+            return Function(self.bdd, edge)
         return Function(self.bdd, self.bdd._xor(self.edge, other.edge))
 
     def __invert__(self) -> "Function":

@@ -209,6 +209,16 @@ def sift(manager: BDD, max_growth: float = 1.2,
         manager._reorder_time_ms += int(result.seconds * 1000)
         manager._reorder_nodes_before += nodes_before
         manager._reorder_nodes_after += nodes_after
+        metrics = manager.metrics
+        if metrics.enabled:
+            metrics.inc("sift_sessions")
+            metrics.inc("sift_swaps", result.swaps)
+            metrics.inc("sift_vars_sifted", result.vars_sifted)
+            metrics.observe_time("sift_seconds", result.seconds)
+            metrics.observe_size("sift_nodes_after", nodes_after)
+            saved = nodes_before - nodes_after
+            if saved > 0:
+                metrics.inc("sift_nodes_saved", saved)
         if manager.reorder_observer is not None:
             manager.reorder_observer(result.as_dict())
     finally:

@@ -19,7 +19,10 @@ Machine-readable runs: ``verify --json`` prints the
 :meth:`VerificationResult.to_dict` schema, ``--trace FILE`` streams
 structured engine events as JSONL (render with
 ``benchmarks/trace_report.py``), and ``--trace-summary`` prints the
-aggregated per-run tally.
+aggregated per-run tally.  ``--metrics FILE`` collects counters,
+histograms, and the resource-sampler timeline and writes them to FILE
+(JSONL; a ``.prom`` suffix switches to the Prometheus textfile
+format); ``--metrics-summary`` prints the one-shot metrics report.
 """
 
 from __future__ import annotations
@@ -32,6 +35,8 @@ from typing import Callable, Dict, List, Optional
 from .core import METHODS, Options, Problem, verify
 from .iclist.evaluate import GROW_THRESHOLD
 from .models import MODELS
+from .obs import MetricsRegistry, render_report, write_jsonl, \
+    write_prometheus
 from .trace import JsonlTracer, RecordingTracer, Tracer
 from .bench.tables import table1_fifo, table1_movavg, table1_network, \
     table2_movavg_unassisted, table3_pipeline
@@ -63,16 +68,35 @@ def _make_tracer(args: argparse.Namespace) -> Optional[Tracer]:
     return None
 
 
+def _make_metrics(args: argparse.Namespace) -> Optional[MetricsRegistry]:
+    if getattr(args, "metrics", None) \
+            or getattr(args, "metrics_summary", False):
+        return MetricsRegistry()
+    return None
+
+
+def _write_metrics(registry: MetricsRegistry, path: str,
+                   args: argparse.Namespace) -> None:
+    if path.endswith(".prom"):
+        write_prometheus(registry, path)
+    else:
+        write_jsonl(registry, path,
+                    meta={"model": args.model, "method": args.method})
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     problem = _build_problem(args)
     tracer = _make_tracer(args)
-    options = Options.from_args(args, tracer=tracer)
+    metrics = _make_metrics(args)
+    options = Options.from_args(args, tracer=tracer, metrics=metrics)
     try:
         result = verify(problem, args.method, options,
                         assisted=args.assisted)
     finally:
         if tracer is not None:
             tracer.close()
+    if metrics is not None and args.metrics:
+        _write_metrics(metrics, args.metrics, args)
     if args.json:
         print(result.to_json(indent=2))
     else:
@@ -90,6 +114,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         if args.trace_summary and result.trace_summary is not None:
             print("trace summary:")
             print(json.dumps(result.trace_summary, indent=2, default=str))
+        if args.metrics_summary and metrics is not None:
+            print(render_report(metrics))
         if result.trace is not None and args.show_trace:
             print(f"counterexample ({len(result.trace)} states):")
             print(result.trace.pretty())
@@ -218,6 +244,15 @@ def _add_verify_parser(subparsers) -> None:
     parser.add_argument("--trace-summary", action="store_true",
                         help="print the aggregated trace summary "
                              "after the run")
+    parser.add_argument("--metrics", metavar="FILE", default=None,
+                        help="collect run metrics and write them to "
+                             "FILE: JSONL timeline by default, the "
+                             "Prometheus textfile format when FILE "
+                             "ends in .prom")
+    parser.add_argument("--metrics-summary", action="store_true",
+                        help="print the one-shot metrics report "
+                             "(counters, gauges, histograms) after "
+                             "the run")
     parser.add_argument("--json", action="store_true",
                         help="print the machine-readable result "
                              "(VerificationResult.to_dict) and suppress "

@@ -42,6 +42,7 @@ def _run(machine: Machine, good_conjuncts: Sequence[Function],
     recorder.initial_reorder()
     manager = machine.manager
     tracer = recorder.tracer
+    metrics = recorder.metrics
     good = manager.conj(good_conjuncts)
     current = good
     not_rings: List[Function] = [~good]
@@ -52,17 +53,25 @@ def _run(machine: Machine, good_conjuncts: Sequence[Function],
     while recorder.iterations < options.max_iterations:
         recorder.check_time()
         recorder.iterations += 1
-        if tracer.enabled:
+        observed = tracer.enabled or metrics.enabled
+        if observed:
             t0 = time.monotonic()
         image = back_image(machine, current,
                            options.back_image_mode,
                            options.cluster_limit)
-        if tracer.enabled:
-            tracer.emit(BACK_IMAGE,
-                        mode=options.back_image_mode,
-                        input_size=current.size(),
-                        output_size=image.size(),
-                        seconds=round(time.monotonic() - t0, 6))
+        if observed:
+            seconds = time.monotonic() - t0
+            if tracer.enabled:
+                tracer.emit(BACK_IMAGE,
+                            mode=options.back_image_mode,
+                            input_size=current.size(),
+                            output_size=image.size(),
+                            seconds=round(seconds, 6))
+            if metrics.enabled:
+                metrics.inc("back_image_calls")
+                metrics.observe_time("back_image_seconds", seconds)
+                metrics.observe_size("back_image_output_nodes",
+                                     image.size())
         successor = good & image
         not_rings.append(~successor)
         recorder.record_iterate(successor.size(), str(successor.size()),

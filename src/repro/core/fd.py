@@ -118,6 +118,7 @@ def _run(machine: Machine, good_conjuncts: List[Function],
     quantify = list(independent) + list(machine.input_names)
 
     tracer = recorder.tracer
+    metrics = recorder.metrics
     try:
         reduced, funcs = extract_dependencies(machine.init, dependent)
     except DependencyError:
@@ -140,17 +141,25 @@ def _run(machine: Machine, good_conjuncts: List[Function],
         source = reduced & assume_c
         indep_parts = [manager.var(prime[name]).iff(delta_c[name])
                        for name in independent]
-        if tracer.enabled:
+        observed = tracer.enabled or metrics.enabled
+        if observed:
             t0 = time.monotonic()
         image_reduced = clustered_image(
             source, indep_parts, quantify,
             {prime[name]: name for name in independent},
             options.cluster_limit)
-        if tracer.enabled:
-            tracer.emit(IMAGE, mode="fd-reduced",
-                        input_size=source.size(),
-                        output_size=image_reduced.size(),
-                        seconds=round(time.monotonic() - t0, 6))
+        if observed:
+            seconds = time.monotonic() - t0
+            if tracer.enabled:
+                tracer.emit(IMAGE, mode="fd-reduced",
+                            input_size=source.size(),
+                            output_size=image_reduced.size(),
+                            seconds=round(seconds, 6))
+            if metrics.enabled:
+                metrics.inc("image_calls")
+                metrics.observe_time("image_seconds", seconds)
+                metrics.observe_size("image_output_nodes",
+                                     image_reduced.size())
         new_funcs: Dict[str, Function] = {}
         failed = False
         for name in dependent:

@@ -45,6 +45,7 @@ def _run(machine: Machine, good_conjuncts: Sequence[Function],
     recorder.initial_reorder()
     manager = machine.manager
     tracer = recorder.tracer
+    metrics = recorder.metrics
     good = manager.conj(good_conjuncts)
     computer = ImageComputer(machine, options.cluster_limit)
     reached = machine.init
@@ -58,14 +59,21 @@ def _run(machine: Machine, good_conjuncts: Sequence[Function],
         recorder.check_time()
         recorder.iterations += 1
         source = frontier if options.use_frontier else reached
-        if tracer.enabled:
+        observed = tracer.enabled or metrics.enabled
+        if observed:
             t0 = time.monotonic()
         image = computer.image(source)
-        if tracer.enabled:
-            tracer.emit(IMAGE, mode="clustered",
-                        input_size=source.size(),
-                        output_size=image.size(),
-                        seconds=round(time.monotonic() - t0, 6))
+        if observed:
+            seconds = time.monotonic() - t0
+            if tracer.enabled:
+                tracer.emit(IMAGE, mode="clustered",
+                            input_size=source.size(),
+                            output_size=image.size(),
+                            seconds=round(seconds, 6))
+            if metrics.enabled:
+                metrics.inc("image_calls")
+                metrics.observe_time("image_seconds", seconds)
+                metrics.observe_size("image_output_nodes", image.size())
         successor = reached | image
         rings.append(successor)
         recorder.record_iterate(successor.size(), str(successor.size()),

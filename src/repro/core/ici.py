@@ -130,6 +130,7 @@ def _run(machine: Machine, good_conjuncts: List[Function],
     recorder.initial_reorder()
     manager = machine.manager
     tracer = recorder.tracer
+    metrics = recorder.metrics
     size_memo = SizeMemo(manager) if options.use_pair_cache else None
     current = _simplify_positional(manager, list(good_conjuncts), options,
                                    size_memo)
@@ -144,17 +145,25 @@ def _run(machine: Machine, good_conjuncts: List[Function],
         recorder.iterations += 1
         stepped = []
         for good, conjunct in zip(good_conjuncts, current):
-            if tracer.enabled:
+            observed = tracer.enabled or metrics.enabled
+            if observed:
                 t0 = time.monotonic()
             image = back_image(machine, conjunct,
                                options.back_image_mode,
                                options.cluster_limit)
-            if tracer.enabled:
-                tracer.emit(BACK_IMAGE,
-                            mode=options.back_image_mode,
-                            input_size=conjunct.size(),
-                            output_size=image.size(),
-                            seconds=round(time.monotonic() - t0, 6))
+            if observed:
+                seconds = time.monotonic() - t0
+                if tracer.enabled:
+                    tracer.emit(BACK_IMAGE,
+                                mode=options.back_image_mode,
+                                input_size=conjunct.size(),
+                                output_size=image.size(),
+                                seconds=round(seconds, 6))
+                if metrics.enabled:
+                    metrics.inc("back_image_calls")
+                    metrics.observe_time("back_image_seconds", seconds)
+                    metrics.observe_size("back_image_output_nodes",
+                                         image.size())
             stepped.append(good & image)
         stepped = _simplify_positional(manager, stepped, options, size_memo)
         history.append(stepped)
@@ -164,6 +173,10 @@ def _run(machine: Machine, good_conjuncts: List[Function],
         if size_memo is not None:
             recorder.extra["size_memo_stats"] = size_memo.stats()
         tier = _fast_termination(stepped, current)
+        if metrics.enabled:
+            metrics.inc("termination_tests")
+            if tier is not None:
+                metrics.inc("termination_tier_" + tier)
         if tracer.enabled:
             tracer.emit(TERMINATION,
                         converged=tier is not None,

@@ -13,6 +13,7 @@ from dataclasses import dataclass, fields
 from typing import Optional
 
 from ..iclist.evaluate import GROW_THRESHOLD
+from ..obs.registry import MetricsRegistry
 from ..trace import Tracer
 
 __all__ = ["Options"]
@@ -98,6 +99,14 @@ class Options:
     #: event-data preparation is skipped.  Tracing is observational
     #: only — results are edge-identical with any tracer.
     tracer: Optional[Tracer] = None
+    #: Metrics sink (see :mod:`repro.obs`).  None means the shared null
+    #: registry: every hot-path emit reduces to one attribute check and
+    #: :attr:`VerificationResult.metrics` stays None.  Pass a
+    #: :class:`~repro.obs.MetricsRegistry` to collect counters, phase
+    #: timers, histograms, and the resource-sampler timeline for one
+    #: run.  Like tracing, metrics are observational only — results are
+    #: edge-identical with any registry.
+    metrics: Optional[MetricsRegistry] = None
 
     #: CLI flag name → Options field, for every flag that is a plain
     #: rename (shared by :meth:`from_args` and the argparse setup).
@@ -117,7 +126,8 @@ class Options:
 
     @classmethod
     def from_args(cls, args: argparse.Namespace,
-                  tracer: Optional[Tracer] = None) -> "Options":
+                  tracer: Optional[Tracer] = None,
+                  metrics: Optional[MetricsRegistry] = None) -> "Options":
         """Build Options from CLI-style arguments.
 
         Accepts any namespace carrying (a subset of) the ``repro
@@ -136,6 +146,7 @@ class Options:
                                 not defaults["use_pair_cache"])
         values["use_pair_cache"] = not no_pair_cache
         values["tracer"] = tracer
+        values["metrics"] = metrics
         return cls(**values)
 
     def validate(self) -> None:

@@ -17,6 +17,8 @@ from typing import Any, Dict, Iterable, List, Optional
 
 from ..bdd.manager import BDD, BudgetExceededError, Function
 from ..fsm.trace import Trace
+from ..obs.registry import NULL_REGISTRY
+from ..obs.sampler import ResourceSampler
 from ..trace import BUDGET_CHECK, GC, ITERATION, NULL_TRACER, REORDER, \
     RUN_END, RUN_START
 from .options import Options
@@ -75,6 +77,11 @@ class VerificationResult:
     #: variables sifted, live nodes saved, time spent).  All zero when
     #: ``Options.reorder`` was "none" and nothing sifted the manager.
     reorder_stats: Dict[str, Any] = field(default_factory=dict)
+    #: Snapshot of the run's :class:`~repro.obs.MetricsRegistry`
+    #: (counters, gauges, histogram digests, sample count); None when
+    #: the run was unmetered.  The full sample timeline stays on the
+    #: registry object — export it with :func:`repro.obs.write_jsonl`.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def verified(self) -> bool:
@@ -136,6 +143,10 @@ class VerificationResult:
             "reorder_stats": _jsonable(self.reorder_stats),
             "extra": _jsonable(self.extra),
         }
+        # Only metered runs carry the key at all: an unmetered run's
+        # --json output is byte-identical to pre-metrics builds.
+        if self.metrics is not None:
+            data["metrics"] = _jsonable(self.metrics)
         if include_profiles:
             data["iterate_profiles"] = list(self.iterate_profiles)
         if include_counterexample:
@@ -174,6 +185,8 @@ class RunRecorder:
         self.options = options
         self.tracer = options.tracer if options.tracer is not None \
             else NULL_TRACER
+        self.metrics = options.metrics if options.metrics is not None \
+            else NULL_REGISTRY
         self.iterations = 0
         self.iterate_profiles: List[str] = []
         self.max_iterate_nodes = 0
@@ -221,17 +234,29 @@ class RunRecorder:
                     aborted=info.get("aborted"))
 
         manager.reorder_observer = _on_reorder
-        self._saved_gc_observer = manager.gc_observer
+        self._gc_callback = None
         if self.tracer.enabled:
             tracer = self.tracer
 
             def _on_gc(freed: int, live: int, epoch: int) -> None:
                 tracer.emit(GC, freed=freed, live=live, epoch=epoch)
 
-            manager.gc_observer = _on_gc
+            manager.add_gc_observer(_on_gc)
+            self._gc_callback = _on_gc
             self._last_iterate_stats = self._stats_before
             tracer.emit(RUN_START, method=method, model=model,
                         options=self._options_summary())
+        # Metrics: point the manager's op-level sink at this run's
+        # registry and install the resource sampler on the safe points.
+        # Both are restored/uninstalled in finish(); all of it is
+        # observational only.
+        self._saved_metrics = manager.metrics
+        self._sampler = None
+        if self.metrics.enabled:
+            manager.metrics = self.metrics
+            self.metrics.gauge("gc_min_nodes", options.gc_min_nodes or 0)
+            self._sampler = ResourceSampler(manager, self.metrics)
+            self._sampler.install()
 
     def _options_summary(self) -> Dict[str, Any]:
         """The engine-relevant knobs, for the ``run_start`` event."""
@@ -277,12 +302,14 @@ class RunRecorder:
 
         ``conjuncts`` (the iterate's list, for implicit engines; a
         singleton for monolithic ones) is only consulted when a tracer
-        is active, to report per-conjunct sizes in the ``iteration``
-        event — untraced runs never walk the BDDs for it.
+        or a metrics registry is active, to report per-conjunct sizes —
+        unobserved runs never walk the BDDs for it.
         """
+        conjunct_list = None
+        if conjuncts is not None and (self.tracer.enabled
+                                      or self.metrics.enabled):
+            conjunct_list = list(conjuncts)
         if self.tracer.enabled:
-            conjunct_list = list(conjuncts) if conjuncts is not None \
-                else None
             stats_now = self.manager.stats()
             created = stats_now["nodes_created"] \
                 - self._last_iterate_stats["nodes_created"]
@@ -298,6 +325,20 @@ class RunRecorder:
                        if conjunct_list is not None else None),
                 nodes_created=created,
                 nodes_current=stats_now["nodes_current"])
+        if self.metrics.enabled:
+            metrics = self.metrics
+            metrics.inc("iterations")
+            metrics.observe_size("iterate_nodes", nodes)
+            conjunct_lengths = None
+            if conjunct_list is not None:
+                conjunct_lengths = [fn.size() for fn in conjunct_list]
+                metrics.observe_size("conjunct_list_length",
+                                     len(conjunct_list))
+                for size in conjunct_lengths:
+                    metrics.observe_size("conjunct_nodes", size)
+            if self._sampler is not None:
+                self._sampler.sample(reason="iterate",
+                                     conjunct_lengths=conjunct_lengths)
         self.iterate_profiles.append(profile)
         if nodes > self.max_iterate_nodes:
             self.max_iterate_nodes = nodes
@@ -334,7 +375,22 @@ class RunRecorder:
         (self.manager.auto_sift_trigger,
          self.manager._auto_sift_baseline,
          self.manager.reorder_observer) = self._saved_reorder
-        self.manager.gc_observer = self._saved_gc_observer
+        if self._gc_callback is not None:
+            self.manager.remove_gc_observer(self._gc_callback)
+            self._gc_callback = None
+        metrics_snapshot = None
+        if self.metrics.enabled:
+            if self._sampler is not None:
+                self._sampler.uninstall()
+                self._sampler = None
+            metrics = self.metrics
+            metrics.inc("runs_completed")
+            metrics.gauge("run_seconds", round(elapsed, 6))
+            metrics.gauge("run_iterations", self.iterations)
+            metrics.gauge("run_peak_nodes", self.manager.peak_nodes)
+            metrics.gauge("run_max_iterate_nodes", self.max_iterate_nodes)
+            metrics_snapshot = metrics.snapshot()
+        self.manager.metrics = self._saved_metrics
         trace_summary = None
         if self.tracer.enabled:
             self.tracer.emit(RUN_END, outcome=outcome, holds=holds,
@@ -361,4 +417,5 @@ class RunRecorder:
                                       self.manager.stats()),
             trace_summary=trace_summary,
             reorder_stats=dict(self.reorder_stats),
+            metrics=metrics_snapshot,
         )

@@ -25,6 +25,7 @@ import time
 from typing import List, Optional, Sequence
 
 from ..bdd.manager import BudgetExceededError, Function
+from ..obs.registry import NULL_REGISTRY
 from ..trace import BACK_IMAGE, NULL_TRACER, Tracer
 from ..fsm.machine import Machine
 from ..fsm.image import back_image
@@ -58,7 +59,8 @@ def verify_xici(machine: Machine, good_conjuncts: Sequence[Function],
 def _condition(conjlist: ConjList, options: Options,
                eval_stats: EvaluationStats,
                cache: Optional[PairCache],
-               tracer: Tracer = NULL_TRACER) -> None:
+               tracer: Tracer = NULL_TRACER,
+               metrics=NULL_REGISTRY) -> None:
     """One simplify-and-evaluate pass (Section III.A).
 
     ``cache`` is the run-long pair-product cache: because it is keyed
@@ -66,9 +68,17 @@ def _condition(conjlist: ConjList, options: Options,
     iterates recur between calls, iteration N+1's evaluation reuses
     iteration N's products instead of rebuilding the full O(n^2) table.
     """
-    conjlist.simplify(simplifier=options.simplifier,
-                      only_by_smaller=options.simplify_only_by_smaller,
-                      size_memo=cache.sizes if cache is not None else None)
+    if metrics.enabled:
+        with metrics.phase("simplify"):
+            conjlist.simplify(
+                simplifier=options.simplifier,
+                only_by_smaller=options.simplify_only_by_smaller,
+                size_memo=cache.sizes if cache is not None else None)
+    else:
+        conjlist.simplify(
+            simplifier=options.simplifier,
+            only_by_smaller=options.simplify_only_by_smaller,
+            size_memo=cache.sizes if cache is not None else None)
     if options.evaluator == "matching":
         matching_evaluate(conjlist)
     else:
@@ -77,7 +87,8 @@ def _condition(conjlist: ConjList, options: Options,
                         use_bounded=options.use_bounded_and,
                         stats=eval_stats,
                         cache=cache,
-                        tracer=tracer)
+                        tracer=tracer,
+                        metrics=metrics)
 
 
 def _run(machine: Machine, good_conjuncts: List[Function],
@@ -102,9 +113,10 @@ def _run(machine: Machine, good_conjuncts: List[Function],
             split.extend(decompose_conjunction(conjunct))
         good_conjuncts = split
     tracer = recorder.tracer
+    metrics = recorder.metrics
     goal = ConjList(manager, good_conjuncts)
     current = goal.copy()
-    _condition(current, options, eval_stats, cache, tracer)
+    _condition(current, options, eval_stats, cache, tracer, metrics)
     history: List[List[Function]] = [list(goal.conjuncts)]
     recorder.record_iterate(current.shared_size(), current.profile(),
                             conjuncts=current.conjuncts)
@@ -118,20 +130,28 @@ def _run(machine: Machine, good_conjuncts: List[Function],
         recorder.iterations += 1
         stepped = ConjList(manager, goal.conjuncts)
         for conjunct in current:
-            if tracer.enabled:
+            observed = tracer.enabled or metrics.enabled
+            if observed:
                 t0 = time.monotonic()
             image = back_image(machine, conjunct,
                                options.back_image_mode,
                                options.cluster_limit)
-            if tracer.enabled:
-                tracer.emit(BACK_IMAGE,
-                            mode=options.back_image_mode,
-                            input_size=conjunct.size(),
-                            output_size=image.size(),
-                            seconds=round(time.monotonic() - t0, 6))
+            if observed:
+                seconds = time.monotonic() - t0
+                if tracer.enabled:
+                    tracer.emit(BACK_IMAGE,
+                                mode=options.back_image_mode,
+                                input_size=conjunct.size(),
+                                output_size=image.size(),
+                                seconds=round(seconds, 6))
+                if metrics.enabled:
+                    metrics.inc("back_image_calls")
+                    metrics.observe_time("back_image_seconds", seconds)
+                    metrics.observe_size("back_image_output_nodes",
+                                         image.size())
             stepped.append(image)
             manager.auto_collect()
-        _condition(stepped, options, eval_stats, cache, tracer)
+        _condition(stepped, options, eval_stats, cache, tracer, metrics)
         history.append(list(stepped.conjuncts))
         recorder.record_iterate(stepped.shared_size(), stepped.profile(),
                                 conjuncts=stepped.conjuncts)
@@ -143,7 +163,7 @@ def _run(machine: Machine, good_conjuncts: List[Function],
             return _violation(machine, history, options, recorder)
         if lists_equal(current, stepped, checker,
                        assume_right_subset=options.exploit_monotonicity,
-                       tracer=tracer):
+                       tracer=tracer, metrics=metrics):
             return recorder.finish(Outcome.VERIFIED, holds=True)
         current = stepped
     return recorder.finish(Outcome.NO_CONVERGENCE, holds=None)

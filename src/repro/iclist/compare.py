@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from ..obs.registry import NULL_REGISTRY
 from ..trace import TERMINATION, Tracer
 from .conjlist import ConjList
 from .tautology import TautologyChecker
@@ -38,7 +39,8 @@ def implies_list(antecedent: ConjList, consequent: ConjList,
 def lists_equal(left: ConjList, right: ConjList,
                 checker: Optional[TautologyChecker] = None,
                 assume_right_subset: bool = False,
-                tracer: Optional[Tracer] = None) -> bool:
+                tracer: Optional[Tracer] = None,
+                metrics=NULL_REGISTRY) -> bool:
     """Exact test of ``left = right``.
 
     ``assume_right_subset=True`` skips the ``right => left`` direction.
@@ -53,20 +55,36 @@ def lists_equal(left: ConjList, right: ConjList,
     whole equality check (constant / complement / Step 3 /
     Shannon-with-depth — see
     :meth:`~repro.iclist.tautology.TautologyChecker.tier_tally`).
+
+    An enabled ``metrics`` registry receives the same per-call data as
+    histograms and per-tier counters; the default null registry skips
+    all of it.
     """
     if checker is None:
         checker = TautologyChecker(left.manager)
     trace = tracer is not None and tracer.enabled
-    if trace:
+    if metrics is None:
+        metrics = NULL_REGISTRY
+    observed = trace or metrics.enabled
+    if observed:
         before = checker.stats.snapshot()
         t0 = time.monotonic()
     converged = implies_list(left, right, checker)
     if converged and not assume_right_subset:
         converged = implies_list(right, left, checker)
-    if trace:
-        tracer.emit(TERMINATION,
-                    converged=converged,
-                    tiers=checker.tier_tally(before),
-                    max_depth=checker.stats.max_depth,
-                    seconds=round(time.monotonic() - t0, 6))
+    if observed:
+        seconds = time.monotonic() - t0
+        tiers = checker.tier_tally(before)
+        if trace:
+            tracer.emit(TERMINATION,
+                        converged=converged,
+                        tiers=tiers,
+                        max_depth=checker.stats.max_depth,
+                        seconds=round(seconds, 6))
+        if metrics.enabled:
+            metrics.inc("termination_tests")
+            metrics.observe_time("termination_test_seconds", seconds)
+            for tier, count in tiers.items():
+                if count:
+                    metrics.inc("termination_tier_" + str(tier), count)
     return converged

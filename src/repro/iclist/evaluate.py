@@ -33,11 +33,13 @@ original table-based implementation).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..bdd.manager import Function
 from ..bdd.bounded import bounded_and
+from ..obs.registry import NULL_REGISTRY
 from ..trace import MERGE, Tracer
 from .conjlist import ConjList
 from .paircache import PairCache
@@ -118,7 +120,8 @@ def greedy_evaluate(conjlist: ConjList,
                     bound_factor: float = 4.0,
                     stats: Optional[EvaluationStats] = None,
                     cache: Optional[PairCache] = None,
-                    tracer: Optional[Tracer] = None) -> EvaluationStats:
+                    tracer: Optional[Tracer] = None,
+                    metrics=NULL_REGISTRY) -> EvaluationStats:
     """Run Figure 1 in place on ``conjlist``; returns statistics.
 
     A smaller ``grow_threshold`` "holds BDD size down, but can get
@@ -134,6 +137,11 @@ def greedy_evaluate(conjlist: ConjList,
     merge: the winning ratio, the pair's shared size, the product size,
     whether the product came from the pair cache, and the list length
     after the merge.  Tracing never changes which merges happen.
+
+    ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) likewise only
+    observes: per merge-round timing, accepted merge ratios, and
+    product sizes, all skipped entirely through the default null
+    registry.
     """
     if stats is None:
         stats = EvaluationStats()
@@ -142,8 +150,12 @@ def greedy_evaluate(conjlist: ConjList,
     if cache is None:
         cache = PairCache(conjlist.manager)
     trace = tracer is not None and tracer.enabled
+    if metrics is None:
+        metrics = NULL_REGISTRY
     conjuncts = conjlist.conjuncts
     while len(conjuncts) >= 2:
+        if metrics.enabled:
+            round_started = time.perf_counter()
         # Safe point: all live BDDs are held as Functions here.  A
         # collection renumbers edges, so the cache must resync before
         # any lookup below.
@@ -152,6 +164,7 @@ def greedy_evaluate(conjlist: ConjList,
         best_ratio = math.inf
         best_pair = None
         best_product: Optional[Function] = None
+        best_product_size = 0
         best_pair_size = 0
         best_cached = False
         n = len(conjuncts)
@@ -179,23 +192,40 @@ def greedy_evaluate(conjlist: ConjList,
                         cache.record_abort(key, bound)
                         continue
                     cache.store_product(key, product)
-                ratio = cache.sizes.size(product) / pair_size
+                product_size = cache.sizes.size(product)
+                ratio = product_size / pair_size
                 if ratio < best_ratio:
                     best_ratio = ratio
                     best_pair = (i, j)
                     best_product = product
+                    best_product_size = product_size
                     best_pair_size = pair_size
                     best_cached = was_cached
         if best_pair is None or best_ratio > grow_threshold:
+            if metrics.enabled:
+                metrics.inc("evaluate_rounds")
+                metrics.observe_time("evaluate_round_seconds",
+                                     time.perf_counter() - round_started)
             break
         stats.merges += 1
         stats.record_ratio(best_ratio)
+        if metrics.enabled:
+            metrics.inc("evaluate_rounds")
+            metrics.inc("evaluate_merges")
+            metrics.observe_time("evaluate_round_seconds",
+                                 time.perf_counter() - round_started)
+            metrics.observe_ratio("merge_ratio", best_ratio)
+            # The size was already priced during pair selection; reusing
+            # it keeps the metered run's cache counters identical to a
+            # bare run's (observational-only, down to the stats).
+            metrics.observe_size("merge_product_nodes",
+                                 best_product_size)
         i, j = best_pair
         if trace:
             tracer.emit(MERGE,
                         ratio=round(best_ratio, 4),
                         pair_size=best_pair_size,
-                        product_size=cache.sizes.size(best_product),
+                        product_size=best_product_size,
                         cached=best_cached,
                         list_length=len(conjuncts) - 1)
         # Replace Xi and Xj with Pij.  Pairs among the survivors stay

@@ -1,0 +1,35 @@
+"""Observability: metrics registry, resource sampler, exporters.
+
+The metrics counterpart of :mod:`repro.trace` — where the tracer
+streams *events*, this package aggregates *measurements*: counters,
+gauges, fixed-bucket timing/size histograms, and a periodic
+:class:`ResourceSampler` timeline, all observational-only (an
+instrumented run is edge-identical to a bare one; the default
+:class:`NullRegistry` reduces every hot-path emit to one attribute
+check).
+
+Surfaces:
+
+* ``Options(metrics=MetricsRegistry())`` instruments one run;
+  :attr:`VerificationResult.metrics` carries the snapshot.
+* ``verify --metrics FILE`` streams the JSONL timeline (``.prom``
+  suffix switches to the Prometheus textfile format);
+  ``--metrics-summary`` prints the terminal report.
+* :mod:`repro.obs.benchjson` is the one versioned schema every
+  ``BENCH_*.json`` emitter uses; ``benchmarks/regress.py`` compares
+  two such reports with per-metric tolerances (the CI perf gate).
+"""
+
+from . import benchjson
+from .exporters import METRICS_SCHEMA_VERSION, read_jsonl, render_report, \
+    to_prometheus, write_jsonl, write_prometheus
+from .registry import Histogram, MetricsRegistry, NullRegistry, \
+    NULL_REGISTRY, RATIO_BUCKETS, SIZE_BUCKETS, TIME_BUCKETS_S
+from .sampler import ResourceSampler, read_rss_kb
+
+__all__ = ["MetricsRegistry", "NullRegistry", "NULL_REGISTRY",
+           "Histogram", "ResourceSampler", "read_rss_kb",
+           "TIME_BUCKETS_S", "SIZE_BUCKETS", "RATIO_BUCKETS",
+           "write_jsonl", "read_jsonl", "to_prometheus",
+           "write_prometheus", "render_report",
+           "METRICS_SCHEMA_VERSION", "benchjson"]

@@ -1,0 +1,131 @@
+"""The one versioned schema for every ``BENCH_*.json`` artifact.
+
+Before this module, ``BENCH_evaluator.json`` and ``BENCH_reorder.json``
+were ad-hoc per-benchmark shapes that did not even agree on nesting;
+nothing downstream (CI asserts, dashboards, the regression gate) could
+consume them generically.  Now every emitter — the standalone bench
+scripts *and* ``benchmarks/conftest.py``'s ``benchmark.extra_info`` —
+goes through this serializer, and ``benchmarks/regress.py`` compares
+any two reports of the same benchmark without knowing which one it is.
+
+Report shape (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "benchmark": "reorder",          # emitter name
+      "scale": "quick",
+      "rounds": 1,
+      "params": {...},                 # emitter-specific knobs
+      "entries": [
+        {"model": "fifo", "method": "fwd", "config": "auto",
+         "metrics": {"outcome": "verified", "iterations": 5,
+                     "peak_nodes": 4126, "max_iterate_nodes": 144,
+                     "seconds": 0.28, ...}},
+        ...
+      ],
+      "derived": {...}                 # cross-entry conclusions
+    }
+
+``entries`` is flat on purpose: one row per (model, method, config)
+cell, each with one ``metrics`` block, so a regression gate is a join
+on the entry key plus per-metric tolerance checks — no schema-specific
+traversal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+__all__ = ["SCHEMA_VERSION", "new_report", "add_entry", "make_entry",
+           "result_metrics", "entry_key", "entry_index", "write_report",
+           "load_report"]
+
+#: Bump on any incompatible change to the report shape above.
+SCHEMA_VERSION = 1
+
+
+def new_report(benchmark: str, scale: str = "quick", rounds: int = 1,
+               params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """A fresh empty report for one benchmark run."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "scale": scale,
+        "rounds": rounds,
+        "params": dict(params or {}),
+        "entries": [],
+        "derived": {},
+    }
+
+
+def make_entry(model: str, method: str, config: str,
+               metrics: Dict[str, Any]) -> Dict[str, Any]:
+    """One (model, method, config) cell with its metrics block."""
+    return {"model": model, "method": method, "config": config,
+            "metrics": dict(metrics)}
+
+
+def add_entry(report: Dict[str, Any], model: str, method: str,
+              config: str, metrics: Dict[str, Any]) -> Dict[str, Any]:
+    """Append a cell to ``report`` and return it."""
+    entry = make_entry(model, method, config, metrics)
+    report["entries"].append(entry)
+    return entry
+
+
+def result_metrics(result: Any,
+                   seconds: Optional[float] = None) -> Dict[str, Any]:
+    """The standard metrics block of one :class:`VerificationResult`.
+
+    ``seconds`` defaults to the result's own elapsed time; benches that
+    time externally (best-of-N wall clock) pass their measurement.
+    """
+    return {
+        "outcome": result.outcome,
+        "iterations": result.iterations,
+        "seconds": round(result.elapsed_seconds
+                         if seconds is None else seconds, 4),
+        "peak_nodes": result.peak_nodes,
+        "max_iterate_nodes": result.max_iterate_nodes,
+    }
+
+
+def entry_key(entry: Dict[str, Any]) -> Tuple[str, str, str]:
+    """The join key of one entry: (model, method, config)."""
+    return (entry["model"], entry["method"], entry["config"])
+
+
+def entry_index(report: Dict[str, Any]
+                ) -> Dict[Tuple[str, str, str], Dict[str, Any]]:
+    """Map entry keys to metrics blocks (the regression gate's join)."""
+    return {entry_key(entry): entry["metrics"]
+            for entry in report["entries"]}
+
+
+def write_report(report: Dict[str, Any],
+                 path: Union[str, Path]) -> None:
+    """Serialize one report, stable key order, trailing newline."""
+    Path(path).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+
+def load_report(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate one report; raises on schema mismatch."""
+    report = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = report.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r} != {SCHEMA_VERSION} "
+            "(regenerate the artifact with the matching emitter)")
+    for field in ("benchmark", "entries"):
+        if field not in report:
+            raise ValueError(f"{path}: missing {field!r}")
+    for entry in report["entries"]:
+        for field in ("model", "method", "config", "metrics"):
+            if field not in entry:
+                raise ValueError(
+                    f"{path}: entry {entry!r} missing {field!r}")
+    return report

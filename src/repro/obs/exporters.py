@@ -1,0 +1,162 @@
+"""Exporters: JSONL timeline, Prometheus textfile, terminal report.
+
+Three ways out of one :class:`~repro.obs.registry.MetricsRegistry`:
+
+* :func:`write_jsonl` — the run's full timeline (meta line, one line
+  per :class:`ResourceSampler` sample, one closing summary line).
+  This is what ``verify --metrics FILE`` writes and what
+  ``benchmarks/trace_report.py --metrics`` reads back.
+* :func:`to_prometheus` / :func:`write_prometheus` — the textfile
+  format node_exporter's textfile collector ingests; counters, gauges,
+  and histograms with cumulative ``le`` buckets.  ``verify --metrics
+  FILE.prom`` picks this automatically.
+* :func:`render_report` — a one-shot terminal/markdown table
+  (``verify --metrics-summary``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .registry import MetricsRegistry
+
+__all__ = ["write_jsonl", "to_prometheus", "write_prometheus",
+           "render_report", "read_jsonl", "METRICS_SCHEMA_VERSION"]
+
+#: Version stamp of the JSONL timeline format (meta line).
+METRICS_SCHEMA_VERSION = 1
+
+
+def write_jsonl(registry: MetricsRegistry, path: str,
+                meta: Optional[Dict[str, Any]] = None) -> None:
+    """Write the registry's timeline + summary as JSONL.
+
+    Line 1 is ``{"kind": "meta", ...}``, then every sample in order,
+    then one ``{"kind": "summary", ...}`` line with the counters,
+    gauges, and histogram digests.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        head: Dict[str, Any] = {"kind": "meta",
+                                "schema_version": METRICS_SCHEMA_VERSION}
+        if meta:
+            head.update(meta)
+        handle.write(json.dumps(head, default=str) + "\n")
+        for sample in registry.samples:
+            handle.write(json.dumps(sample, default=str) + "\n")
+        summary = dict(registry.snapshot() or {})
+        summary["kind"] = "summary"
+        handle.write(json.dumps(summary, default=str) + "\n")
+
+
+def read_jsonl(path: str) -> Dict[str, Any]:
+    """Parse a metrics JSONL file back into meta/samples/summary."""
+    meta: Dict[str, Any] = {}
+    samples: List[Dict[str, Any]] = []
+    summary: Optional[Dict[str, Any]] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{lineno}: not JSON: {error}")
+            kind = record.get("kind")
+            if kind == "meta":
+                meta = record
+            elif kind == "summary":
+                summary = record
+            else:
+                samples.append(record)
+    return {"meta": meta, "samples": samples, "summary": summary}
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    safe = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                   for ch in name)
+    return prefix + safe
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry,
+                  prefix: str = "repro_") -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Histogram buckets are cumulated and closed with ``le="+Inf"`` plus
+    the standard ``_sum`` / ``_count`` series, so standard quantile
+    queries (``histogram_quantile``) work unchanged.
+    """
+    lines: List[str] = []
+    for name in sorted(registry.counters):
+        metric = _prom_name(prefix, name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(registry.counters[name])}")
+    for name in sorted(registry.gauges):
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(registry.gauges[name])}")
+    for name in sorted(registry.histograms):
+        hist = registry.histograms[name]
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} histogram")
+        running = 0
+        for edge, bucket in zip(hist.edges, hist.bucket_counts):
+            running += bucket
+            lines.append(f'{metric}_bucket{{le="{_fmt(edge)}"}} {running}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{metric}_sum {repr(hist.total)}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry: MetricsRegistry, path: str,
+                     prefix: str = "repro_") -> None:
+    """Write :func:`to_prometheus` output to a textfile."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_prometheus(registry, prefix=prefix))
+
+
+def render_report(registry: MetricsRegistry) -> str:
+    """One-shot terminal/markdown report of a registry.
+
+    Histograms render as a table (count/mean/p50/p95/max), counters
+    and gauges as aligned key-value blocks — pasteable into a PR
+    description as-is.
+    """
+    lines: List[str] = ["## metrics"]
+    if registry.counters:
+        lines.append("")
+        lines.append("### counters")
+        for name in sorted(registry.counters):
+            lines.append(f"- {name:<32} {registry.counters[name]}")
+    if registry.gauges:
+        lines.append("")
+        lines.append("### gauges")
+        for name in sorted(registry.gauges):
+            value = registry.gauges[name]
+            lines.append(f"- {name:<32} {_fmt(value)}")
+    if registry.histograms:
+        lines.append("")
+        lines.append("### histograms")
+        header = (f"| {'name':<30} | {'count':>7} | {'mean':>10} | "
+                  f"{'p50':>10} | {'p95':>10} | {'max':>10} |")
+        lines.append(header)
+        lines.append("|" + "-" * 32 + "|" + "-" * 9 + "|"
+                     + ("-" * 12 + "|") * 4)
+        for name in sorted(registry.histograms):
+            hist = registry.histograms[name]
+            maximum = hist.max if hist.max is not None else 0.0
+            lines.append(
+                f"| {name:<30} | {hist.count:>7} | {hist.mean:>10.4g} | "
+                f"{hist.quantile(0.5):>10.4g} | "
+                f"{hist.quantile(0.95):>10.4g} | {maximum:>10.4g} |")
+    lines.append("")
+    lines.append(f"timeline samples: {len(registry.samples)}")
+    return "\n".join(lines)

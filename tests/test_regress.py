@@ -1,0 +1,156 @@
+"""Tests for the benchmark-regression gate (benchmarks/regress.py).
+
+All synthetic: ``compare_reports`` is exercised on hand-built
+benchjson reports so the suite never re-runs the benches.  The gate's
+contract — a 2x peak_nodes blowup fails, an identical report passes,
+dropped coverage fails, new cells only note — is pinned here.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from repro.obs import benchjson
+
+import regress
+from regress import DEFAULT_TOLERANCES, Tolerance, compare_reports
+
+
+def _report(**cells):
+    """Build a benchjson report from {model: metrics} shorthand."""
+    report = benchjson.new_report("synthetic")
+    for model, metrics in cells.items():
+        benchjson.add_entry(report, model, "xici", "default", metrics)
+    return report
+
+
+def _metrics(outcome="verified", iterations=5, seconds=0.5,
+             peak_nodes=1000, max_iterate_nodes=100):
+    return {"outcome": outcome, "iterations": iterations,
+            "seconds": seconds, "peak_nodes": peak_nodes,
+            "max_iterate_nodes": max_iterate_nodes}
+
+
+class TestTolerance:
+    def test_exact_fails_on_any_difference(self):
+        tol = Tolerance(exact=True)
+        assert tol.check(5, 5) is None
+        assert tol.check(5, 6) is not None
+        assert tol.check(5, 4) is not None
+
+    def test_ratio_bound(self):
+        tol = Tolerance(ratio=1.10)
+        assert tol.check(1000, 1100) is None
+        assert tol.check(1000, 1101) is not None
+
+    def test_improvement_always_passes(self):
+        assert Tolerance(ratio=1.10).check(1000, 10) is None
+        assert Tolerance(ratio=5.0, abs_slack=1.0).check(10.0, 0.1) is None
+
+    def test_abs_slack_dominates_small_baselines(self):
+        # limit = max(0.01 * 5, 0.01 + 1.0) = 1.01: CI jitter on a
+        # 10ms baseline must not trip the gate.
+        tol = Tolerance(ratio=5.0, abs_slack=1.0)
+        assert tol.check(0.01, 1.0) is None
+        assert tol.check(0.01, 1.02) is not None
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        base = _report(fifo=_metrics(), movavg=_metrics(peak_nodes=2000))
+        violations, notes = compare_reports(base, base)
+        assert violations == []
+        assert notes == []
+
+    def test_synthetic_2x_peak_nodes_regression_detected(self):
+        base = _report(fifo=_metrics(peak_nodes=1000))
+        current = _report(fifo=_metrics(peak_nodes=2000))
+        violations, _ = compare_reports(base, current)
+        assert len(violations) == 1
+        assert "peak_nodes" in violations[0]
+
+    def test_iteration_count_change_is_exact_violation(self):
+        base = _report(fifo=_metrics(iterations=5))
+        current = _report(fifo=_metrics(iterations=6))
+        violations, _ = compare_reports(base, current)
+        assert any("iterations" in v for v in violations)
+
+    def test_outcome_flip_is_a_violation(self):
+        base = _report(fifo=_metrics(outcome="verified"))
+        current = _report(fifo=_metrics(outcome="exhausted"))
+        violations, _ = compare_reports(base, current)
+        assert any("outcome" in v for v in violations)
+
+    def test_seconds_tolerance_absorbs_jitter(self):
+        base = _report(fifo=_metrics(seconds=0.1))
+        current = _report(fifo=_metrics(seconds=1.0))
+        violations, _ = compare_reports(base, current)
+        assert violations == []
+
+    def test_missing_cell_is_a_violation(self):
+        base = _report(fifo=_metrics(), movavg=_metrics())
+        current = _report(fifo=_metrics())
+        violations, _ = compare_reports(base, current)
+        assert any("missing from current" in v for v in violations)
+
+    def test_missing_metric_is_a_violation(self):
+        base = _report(fifo=_metrics())
+        stripped = _metrics()
+        del stripped["peak_nodes"]
+        current = _report(fifo=stripped)
+        violations, _ = compare_reports(base, current)
+        assert any("peak_nodes" in v and "missing" in v
+                   for v in violations)
+
+    def test_new_cell_is_only_a_note(self):
+        base = _report(fifo=_metrics())
+        current = _report(fifo=_metrics(), movavg=_metrics())
+        violations, notes = compare_reports(base, current)
+        assert violations == []
+        assert len(notes) == 1
+        assert "new cell" in notes[0]
+
+    def test_metric_absent_from_baseline_is_skipped(self):
+        base = _report(fifo={"outcome": "verified"})
+        current = _report(fifo=_metrics())
+        violations, _ = compare_reports(base, current)
+        assert violations == []
+
+    def test_tolerance_overrides(self):
+        base = _report(fifo=_metrics(peak_nodes=1000))
+        current = _report(fifo=_metrics(peak_nodes=2000))
+        loose = dict(DEFAULT_TOLERANCES)
+        loose["peak_nodes"] = Tolerance(ratio=3.0)
+        violations, _ = compare_reports(base, current, tolerances=loose)
+        assert violations == []
+
+
+class TestGateWiring:
+    def test_default_tolerances_cover_gated_metrics(self):
+        assert set(DEFAULT_TOLERANCES) == {
+            "outcome", "iterations", "peak_nodes", "max_iterate_nodes",
+            "seconds"}
+        assert DEFAULT_TOLERANCES["outcome"].exact
+        assert DEFAULT_TOLERANCES["iterations"].exact
+
+    def test_benches_list_matches_committed_baselines(self):
+        for filename, module in regress.BENCHES:
+            assert (REPO_ROOT / filename).exists(), filename
+            assert hasattr(module, "build_report")
+
+    def test_committed_baselines_load_under_current_schema(self):
+        for filename, _ in regress.BENCHES:
+            report = benchjson.load_report(REPO_ROOT / filename)
+            assert report["entries"], filename
+
+    def test_baselines_compare_clean_against_themselves(self):
+        for filename, _ in regress.BENCHES:
+            report = benchjson.load_report(REPO_ROOT / filename)
+            violations, notes = compare_reports(report, report)
+            assert violations == []
+            assert notes == []
