@@ -5,6 +5,12 @@ Re-runs the standalone benches (``bench_evaluator_cache.py`` and
 the fresh reports against the committed ``BENCH_*.json`` baselines,
 and exits nonzero on any violation — this is the CI ``perf-gate`` job.
 
+The comparison core lives in :mod:`repro.obs.ledger` and is shared
+with ``repro compare`` — :class:`Tolerance`, the default tolerance
+table, and the cell-by-cell diff are the same judgement in both tools;
+this module re-exports them and adapts the structured verdict to the
+gate's (violations, notes) shape.
+
 Per-metric tolerances, chosen for what each number *is*:
 
 * ``iterations`` — exact.  The engines are deterministic; a different
@@ -27,11 +33,13 @@ Usage::
     PYTHONPATH=src python benchmarks/regress.py            # full rounds
     PYTHONPATH=src python benchmarks/regress.py --quick    # 1 round, CI
     PYTHONPATH=src python benchmarks/regress.py --update-baselines
+    PYTHONPATH=src python benchmarks/regress.py --json verdict.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
@@ -41,51 +49,14 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.obs import benchjson  # noqa: E402
+from repro.obs.ledger import DEFAULT_TOLERANCES, Tolerance, \
+    diff_reports  # noqa: E402
 
 import bench_evaluator_cache  # noqa: E402
 import bench_reorder  # noqa: E402
 
-__all__ = ["Tolerance", "DEFAULT_TOLERANCES", "compare_reports", "main"]
-
-
-class Tolerance:
-    """How far a current metric may drift from its baseline.
-
-    ``ratio`` bounds the multiplicative growth, ``abs_slack`` adds a
-    flat allowance on top: ``limit = max(base * ratio, base + abs_slack)``.
-    ``exact=True`` means any difference (in either direction) fails.
-    Metrics only regress upward here — a *drop* in peak_nodes or
-    seconds is an improvement and always passes.
-    """
-
-    def __init__(self, ratio: float = 1.0, abs_slack: float = 0.0,
-                 exact: bool = False) -> None:
-        self.ratio = ratio
-        self.abs_slack = abs_slack
-        self.exact = exact
-
-    def check(self, base: float, current: float) -> Optional[str]:
-        """None when within tolerance, else a violation description."""
-        if self.exact:
-            if current != base:
-                return f"expected exactly {base}, got {current}"
-            return None
-        limit = max(base * self.ratio, base + self.abs_slack)
-        if current > limit:
-            return (f"{current} exceeds limit {limit:.4g} "
-                    f"(baseline {base}, ratio {self.ratio}, "
-                    f"slack {self.abs_slack})")
-        return None
-
-
-#: metric name -> Tolerance; metrics not listed are informational only.
-DEFAULT_TOLERANCES: Dict[str, Tolerance] = {
-    "outcome": Tolerance(exact=True),
-    "iterations": Tolerance(exact=True),
-    "peak_nodes": Tolerance(ratio=1.10),
-    "max_iterate_nodes": Tolerance(ratio=1.10),
-    "seconds": Tolerance(ratio=5.0, abs_slack=1.0),
-}
+__all__ = ["Tolerance", "DEFAULT_TOLERANCES", "compare_reports",
+           "diff_reports", "main"]
 
 
 def compare_reports(baseline: Dict[str, Any], current: Dict[str, Any],
@@ -94,39 +65,12 @@ def compare_reports(baseline: Dict[str, Any], current: Dict[str, Any],
     """Compare two benchjson reports cell by cell.
 
     Returns ``(violations, notes)``: violations fail the gate, notes
-    are informational (new cells, new metrics).
+    are informational (new cells, new metrics).  Thin adapter over
+    :func:`repro.obs.ledger.diff_reports`, kept for compatibility with
+    existing callers and tests.
     """
-    if tolerances is None:
-        tolerances = DEFAULT_TOLERANCES
-    violations: List[str] = []
-    notes: List[str] = []
-    name = current.get("benchmark", "?")
-    base_index = benchjson.entry_index(baseline)
-    current_index = benchjson.entry_index(current)
-    for key in sorted(base_index):
-        label = f"{name}:{'/'.join(key)}"
-        if key not in current_index:
-            violations.append(f"{label}: cell missing from current run")
-            continue
-        base_metrics = base_index[key]
-        cur_metrics = current_index[key]
-        for metric, tolerance in tolerances.items():
-            if metric not in base_metrics:
-                continue
-            if metric not in cur_metrics:
-                violations.append(
-                    f"{label}: metric {metric!r} missing from "
-                    "current run")
-                continue
-            problem = tolerance.check(base_metrics[metric],
-                                      cur_metrics[metric])
-            if problem is not None:
-                violations.append(f"{label}: {metric}: {problem}")
-    for key in sorted(current_index):
-        if key not in base_index:
-            notes.append(f"{name}:{'/'.join(key)}: new cell "
-                         "(no baseline; passes)")
-    return violations, notes
+    diff = diff_reports(baseline, current, tolerances)
+    return diff["violations"], diff["notes"]
 
 
 #: (baseline filename, module with build_report) for every gated bench.
@@ -149,11 +93,17 @@ def main(argv=None) -> int:
                              "comparing")
     parser.add_argument("--baseline-dir", type=Path, default=REPO_ROOT,
                         help="where the committed baselines live")
+    parser.add_argument("--json", type=Path, default=None,
+                        metavar="FILE",
+                        help="also write the machine-readable verdict "
+                             "(per-cell pass/fail with metric deltas) "
+                             "as JSON")
     args = parser.parse_args(argv)
     rounds = args.rounds if args.rounds is not None \
         else (1 if args.quick else 3)
 
     all_violations: List[str] = []
+    verdicts: List[Dict[str, Any]] = []
     for filename, module in BENCHES:
         baseline_path = args.baseline_dir / filename
         print(f"== {filename} (rounds={rounds}) ==")
@@ -163,20 +113,32 @@ def main(argv=None) -> int:
             print(f"updated {baseline_path}")
             continue
         if not baseline_path.exists():
-            all_violations.append(
-                f"{filename}: baseline missing — run with "
-                "--update-baselines and commit it")
+            violation = (f"{filename}: baseline missing — run with "
+                         "--update-baselines and commit it")
+            all_violations.append(violation)
+            verdicts.append({"benchmark": filename, "cells": [],
+                             "violations": [violation], "notes": [],
+                             "passed": False})
             continue
         baseline = benchjson.load_report(baseline_path)
-        violations, notes = compare_reports(baseline, report)
-        for note in notes:
+        diff = diff_reports(baseline, report)
+        verdicts.append(diff)
+        for note in diff["notes"]:
             print(f"  note: {note}")
-        if violations:
-            for violation in violations:
+        if diff["violations"]:
+            for violation in diff["violations"]:
                 print(f"  REGRESSION: {violation}")
-            all_violations.extend(violations)
+            all_violations.extend(diff["violations"])
         else:
             print("  ok: all cells within tolerance")
+    if args.json is not None:
+        document = {"passed": not all_violations,
+                    "regressions": len(all_violations),
+                    "reports": verdicts}
+        args.json.write_text(
+            json.dumps(document, indent=2, sort_keys=True,
+                       default=str) + "\n", encoding="utf-8")
+        print(f"wrote verdict to {args.json}")
     if all_violations:
         print(f"\n{len(all_violations)} regression(s) detected")
         return 1

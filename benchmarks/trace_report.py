@@ -19,56 +19,139 @@ resource sampler takes one forced sample per iterate boundary, so each
 iteration row gains the node-table peak at that point and the op-cache
 hit rate over that iteration's window (delta of the cumulative
 hit/miss counters between consecutive iterate samples).
+
+``--spans FILE`` folds in a Chrome-trace span export from the same run
+(``verify --spans FILE``): a per-iteration wall-time column (the
+``iteration`` span matching each row's index) and a self-time rollup
+table after the totals.
+
+All inputs may be gzip-compressed (``.gz`` suffix); a partial last
+line — the signature of a killed run — is skipped with a warning.
 """
 
 from __future__ import annotations
 
 import argparse
+import gzip
 import json
 import sys
-from typing import Any, Dict, Iterable, List, Optional
+import warnings
+from typing import Any, Dict, Iterable, List, Optional, TextIO
+
+
+def _open_text(path: str) -> TextIO:
+    """Open a (possibly ``.gz``-compressed) text file for reading."""
+    if path.endswith(".gz"):
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def _read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse one JSONL file; a partial *last* line is skipped with a
+    warning (the writers flush line-atomically, so only a killed run's
+    final line can be truncated), any other bad line raises."""
+    with _open_text(path) as handle:
+        lines = handle.readlines()
+    records = []
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            records.append(json.loads(stripped))
+        except json.JSONDecodeError as error:
+            if lineno == len(lines):
+                warnings.warn(
+                    f"{path}:{lineno}: skipping partial last line "
+                    f"(truncated run?): {error}")
+                break
+            raise ValueError(f"{path}:{lineno}: not JSON: {error}")
+    return records
 
 
 def read_events(path: str) -> List[Dict[str, Any]]:
     """Parse one JSONL trace file; bad lines raise with their number."""
     events = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise ValueError(f"{path}:{lineno}: not JSON: {error}")
-            if "event" not in record:
-                raise ValueError(f"{path}:{lineno}: missing 'event' key")
-            events.append(record)
+    for record in _read_jsonl(path):
+        if "event" not in record:
+            raise ValueError(f"{path}: record missing 'event' key: "
+                             f"{record!r}")
+        events.append(record)
     return events
 
 
 def read_metrics_samples(path: str) -> List[Dict[str, Any]]:
     """Parse a metrics JSONL timeline; returns the sample lines only."""
-    samples = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise ValueError(f"{path}:{lineno}: not JSON: {error}")
-            if record.get("kind") == "sample":
-                samples.append(record)
-    return samples
+    return [record for record in _read_jsonl(path)
+            if record.get("kind") == "sample"]
+
+
+def read_span_events(path: str) -> List[Dict[str, Any]]:
+    """Load the complete ("X") events of a Chrome-trace span export."""
+    with _open_text(path) as handle:
+        doc = json.load(handle)
+    return [event for event in doc.get("traceEvents", [])
+            if event.get("ph") == "X"]
+
+
+def span_rollup(span_events: List[Dict[str, Any]]
+                ) -> Dict[str, Dict[str, Any]]:
+    """Per-name count / total / self-time rollup of Chrome-trace spans.
+
+    Nesting is recovered from ts/dur containment (the exporter writes
+    one flat list of complete events); self time is each span's
+    duration minus the durations of its direct children.
+    """
+    ordered = sorted(span_events,
+                     key=lambda e: ((e.get("ts") or 0),
+                                    -(e.get("dur") or 0)))
+    rollup: Dict[str, Dict[str, Any]] = {}
+    stack: List[Dict[str, Any]] = []
+
+    def close(frame: Dict[str, Any]) -> None:
+        agg = rollup.setdefault(
+            frame["name"],
+            {"count": 0, "seconds": 0.0, "self_seconds": 0.0})
+        agg["count"] += 1
+        agg["seconds"] += frame["dur"] / 1e6
+        agg["self_seconds"] += max(0.0,
+                                   frame["dur"] - frame["child"]) / 1e6
+
+    for event in ordered:
+        ts = event.get("ts") or 0
+        dur = event.get("dur") or 0
+        while stack and ts >= stack[-1]["end"]:
+            close(stack.pop())
+        if stack:
+            stack[-1]["child"] += dur
+        stack.append({"name": event.get("name", "?"), "end": ts + dur,
+                      "dur": dur, "child": 0.0})
+    while stack:
+        close(stack.pop())
+    return rollup
+
+
+def iteration_span_seconds(span_events: List[Dict[str, Any]]
+                           ) -> Dict[int, float]:
+    """Wall seconds of each ``iteration`` span, keyed by its index."""
+    seconds: Dict[int, float] = {}
+    for event in span_events:
+        if event.get("name") != "iteration":
+            continue
+        index = (event.get("args") or {}).get("index")
+        if index is None:
+            continue
+        seconds[index] = (seconds.get(index, 0.0)
+                          + (event.get("dur") or 0) / 1e6)
+    return seconds
 
 
 def _new_row(index: int) -> Dict[str, Any]:
     return {"index": index, "nodes": None, "profile": "", "list_length": None,
             "merges": 0, "images": 0, "back_images": 0,
             "image_seconds": 0.0, "reorders": 0, "reorder_swaps": 0,
-            "tiers": {}, "t": None, "peak_nodes": None, "hit_rate": None}
+            "tiers": {}, "t": None, "peak_nodes": None, "hit_rate": None,
+            "span_seconds": None}
 
 
 def group_by_iteration(events: Iterable[Dict[str, Any]]
@@ -158,22 +241,35 @@ def _tier_text(tiers: Dict[str, int]) -> str:
     return " ".join(hits) if hits else "-"
 
 
+def fold_spans(rows: List[Dict[str, Any]],
+               span_events: List[Dict[str, Any]]) -> None:
+    """Attach each row's ``iteration`` span wall time by index."""
+    by_index = iteration_span_seconds(span_events)
+    for row in rows:
+        row["span_seconds"] = by_index.get(row["index"])
+
+
 def format_report(events: List[Dict[str, Any]],
-                  metrics_samples: Optional[List[Dict[str, Any]]] = None
+                  metrics_samples: Optional[List[Dict[str, Any]]] = None,
+                  span_events: Optional[List[Dict[str, Any]]] = None
                   ) -> str:
     grouped = group_by_iteration(events)
     run, rows = grouped["run"], grouped["rows"]
     with_metrics = metrics_samples is not None
     if with_metrics:
         fold_metrics(rows, metrics_samples)
+    with_spans = span_events is not None
+    if with_spans:
+        fold_spans(rows, span_events)
     lines = []
     lines.append(f"trace: {run.get('method') or '?'} on "
                  f"{run.get('model') or '?'} — "
                  f"outcome {run.get('outcome') or '(incomplete)'}")
     metrics_header = f"  {'peak':>8}  {'hit%':>6}" if with_metrics else ""
+    spans_header = f"  {'span s':>8}" if with_spans else ""
     header = (f"{'iter':>4}  {'list':>4}  {'nodes':>8}  {'mrg':>4}  "
               f"{'img':>4}  {'img s':>8}  {'sift':>4}"
-              f"{metrics_header}  termination tiers")
+              f"{metrics_header}{spans_header}  termination tiers")
     lines.append(header)
     lines.append("-" * len(header))
     for row in rows:
@@ -188,11 +284,16 @@ def format_report(events: List[Dict[str, Any]],
             rate = ("-" if row["hit_rate"] is None
                     else f"{100.0 * row['hit_rate']:.1f}")
             metrics_cols = f"  {peak:>8}  {rate:>6}"
+        spans_cols = ""
+        if with_spans:
+            span_s = ("-" if row["span_seconds"] is None
+                      else f"{row['span_seconds']:.4f}")
+            spans_cols = f"  {span_s:>8}"
         lines.append(
             f"{row['index']:>4}  {length:>4}  {nodes:>8}  "
             f"{row['merges']:>4}  {images:>4}  "
             f"{row['image_seconds']:>8.4f}  {sifts:>4}"
-            f"{metrics_cols}  "
+            f"{metrics_cols}{spans_cols}  "
             f"{_tier_text(row['tiers'])}")
     totals = {
         "events": len(events),
@@ -219,24 +320,47 @@ def format_report(events: List[Dict[str, Any]],
     if run.get("elapsed_seconds") is not None:
         lines.append(f"run: {run['elapsed_seconds']}s, "
                      f"peak {run.get('peak_nodes')} nodes")
+    if with_spans:
+        rollup = span_rollup(span_events)
+        lines.append("")
+        lines.append("span rollup (self time, heaviest first):")
+        span_head = (f"  {'span':<20} {'count':>6} {'total s':>10} "
+                     f"{'self s':>10}")
+        lines.append(span_head)
+        lines.append("  " + "-" * (len(span_head) - 2))
+        for name in sorted(rollup,
+                           key=lambda n: -rollup[n]["self_seconds"]):
+            agg = rollup[name]
+            lines.append(f"  {name:<20} {agg['count']:>6} "
+                         f"{agg['seconds']:>10.4f} "
+                         f"{agg['self_seconds']:>10.4f}")
     return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="render a repro --trace JSONL file as a table")
-    parser.add_argument("file", help="JSONL trace from verify --trace")
+    parser.add_argument("file", help="JSONL trace from verify --trace "
+                                     "(may be .gz)")
     parser.add_argument("--metrics", metavar="FILE", default=None,
                         help="metrics JSONL timeline from the same run "
                              "(verify --metrics FILE); adds per-"
                              "iteration peak-nodes and op-cache "
                              "hit-rate columns")
+    parser.add_argument("--spans", metavar="FILE", default=None,
+                        help="Chrome-trace span export from the same "
+                             "run (verify --spans FILE); adds a per-"
+                             "iteration wall-time column and a "
+                             "self-time rollup table")
     args = parser.parse_args(argv)
     events = read_events(args.file)
     metrics_samples = None
     if args.metrics:
         metrics_samples = read_metrics_samples(args.metrics)
-    print(format_report(events, metrics_samples))
+    span_events = None
+    if args.spans:
+        span_events = read_span_events(args.spans)
+    print(format_report(events, metrics_samples, span_events))
     return 0
 
 

@@ -29,7 +29,10 @@ including every substrate the paper relies on:
 * :mod:`repro.obs` — metrics and profiling: counters, fixed-bucket
   histograms, phase timers, a periodic resource sampler, and JSONL /
   Prometheus / terminal exporters, plus the versioned ``BENCH_*.json``
-  schema behind ``benchmarks/regress.py``.
+  schema behind ``benchmarks/regress.py``; also the hierarchical span
+  profiler (Chrome-trace / speedscope exporters), the content-addressed
+  run ledger with phase-by-phase cross-run diffing, and the live
+  progress watchdog.
 
 **The stable public API** is this module's top level::
 
@@ -49,14 +52,15 @@ the submodule paths (``repro.core.runner.verify`` etc.) keep working
 but are implementation layout, not interface.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import bdd, bench, core, explicit, expr, fsm, iclist, models, \
     obs, trace
 from .core import METHODS, Options, Outcome, Problem, \
     VerificationResult, verify
 from .models import MODELS, available_models, build_model
-from .obs import MetricsRegistry, NullRegistry, ResourceSampler
+from .obs import MetricsRegistry, NullRegistry, NullSpanSink, \
+    ResourceSampler, SpanProfiler, Watchdog
 from .trace import JsonlTracer, NullTracer, RecordingTracer, Tracer
 
 __all__ = ["bdd", "bench", "core", "explicit", "expr", "fsm", "iclist",
@@ -65,4 +69,5 @@ __all__ = ["bdd", "bench", "core", "explicit", "expr", "fsm", "iclist",
            "VerificationResult",
            "available_models", "build_model", "MODELS",
            "Tracer", "NullTracer", "RecordingTracer", "JsonlTracer",
-           "MetricsRegistry", "NullRegistry", "ResourceSampler"]
+           "MetricsRegistry", "NullRegistry", "ResourceSampler",
+           "SpanProfiler", "NullSpanSink", "Watchdog"]

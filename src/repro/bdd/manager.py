@@ -45,6 +45,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, \
     Tuple
 
 from ..obs.registry import NULL_REGISTRY
+from ..obs.spans import NULL_SPANS
 
 __all__ = ["BDD", "EpochGuard", "Function", "BudgetExceededError",
            "TERMINAL_LEVEL"]
@@ -158,6 +159,15 @@ class BDD:
         #: installed — :meth:`auto_collect` gives it the same safe
         #: points it gives the collector and sifter.
         self.resource_sampler = None
+        #: Span sink for the leaf-operation attribution (apply /
+        #: restrict / constrain / relprod).  Always a sink object; the
+        #: default :data:`~repro.obs.spans.NULL_SPANS` has
+        #: ``enabled = False``, so every site is one attribute check.
+        self.spans = NULL_SPANS
+        #: A :class:`~repro.obs.watchdog.Watchdog` while one is armed —
+        #: :meth:`auto_collect` stamps its liveness so the heartbeat
+        #: can tell "long operation" from "stuck".
+        self.heartbeat = None
         # Budgets.
         self.max_nodes = max_nodes
         self._deadline = (time.monotonic() + time_limit
@@ -566,6 +576,8 @@ class BDD:
             self.maybe_sift()
         if self.resource_sampler is not None:
             self.resource_sampler.maybe_sample()
+        if self.heartbeat is not None:
+            self.heartbeat.touch()
 
     # ------------------------------------------------------------------
     # In-place dynamic reordering: adjacent-level swap and sifting
@@ -1040,12 +1052,16 @@ class BDD:
 
     def _relprod(self, f: int, g: int, levels: Iterable[int]) -> int:
         metrics = self.metrics
-        if metrics.enabled:
+        spans = self.spans
+        if metrics.enabled or spans.enabled:
+            handle = spans.open_span("relprod") if spans.enabled else None
             started = time.perf_counter()
             result = self._relprod_impl(f, g, levels)
-            metrics.inc("bdd_relprod_calls")
-            metrics.observe_time("bdd_relprod_seconds",
-                                 time.perf_counter() - started)
+            if metrics.enabled:
+                metrics.inc("bdd_relprod_calls")
+                metrics.observe_time("bdd_relprod_seconds",
+                                     time.perf_counter() - started)
+            spans.close_span(handle)
             return result
         return self._relprod_impl(f, g, levels)
 
@@ -1120,13 +1136,17 @@ class BDD:
         operator stays total.
         """
         metrics = self.metrics
-        if metrics.enabled:
+        spans = self.spans
+        if metrics.enabled or spans.enabled:
+            handle = spans.open_span("restrict") if spans.enabled else None
             started = time.perf_counter()
             sign = f & 1
             result = self._restrict_rec(f ^ sign, c)
-            metrics.inc("bdd_restrict_calls")
-            metrics.observe_time("bdd_restrict_seconds",
-                                 time.perf_counter() - started)
+            if metrics.enabled:
+                metrics.inc("bdd_restrict_calls")
+                metrics.observe_time("bdd_restrict_seconds",
+                                     time.perf_counter() - started)
+            spans.close_span(handle)
             return result ^ sign
         sign = f & 1
         result = self._restrict_rec(f ^ sign, c)
@@ -1168,13 +1188,17 @@ class BDD:
     def _constrain(self, f: int, c: int) -> int:
         """Coudert–Madre Constrain (the original generalized cofactor)."""
         metrics = self.metrics
-        if metrics.enabled:
+        spans = self.spans
+        if metrics.enabled or spans.enabled:
+            handle = spans.open_span("constrain") if spans.enabled else None
             started = time.perf_counter()
             sign = f & 1
             result = self._constrain_rec(f ^ sign, c)
-            metrics.inc("bdd_constrain_calls")
-            metrics.observe_time("bdd_constrain_seconds",
-                                 time.perf_counter() - started)
+            if metrics.enabled:
+                metrics.inc("bdd_constrain_calls")
+                metrics.observe_time("bdd_constrain_seconds",
+                                     time.perf_counter() - started)
+            spans.close_span(handle)
             return result ^ sign
         sign = f & 1
         result = self._constrain_rec(f ^ sign, c)
@@ -1376,36 +1400,48 @@ class Function:
     def __and__(self, other: "Function") -> "Function":
         self.bdd._check_manager(other)
         metrics = self.bdd.metrics
-        if metrics.enabled:
+        spans = self.bdd.spans
+        if metrics.enabled or spans.enabled:
+            handle = spans.open_span("apply") if spans.enabled else None
             started = time.perf_counter()
             edge = self.bdd._and(self.edge, other.edge)
-            metrics.inc("bdd_apply_calls")
-            metrics.observe_time("bdd_apply_seconds",
-                                 time.perf_counter() - started)
+            if metrics.enabled:
+                metrics.inc("bdd_apply_calls")
+                metrics.observe_time("bdd_apply_seconds",
+                                     time.perf_counter() - started)
+            spans.close_span(handle)
             return Function(self.bdd, edge)
         return Function(self.bdd, self.bdd._and(self.edge, other.edge))
 
     def __or__(self, other: "Function") -> "Function":
         self.bdd._check_manager(other)
         metrics = self.bdd.metrics
-        if metrics.enabled:
+        spans = self.bdd.spans
+        if metrics.enabled or spans.enabled:
+            handle = spans.open_span("apply") if spans.enabled else None
             started = time.perf_counter()
             edge = self.bdd._or(self.edge, other.edge)
-            metrics.inc("bdd_apply_calls")
-            metrics.observe_time("bdd_apply_seconds",
-                                 time.perf_counter() - started)
+            if metrics.enabled:
+                metrics.inc("bdd_apply_calls")
+                metrics.observe_time("bdd_apply_seconds",
+                                     time.perf_counter() - started)
+            spans.close_span(handle)
             return Function(self.bdd, edge)
         return Function(self.bdd, self.bdd._or(self.edge, other.edge))
 
     def __xor__(self, other: "Function") -> "Function":
         self.bdd._check_manager(other)
         metrics = self.bdd.metrics
-        if metrics.enabled:
+        spans = self.bdd.spans
+        if metrics.enabled or spans.enabled:
+            handle = spans.open_span("apply") if spans.enabled else None
             started = time.perf_counter()
             edge = self.bdd._xor(self.edge, other.edge)
-            metrics.inc("bdd_apply_calls")
-            metrics.observe_time("bdd_apply_seconds",
-                                 time.perf_counter() - started)
+            if metrics.enabled:
+                metrics.inc("bdd_apply_calls")
+                metrics.observe_time("bdd_apply_seconds",
+                                     time.perf_counter() - started)
+            spans.close_span(handle)
             return Function(self.bdd, edge)
         return Function(self.bdd, self.bdd._xor(self.edge, other.edge))
 

@@ -173,6 +173,8 @@ def sift(manager: BDD, max_growth: float = 1.2,
                           nodes_before=len(manager._level),
                           nodes_after=len(manager._level), seconds=0.0)
     manager._in_reorder = True
+    spans = manager.spans
+    span = spans.open_span("sift", reason=reason) if spans.enabled else None
     vars_sifted = 0
     abort: Optional[BudgetExceededError] = None
     try:
@@ -221,6 +223,10 @@ def sift(manager: BDD, max_growth: float = 1.2,
                 metrics.inc("sift_nodes_saved", saved)
         if manager.reorder_observer is not None:
             manager.reorder_observer(result.as_dict())
+        if span is not None:
+            spans.close_span(span, swaps=result.swaps,
+                             vars_sifted=result.vars_sifted,
+                             aborted=result.aborted)
     finally:
         manager._in_reorder = False
         manager._sift_refs = None

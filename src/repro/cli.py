@@ -23,6 +23,15 @@ aggregated per-run tally.  ``--metrics FILE`` collects counters,
 histograms, and the resource-sampler timeline and writes them to FILE
 (JSONL; a ``.prom`` suffix switches to the Prometheus textfile
 format); ``--metrics-summary`` prints the one-shot metrics report.
+
+Span profiling and the run ledger: ``--spans FILE`` records the nested
+phase spans and writes a Chrome Trace Event JSON (Perfetto-loadable; a
+``.speedscope.json`` suffix switches to the speedscope format);
+``--spans-summary`` prints the self-time rollup.  ``--heartbeat SECS``
+prints live progress lines to stderr while the run works.
+``--ledger DIR`` archives the finished run content-addressed;
+``repro ledger`` lists/shows archived runs and
+``repro compare RUN_A RUN_B`` diffs two of them phase-by-phase.
 """
 
 from __future__ import annotations
@@ -35,8 +44,8 @@ from typing import Callable, Dict, List, Optional
 from .core import METHODS, Options, Problem, verify
 from .iclist.evaluate import GROW_THRESHOLD
 from .models import MODELS
-from .obs import MetricsRegistry, render_report, write_jsonl, \
-    write_prometheus
+from .obs import MetricsRegistry, SpanProfiler, ledger, render_report, \
+    render_rollup, write_jsonl, write_prometheus
 from .trace import JsonlTracer, RecordingTracer, Tracer
 from .bench.tables import table1_fifo, table1_movavg, table1_network, \
     table2_movavg_unassisted, table3_pipeline
@@ -75,6 +84,23 @@ def _make_metrics(args: argparse.Namespace) -> Optional[MetricsRegistry]:
     return None
 
 
+def _make_spans(args: argparse.Namespace) -> Optional[SpanProfiler]:
+    if getattr(args, "spans", None) \
+            or getattr(args, "spans_summary", False) \
+            or getattr(args, "ledger", None):
+        return SpanProfiler()
+    return None
+
+
+def _write_spans(spans: SpanProfiler, path: str,
+                 args: argparse.Namespace) -> None:
+    if path.endswith(".speedscope.json"):
+        spans.write_speedscope(path,
+                               name=f"{args.model}/{args.method}")
+    else:
+        spans.write_chrome_trace(path)
+
+
 def _write_metrics(registry: MetricsRegistry, path: str,
                    args: argparse.Namespace) -> None:
     if path.endswith(".prom"):
@@ -88,7 +114,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     problem = _build_problem(args)
     tracer = _make_tracer(args)
     metrics = _make_metrics(args)
-    options = Options.from_args(args, tracer=tracer, metrics=metrics)
+    spans = _make_spans(args)
+    options = Options.from_args(args, tracer=tracer, metrics=metrics,
+                                spans=spans)
     try:
         result = verify(problem, args.method, options,
                         assisted=args.assisted)
@@ -97,6 +125,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             tracer.close()
     if metrics is not None and args.metrics:
         _write_metrics(metrics, args.metrics, args)
+    if spans is not None and args.spans:
+        _write_spans(spans, args.spans, args)
+    if args.ledger:
+        run_id = ledger.record_run(args.ledger, result,
+                                   config=options.summary(), spans=spans)
+        print(f"ledger: {run_id}", file=sys.stderr)
     if args.json:
         print(result.to_json(indent=2))
     else:
@@ -116,6 +150,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(json.dumps(result.trace_summary, indent=2, default=str))
         if args.metrics_summary and metrics is not None:
             print(render_report(metrics))
+        if args.spans_summary and result.span_rollup is not None:
+            print(render_rollup(result.span_rollup))
         if result.trace is not None and args.show_trace:
             print(f"counterexample ({len(result.trace)} states):")
             print(result.trace.pretty())
@@ -154,6 +190,46 @@ def _print_stats(result) -> None:
         print(f"  vars_sifted            {reorder['vars_sifted']}")
         print(f"  nodes_saved            {reorder['nodes_saved']}")
         print(f"  seconds                {reorder['seconds']:.3f}")
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    if args.action == "show":
+        if not args.run_id:
+            print("ledger show needs a RUN_ID", file=sys.stderr)
+            return 2
+        run_id, doc = ledger.load_run(args.dir, args.run_id)
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    runs = ledger.list_runs(args.dir)
+    if args.ids:
+        for run_id, _doc in runs:
+            print(run_id)
+        return 0
+    if not runs:
+        print(f"(no runs in {args.dir})")
+        return 0
+    print(f"{'run id':<14} {'model':<12} {'method':<6} "
+          f"{'outcome':<24} {'iters':>5} {'seconds':>9}")
+    for run_id, doc in runs:
+        result = doc.get("result", {})
+        print(f"{run_id:<14} {doc.get('model', '?'):<12} "
+              f"{doc.get('method', '?'):<6} "
+              f"{str(result.get('outcome')):<24} "
+              f"{str(result.get('iterations')):>5} "
+              f"{float(result.get('elapsed_seconds') or 0.0):>9.4f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    id_a, doc_a = ledger.load_run(args.dir, args.run_a)
+    id_b, doc_b = ledger.load_run(args.dir, args.run_b)
+    diff = ledger.diff_runs(doc_a, doc_b)
+    if args.json:
+        print(json.dumps({"run_a": id_a, "run_b": id_b, **diff},
+                         indent=2, sort_keys=True))
+    else:
+        print(ledger.render_run_diff(id_a, doc_a, id_b, doc_b, diff))
+    return 0 if diff["passed"] else 1
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -253,6 +329,29 @@ def _add_verify_parser(subparsers) -> None:
                         help="print the one-shot metrics report "
                              "(counters, gauges, histograms) after "
                              "the run")
+    parser.add_argument("--spans", metavar="FILE", default=None,
+                        help="profile nested phase spans and write a "
+                             "Chrome Trace Event JSON for Perfetto / "
+                             "chrome://tracing (a .speedscope.json "
+                             "suffix switches to the speedscope "
+                             "flamegraph format)")
+    parser.add_argument("--spans-summary", action="store_true",
+                        help="print the per-span self-time rollup "
+                             "table after the run")
+    parser.add_argument("--heartbeat", type=float, metavar="SECS",
+                        default=None,
+                        help="print a live progress line to stderr "
+                             "every SECS seconds while the run works")
+    parser.add_argument("--heartbeat-stall", type=float, metavar="SECS",
+                        default=None,
+                        help="flag a stall when no safe point is "
+                             "reached for SECS seconds (default: "
+                             "max(5*heartbeat, 30))")
+    parser.add_argument("--ledger", metavar="DIR", default=None,
+                        help="archive the finished run (config, "
+                             "result, metrics, span rollup) as a "
+                             "content-addressed entry in DIR; implies "
+                             "span profiling")
     parser.add_argument("--json", action="store_true",
                         help="print the machine-readable result "
                              "(VerificationResult.to_dict) and suppress "
@@ -278,6 +377,31 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     models = subparsers.add_parser("models", help="list available models")
     models.set_defaults(func=_cmd_models)
+
+    ledger_parser = subparsers.add_parser(
+        "ledger", help="list or show archived runs (see verify --ledger)")
+    ledger_parser.add_argument("action", nargs="?", default="list",
+                               choices=["list", "show"])
+    ledger_parser.add_argument("run_id", nargs="?", default=None,
+                               help="run id (or unique prefix) for show")
+    ledger_parser.add_argument("--dir", default="repro-ledger",
+                               help="ledger directory "
+                                    "(default: repro-ledger)")
+    ledger_parser.add_argument("--ids", action="store_true",
+                               help="print bare run ids only")
+    ledger_parser.set_defaults(func=_cmd_ledger)
+
+    compare = subparsers.add_parser(
+        "compare", help="diff two archived runs phase-by-phase "
+                        "(exit 1 on regressions)")
+    compare.add_argument("run_a", help="baseline run id (or prefix)")
+    compare.add_argument("run_b", help="candidate run id (or prefix)")
+    compare.add_argument("--dir", default="repro-ledger",
+                         help="ledger directory (default: repro-ledger)")
+    compare.add_argument("--json", action="store_true",
+                         help="print the structured verdict instead "
+                              "of markdown")
+    compare.set_defaults(func=_cmd_compare)
 
     info = subparsers.add_parser(
         "info", help="structural report on one model")

@@ -50,41 +50,47 @@ def _run(machine: Machine, good_conjuncts: Sequence[Function],
                             conjuncts=[current])
     if not machine.init.entails(current):
         return _violation(machine, not_rings, options, recorder)
+    spans = recorder.spans
     while recorder.iterations < options.max_iterations:
         recorder.check_time()
         recorder.iterations += 1
-        observed = tracer.enabled or metrics.enabled
-        if observed:
-            t0 = time.monotonic()
-        image = back_image(machine, current,
-                           options.back_image_mode,
-                           options.cluster_limit)
-        if observed:
-            seconds = time.monotonic() - t0
+        with recorder.span("iteration", index=recorder.iterations):
+            observed = tracer.enabled or metrics.enabled
+            handle = spans.open_span("back_image") \
+                if spans.enabled else None
+            if observed:
+                t0 = time.monotonic()
+            image = back_image(machine, current,
+                               options.back_image_mode,
+                               options.cluster_limit)
+            if observed:
+                seconds = time.monotonic() - t0
+                if tracer.enabled:
+                    tracer.emit(BACK_IMAGE,
+                                mode=options.back_image_mode,
+                                input_size=current.size(),
+                                output_size=image.size(),
+                                seconds=round(seconds, 6))
+                if metrics.enabled:
+                    metrics.inc("back_image_calls")
+                    metrics.observe_time("back_image_seconds", seconds)
+                    metrics.observe_size("back_image_output_nodes",
+                                         image.size())
+            if handle is not None:
+                spans.close_span(handle, output_size=image.size())
+            successor = good & image
+            not_rings.append(~successor)
+            recorder.record_iterate(successor.size(), str(successor.size()),
+                                    conjuncts=[successor])
+            converged = successor.equiv(current)
             if tracer.enabled:
-                tracer.emit(BACK_IMAGE,
-                            mode=options.back_image_mode,
-                            input_size=current.size(),
-                            output_size=image.size(),
-                            seconds=round(seconds, 6))
-            if metrics.enabled:
-                metrics.inc("back_image_calls")
-                metrics.observe_time("back_image_seconds", seconds)
-                metrics.observe_size("back_image_output_nodes",
-                                     image.size())
-        successor = good & image
-        not_rings.append(~successor)
-        recorder.record_iterate(successor.size(), str(successor.size()),
-                                conjuncts=[successor])
-        converged = successor.equiv(current)
-        if tracer.enabled:
-            tracer.emit(TERMINATION, converged=converged,
-                        tiers={"canonical": 1})
-        if converged:
-            return recorder.finish(Outcome.VERIFIED, holds=True)
-        if not machine.init.entails(successor):
-            return _violation(machine, not_rings, options, recorder)
-        current = successor
+                tracer.emit(TERMINATION, converged=converged,
+                            tiers={"canonical": 1})
+            if converged:
+                return recorder.finish(Outcome.VERIFIED, holds=True)
+            if not machine.init.entails(successor):
+                return _violation(machine, not_rings, options, recorder)
+            current = successor
     return recorder.finish(Outcome.NO_CONVERGENCE, holds=None)
 
 

@@ -131,86 +131,92 @@ def _run(machine: Machine, good_conjuncts: List[Function],
     if _violates(reduced, funcs, good_conjuncts):
         return _violation(machine, full_history, good_conjuncts,
                           options, recorder)
+    spans = recorder.spans
     while recorder.iterations < options.max_iterations:
         recorder.check_time()
         recorder.iterations += 1
-        # Substitute dependents out of the transition functions.
-        delta_c = {name: fn.compose(funcs)
-                   for name, fn in machine.delta.items()}
-        assume_c = machine.assumption.compose(funcs)
-        source = reduced & assume_c
-        indep_parts = [manager.var(prime[name]).iff(delta_c[name])
-                       for name in independent]
-        observed = tracer.enabled or metrics.enabled
-        if observed:
-            t0 = time.monotonic()
-        image_reduced = clustered_image(
-            source, indep_parts, quantify,
-            {prime[name]: name for name in independent},
-            options.cluster_limit)
-        if observed:
-            seconds = time.monotonic() - t0
-            if tracer.enabled:
-                tracer.emit(IMAGE, mode="fd-reduced",
-                            input_size=source.size(),
-                            output_size=image_reduced.size(),
-                            seconds=round(seconds, 6))
-            if metrics.enabled:
-                metrics.inc("image_calls")
-                metrics.observe_time("image_seconds", seconds)
-                metrics.observe_size("image_output_nodes",
-                                     image_reduced.size())
-        new_funcs: Dict[str, Function] = {}
-        failed = False
-        for name in dependent:
-            part = manager.var(prime[name]).iff(delta_c[name])
-            wide = clustered_image(
-                source, indep_parts + [part], quantify,
-                {prime[n]: n for n in independent + [name]},
+        with recorder.span("iteration", index=recorder.iterations):
+            # Substitute dependents out of the transition functions.
+            delta_c = {name: fn.compose(funcs)
+                       for name, fn in machine.delta.items()}
+            assume_c = machine.assumption.compose(funcs)
+            source = reduced & assume_c
+            indep_parts = [manager.var(prime[name]).iff(delta_c[name])
+                           for name in independent]
+            observed = tracer.enabled or metrics.enabled
+            handle = spans.open_span("image") if spans.enabled else None
+            if observed:
+                t0 = time.monotonic()
+            image_reduced = clustered_image(
+                source, indep_parts, quantify,
+                {prime[name]: name for name in independent},
                 options.cluster_limit)
-            high = wide.cofactor(name, True)
-            low = wide.cofactor(name, False)
-            if not (high & low).is_false:
-                failed = True
-                break
-            new_funcs[name] = high
-        if failed:
-            return recorder.finish(DEPENDENCY_FAILED, holds=None)
-        union_reduced = reduced | image_reduced
-        # Merge old and new defining functions.  On states reached both
-        # before and now the two definitions must agree; otherwise the
-        # accumulated set has two states sharing an independent part
-        # and the declared dependency is false.
-        merged_funcs: Dict[str, Function] = {}
-        consistent = True
-        for name in dependent:
-            old_fn = funcs[name]
-            new_fn = new_funcs[name]
-            conflict = reduced & image_reduced & (old_fn ^ new_fn)
-            if not conflict.is_false:
-                consistent = False
-                break
-            merged = manager.ite(reduced, old_fn, new_fn)
-            merged_funcs[name] = merged.restrict(union_reduced)
-        if not consistent:
-            return recorder.finish(DEPENDENCY_FAILED, holds=None)
-        nodes, profile = _profile(union_reduced, merged_funcs)
-        recorder.record_iterate(
-            nodes, profile,
-            conjuncts=[union_reduced] + list(merged_funcs.values()))
-        full_history.append((union_reduced, merged_funcs))
-        if _violates(union_reduced, merged_funcs, good_conjuncts):
-            return _violation(machine, full_history, good_conjuncts,
-                              options, recorder)
-        converged = union_reduced.equiv(reduced) and all(
-            (reduced & (merged_funcs[n] ^ funcs[n])).is_false
-            for n in dependent)
-        if tracer.enabled:
-            tracer.emit(TERMINATION, converged=converged,
-                        tiers={"canonical": 1})
-        if converged:
-            return recorder.finish(Outcome.VERIFIED, holds=True)
-        reduced, funcs = union_reduced, merged_funcs
+            if observed:
+                seconds = time.monotonic() - t0
+                if tracer.enabled:
+                    tracer.emit(IMAGE, mode="fd-reduced",
+                                input_size=source.size(),
+                                output_size=image_reduced.size(),
+                                seconds=round(seconds, 6))
+                if metrics.enabled:
+                    metrics.inc("image_calls")
+                    metrics.observe_time("image_seconds", seconds)
+                    metrics.observe_size("image_output_nodes",
+                                         image_reduced.size())
+            if handle is not None:
+                spans.close_span(handle,
+                                 output_size=image_reduced.size())
+            new_funcs: Dict[str, Function] = {}
+            failed = False
+            for name in dependent:
+                part = manager.var(prime[name]).iff(delta_c[name])
+                wide = clustered_image(
+                    source, indep_parts + [part], quantify,
+                    {prime[n]: n for n in independent + [name]},
+                    options.cluster_limit)
+                high = wide.cofactor(name, True)
+                low = wide.cofactor(name, False)
+                if not (high & low).is_false:
+                    failed = True
+                    break
+                new_funcs[name] = high
+            if failed:
+                return recorder.finish(DEPENDENCY_FAILED, holds=None)
+            union_reduced = reduced | image_reduced
+            # Merge old and new defining functions.  On states reached
+            # both before and now the two definitions must agree;
+            # otherwise the accumulated set has two states sharing an
+            # independent part and the declared dependency is false.
+            merged_funcs: Dict[str, Function] = {}
+            consistent = True
+            for name in dependent:
+                old_fn = funcs[name]
+                new_fn = new_funcs[name]
+                conflict = reduced & image_reduced & (old_fn ^ new_fn)
+                if not conflict.is_false:
+                    consistent = False
+                    break
+                merged = manager.ite(reduced, old_fn, new_fn)
+                merged_funcs[name] = merged.restrict(union_reduced)
+            if not consistent:
+                return recorder.finish(DEPENDENCY_FAILED, holds=None)
+            nodes, profile = _profile(union_reduced, merged_funcs)
+            recorder.record_iterate(
+                nodes, profile,
+                conjuncts=[union_reduced] + list(merged_funcs.values()))
+            full_history.append((union_reduced, merged_funcs))
+            if _violates(union_reduced, merged_funcs, good_conjuncts):
+                return _violation(machine, full_history, good_conjuncts,
+                                  options, recorder)
+            converged = union_reduced.equiv(reduced) and all(
+                (reduced & (merged_funcs[n] ^ funcs[n])).is_false
+                for n in dependent)
+            if tracer.enabled:
+                tracer.emit(TERMINATION, converged=converged,
+                            tiers={"canonical": 1})
+            if converged:
+                return recorder.finish(Outcome.VERIFIED, holds=True)
+            reduced, funcs = union_reduced, merged_funcs
     return recorder.finish(Outcome.NO_CONVERGENCE, holds=None)
 
 

@@ -55,39 +55,45 @@ def _run(machine: Machine, good_conjuncts: Sequence[Function],
                             conjuncts=[reached])
     if reached.intersects(~good):
         return _violation(machine, rings, good, options, recorder)
+    spans = recorder.spans
     while recorder.iterations < options.max_iterations:
         recorder.check_time()
         recorder.iterations += 1
-        source = frontier if options.use_frontier else reached
-        observed = tracer.enabled or metrics.enabled
-        if observed:
-            t0 = time.monotonic()
-        image = computer.image(source)
-        if observed:
-            seconds = time.monotonic() - t0
+        with recorder.span("iteration", index=recorder.iterations):
+            source = frontier if options.use_frontier else reached
+            observed = tracer.enabled or metrics.enabled
+            handle = spans.open_span("image") if spans.enabled else None
+            if observed:
+                t0 = time.monotonic()
+            image = computer.image(source)
+            if observed:
+                seconds = time.monotonic() - t0
+                if tracer.enabled:
+                    tracer.emit(IMAGE, mode="clustered",
+                                input_size=source.size(),
+                                output_size=image.size(),
+                                seconds=round(seconds, 6))
+                if metrics.enabled:
+                    metrics.inc("image_calls")
+                    metrics.observe_time("image_seconds", seconds)
+                    metrics.observe_size("image_output_nodes",
+                                         image.size())
+            if handle is not None:
+                spans.close_span(handle, output_size=image.size())
+            successor = reached | image
+            rings.append(successor)
+            recorder.record_iterate(successor.size(), str(successor.size()),
+                                    conjuncts=[successor])
+            if successor.intersects(~good):
+                return _violation(machine, rings, good, options, recorder)
+            converged = successor.equiv(reached)
             if tracer.enabled:
-                tracer.emit(IMAGE, mode="clustered",
-                            input_size=source.size(),
-                            output_size=image.size(),
-                            seconds=round(seconds, 6))
-            if metrics.enabled:
-                metrics.inc("image_calls")
-                metrics.observe_time("image_seconds", seconds)
-                metrics.observe_size("image_output_nodes", image.size())
-        successor = reached | image
-        rings.append(successor)
-        recorder.record_iterate(successor.size(), str(successor.size()),
-                                conjuncts=[successor])
-        if successor.intersects(~good):
-            return _violation(machine, rings, good, options, recorder)
-        converged = successor.equiv(reached)
-        if tracer.enabled:
-            tracer.emit(TERMINATION, converged=converged,
-                        tiers={"canonical": 1})
-        if converged:
-            return recorder.finish(Outcome.VERIFIED, holds=True)
-        frontier = image & ~reached
-        reached = successor
+                tracer.emit(TERMINATION, converged=converged,
+                            tiers={"canonical": 1})
+            if converged:
+                return recorder.finish(Outcome.VERIFIED, holds=True)
+            frontier = image & ~reached
+            reached = successor
     return recorder.finish(Outcome.NO_CONVERGENCE, holds=None)
 
 

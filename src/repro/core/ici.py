@@ -140,53 +140,65 @@ def _run(machine: Machine, good_conjuncts: List[Function],
     recorder.extra["list_length"] = len(current)
     if find_failing_conjunct(machine.init, current) is not None:
         return _violation(machine, history, options, recorder)
+    spans = recorder.spans
     while recorder.iterations < options.max_iterations:
         recorder.check_time()
         recorder.iterations += 1
-        stepped = []
-        for good, conjunct in zip(good_conjuncts, current):
-            observed = tracer.enabled or metrics.enabled
-            if observed:
-                t0 = time.monotonic()
-            image = back_image(machine, conjunct,
-                               options.back_image_mode,
-                               options.cluster_limit)
-            if observed:
-                seconds = time.monotonic() - t0
-                if tracer.enabled:
-                    tracer.emit(BACK_IMAGE,
-                                mode=options.back_image_mode,
-                                input_size=conjunct.size(),
-                                output_size=image.size(),
-                                seconds=round(seconds, 6))
-                if metrics.enabled:
-                    metrics.inc("back_image_calls")
-                    metrics.observe_time("back_image_seconds", seconds)
-                    metrics.observe_size("back_image_output_nodes",
-                                         image.size())
-            stepped.append(good & image)
-        stepped = _simplify_positional(manager, stepped, options, size_memo)
-        history.append(stepped)
-        recorder.record_iterate(shared_size(stepped),
-                                format_profile(stepped),
-                                conjuncts=stepped)
-        if size_memo is not None:
-            recorder.extra["size_memo_stats"] = size_memo.stats()
-        tier = _fast_termination(stepped, current)
-        if metrics.enabled:
-            metrics.inc("termination_tests")
+        with recorder.span("iteration", index=recorder.iterations):
+            stepped = []
+            for good, conjunct in zip(good_conjuncts, current):
+                observed = tracer.enabled or metrics.enabled
+                handle = spans.open_span("back_image") \
+                    if spans.enabled else None
+                if observed:
+                    t0 = time.monotonic()
+                image = back_image(machine, conjunct,
+                                   options.back_image_mode,
+                                   options.cluster_limit)
+                if observed:
+                    seconds = time.monotonic() - t0
+                    if tracer.enabled:
+                        tracer.emit(BACK_IMAGE,
+                                    mode=options.back_image_mode,
+                                    input_size=conjunct.size(),
+                                    output_size=image.size(),
+                                    seconds=round(seconds, 6))
+                    if metrics.enabled:
+                        metrics.inc("back_image_calls")
+                        metrics.observe_time("back_image_seconds", seconds)
+                        metrics.observe_size("back_image_output_nodes",
+                                             image.size())
+                if handle is not None:
+                    spans.close_span(handle, output_size=image.size())
+                stepped.append(good & image)
+            stepped = _simplify_positional(manager, stepped, options,
+                                           size_memo)
+            history.append(stepped)
+            recorder.record_iterate(shared_size(stepped),
+                                    format_profile(stepped),
+                                    conjuncts=stepped)
+            if size_memo is not None:
+                recorder.extra["size_memo_stats"] = size_memo.stats()
+            handle = spans.open_span("termination_test") \
+                if spans.enabled else None
+            tier = _fast_termination(stepped, current)
+            if handle is not None:
+                spans.close_span(handle, converged=tier is not None,
+                                 tier=tier)
+            if metrics.enabled:
+                metrics.inc("termination_tests")
+                if tier is not None:
+                    metrics.inc("termination_tier_" + tier)
+            if tracer.enabled:
+                tracer.emit(TERMINATION,
+                            converged=tier is not None,
+                            tiers={tier: 1} if tier is not None
+                            else {"positional": 0, "entailment": 0})
             if tier is not None:
-                metrics.inc("termination_tier_" + tier)
-        if tracer.enabled:
-            tracer.emit(TERMINATION,
-                        converged=tier is not None,
-                        tiers={tier: 1} if tier is not None
-                        else {"positional": 0, "entailment": 0})
-        if tier is not None:
-            return recorder.finish(Outcome.VERIFIED, holds=True)
-        if find_failing_conjunct(machine.init, stepped) is not None:
-            return _violation(machine, history, options, recorder)
-        current = stepped
+                return recorder.finish(Outcome.VERIFIED, holds=True)
+            if find_failing_conjunct(machine.init, stepped) is not None:
+                return _violation(machine, history, options, recorder)
+            current = stepped
     return recorder.finish(Outcome.NO_CONVERGENCE, holds=None)
 
 

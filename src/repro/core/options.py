@@ -10,10 +10,11 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass, fields
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from ..iclist.evaluate import GROW_THRESHOLD
 from ..obs.registry import MetricsRegistry
+from ..obs.spans import SpanProfiler
 from ..trace import Tracer
 
 __all__ = ["Options"]
@@ -107,6 +108,22 @@ class Options:
     #: run.  Like tracing, metrics are observational only — results are
     #: edge-identical with any registry.
     metrics: Optional[MetricsRegistry] = None
+    #: Hierarchical span sink (see :mod:`repro.obs.spans`).  None means
+    #: the shared null sink: every ``open_span``/``close_span`` site is
+    #: one attribute check and :attr:`VerificationResult.span_rollup`
+    #: stays None.  Pass a :class:`~repro.obs.SpanProfiler` to attribute
+    #: wall time, node growth, GC runs and cache hits to the nested
+    #: phases (``run > iteration > back_image/merge_round/...``).  Like
+    #: tracing and metrics, spans are observational only.
+    spans: Optional[SpanProfiler] = None
+    #: Print a live progress heartbeat to stderr every this-many
+    #: seconds (None disables it).  The watchdog thread flags a stall
+    #: when the engine reaches no safe point within
+    #: ``heartbeat_stall`` seconds.
+    heartbeat: Optional[float] = None
+    #: Stall-warning window for the heartbeat; None derives the default
+    #: ``max(5 * heartbeat, 30)``.
+    heartbeat_stall: Optional[float] = None
 
     #: CLI flag name → Options field, for every flag that is a plain
     #: rename (shared by :meth:`from_args` and the argparse setup).
@@ -122,12 +139,15 @@ class Options:
         "auto_decompose": "auto_decompose",
         "reorder": "reorder",
         "reorder_trigger": "reorder_trigger",
+        "heartbeat": "heartbeat",
+        "heartbeat_stall": "heartbeat_stall",
     }
 
     @classmethod
     def from_args(cls, args: argparse.Namespace,
                   tracer: Optional[Tracer] = None,
-                  metrics: Optional[MetricsRegistry] = None) -> "Options":
+                  metrics: Optional[MetricsRegistry] = None,
+                  spans: Optional[SpanProfiler] = None) -> "Options":
         """Build Options from CLI-style arguments.
 
         Accepts any namespace carrying (a subset of) the ``repro
@@ -147,7 +167,35 @@ class Options:
         values["use_pair_cache"] = not no_pair_cache
         values["tracer"] = tracer
         values["metrics"] = metrics
+        values["spans"] = spans
         return cls(**values)
+
+    def summary(self) -> Dict[str, Any]:
+        """The engine-relevant knobs as a plain dict.
+
+        This is the config identity of a run: the ``run_start`` trace
+        event carries it and the run ledger content-addresses on it, so
+        it deliberately excludes the observability sinks themselves
+        (tracing/metrics/spans never change the result) and the
+        heartbeat cadence.
+        """
+        return {"max_nodes": self.max_nodes,
+                "time_limit": self.time_limit,
+                "max_iterations": self.max_iterations,
+                "gc_min_nodes": self.gc_min_nodes,
+                "cluster_limit": self.cluster_limit,
+                "back_image_mode": self.back_image_mode,
+                "grow_threshold": self.grow_threshold,
+                "evaluator": self.evaluator,
+                "use_bounded_and": self.use_bounded_and,
+                "use_pair_cache": self.use_pair_cache,
+                "simplifier": self.simplifier,
+                "var_choice": self.var_choice,
+                "pairwise_step3": self.pairwise_step3,
+                "exploit_monotonicity": self.exploit_monotonicity,
+                "auto_decompose": self.auto_decompose,
+                "reorder": self.reorder,
+                "reorder_trigger": self.reorder_trigger}
 
     def validate(self) -> None:
         """Sanity-check option combinations."""
@@ -166,3 +214,7 @@ class Options:
             raise ValueError(f"unknown reorder mode {self.reorder!r}")
         if self.reorder_trigger <= 1.0:
             raise ValueError("reorder_trigger must exceed 1.0")
+        if self.heartbeat is not None and self.heartbeat <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if self.heartbeat_stall is not None and self.heartbeat_stall <= 0:
+            raise ValueError("heartbeat_stall must be positive")

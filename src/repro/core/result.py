@@ -19,6 +19,8 @@ from ..bdd.manager import BDD, BudgetExceededError, Function
 from ..fsm.trace import Trace
 from ..obs.registry import NULL_REGISTRY
 from ..obs.sampler import ResourceSampler
+from ..obs.spans import NULL_SPANS
+from ..obs.watchdog import Watchdog
 from ..trace import BUDGET_CHECK, GC, ITERATION, NULL_TRACER, REORDER, \
     RUN_END, RUN_START
 from .options import Options
@@ -82,6 +84,12 @@ class VerificationResult:
     #: the run was unmetered.  The full sample timeline stays on the
     #: registry object — export it with :func:`repro.obs.write_jsonl`.
     metrics: Optional[Dict[str, Any]] = None
+    #: Per-span-name aggregates (count, inclusive/self seconds, node
+    #: growth, GC runs, cache hits) from this run's
+    #: :class:`~repro.obs.SpanProfiler`; None when the run was not
+    #: span-profiled.  The full span records stay on the profiler —
+    #: export them with :meth:`~repro.obs.SpanProfiler.write_chrome_trace`.
+    span_rollup: Optional[Dict[str, Any]] = None
 
     @property
     def verified(self) -> bool:
@@ -147,6 +155,9 @@ class VerificationResult:
         # --json output is byte-identical to pre-metrics builds.
         if self.metrics is not None:
             data["metrics"] = _jsonable(self.metrics)
+        # Same contract for spans: no key unless the run was profiled.
+        if self.span_rollup is not None:
+            data["span_rollup"] = _jsonable(self.span_rollup)
         if include_profiles:
             data["iterate_profiles"] = list(self.iterate_profiles)
         if include_counterexample:
@@ -187,6 +198,8 @@ class RunRecorder:
             else NULL_TRACER
         self.metrics = options.metrics if options.metrics is not None \
             else NULL_REGISTRY
+        self.spans = options.spans if options.spans is not None \
+            else NULL_SPANS
         self.iterations = 0
         self.iterate_profiles: List[str] = []
         self.max_iterate_nodes = 0
@@ -257,27 +270,37 @@ class RunRecorder:
             self.metrics.gauge("gc_min_nodes", options.gc_min_nodes or 0)
             self._sampler = ResourceSampler(manager, self.metrics)
             self._sampler.install()
+        # Spans: point the manager's leaf-operation sink at this run's
+        # profiler and open the root "run" span that everything else
+        # nests under.  Restored/closed in finish().
+        self._saved_spans = manager.spans
+        self._run_span = None
+        if self.spans.enabled:
+            self.spans.attach(manager)
+            manager.spans = self.spans
+            self._run_span = self.spans.open_span(
+                "run", method=method, model=model)
+        # Heartbeat: an opt-in daemon thread printing progress lines.
+        # The manager's safe points stamp liveness through the
+        # ``heartbeat`` slot; record_iterate() reports real progress.
+        self._saved_heartbeat = manager.heartbeat
+        self._watchdog = None
+        if options.heartbeat is not None:
+            self._watchdog = Watchdog(
+                interval=options.heartbeat,
+                stall_window=options.heartbeat_stall,
+                time_limit=options.time_limit,
+                label=f"{method}/{model}")
+            manager.heartbeat = self._watchdog
+            self._watchdog.start()
 
     def _options_summary(self) -> Dict[str, Any]:
         """The engine-relevant knobs, for the ``run_start`` event."""
-        opts = self.options
-        return {"max_nodes": opts.max_nodes,
-                "time_limit": opts.time_limit,
-                "max_iterations": opts.max_iterations,
-                "gc_min_nodes": opts.gc_min_nodes,
-                "cluster_limit": opts.cluster_limit,
-                "back_image_mode": opts.back_image_mode,
-                "grow_threshold": opts.grow_threshold,
-                "evaluator": opts.evaluator,
-                "use_bounded_and": opts.use_bounded_and,
-                "use_pair_cache": opts.use_pair_cache,
-                "simplifier": opts.simplifier,
-                "var_choice": opts.var_choice,
-                "pairwise_step3": opts.pairwise_step3,
-                "exploit_monotonicity": opts.exploit_monotonicity,
-                "auto_decompose": opts.auto_decompose,
-                "reorder": opts.reorder,
-                "reorder_trigger": opts.reorder_trigger}
+        return self.options.summary()
+
+    def span(self, name: str, **attrs: Any):
+        """Open a nested span (a no-op context manager when disabled)."""
+        return self.spans.span(name, **attrs)
 
     def initial_reorder(self) -> None:
         """Run the one-shot pre-loop sift when ``reorder="sift"``.
@@ -343,6 +366,9 @@ class RunRecorder:
         if nodes > self.max_iterate_nodes:
             self.max_iterate_nodes = nodes
             self.max_iterate_profile = profile
+        if self._watchdog is not None:
+            self._watchdog.beat(iteration=len(self.iterate_profiles),
+                                nodes=nodes, profile=profile)
         self.manager.auto_collect()
 
     def check_time(self) -> None:
@@ -369,6 +395,19 @@ class RunRecorder:
     def finish(self, outcome: str, holds: Optional[bool],
                trace: Optional[Trace] = None) -> VerificationResult:
         """Assemble the result and restore the manager's budgets."""
+        # Close the root span (force-closing anything an exception left
+        # open) *before* stamping elapsed, so the run's span self-times
+        # are guaranteed to sum to no more than the reported wall time.
+        span_rollup = None
+        if self.spans.enabled:
+            self.spans.close_span(self._run_span, outcome=outcome)
+            span_rollup = self.spans.rollup()
+            self.manager.spans = self._saved_spans
+            self.spans.detach()
+        if self._watchdog is not None:
+            self._watchdog.stop()
+            self._watchdog = None
+        self.manager.heartbeat = self._saved_heartbeat
         elapsed = time.monotonic() - self._start
         (self.manager.max_nodes, self.manager._deadline,
          self.manager.auto_gc_min_nodes) = self._saved_budget
@@ -418,4 +457,5 @@ class RunRecorder:
             trace_summary=trace_summary,
             reorder_stats=dict(self.reorder_stats),
             metrics=metrics_snapshot,
+            span_rollup=span_rollup,
         )

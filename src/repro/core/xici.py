@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence
 
 from ..bdd.manager import BudgetExceededError, Function
 from ..obs.registry import NULL_REGISTRY
+from ..obs.spans import NULL_SPANS
 from ..trace import BACK_IMAGE, NULL_TRACER, Tracer
 from ..fsm.machine import Machine
 from ..fsm.image import back_image
@@ -60,7 +61,8 @@ def _condition(conjlist: ConjList, options: Options,
                eval_stats: EvaluationStats,
                cache: Optional[PairCache],
                tracer: Tracer = NULL_TRACER,
-               metrics=NULL_REGISTRY) -> None:
+               metrics=NULL_REGISTRY,
+               spans=NULL_SPANS) -> None:
     """One simplify-and-evaluate pass (Section III.A).
 
     ``cache`` is the run-long pair-product cache: because it is keyed
@@ -88,7 +90,8 @@ def _condition(conjlist: ConjList, options: Options,
                         stats=eval_stats,
                         cache=cache,
                         tracer=tracer,
-                        metrics=metrics)
+                        metrics=metrics,
+                        spans=spans)
 
 
 def _run(machine: Machine, good_conjuncts: List[Function],
@@ -114,9 +117,10 @@ def _run(machine: Machine, good_conjuncts: List[Function],
         good_conjuncts = split
     tracer = recorder.tracer
     metrics = recorder.metrics
+    spans = recorder.spans
     goal = ConjList(manager, good_conjuncts)
     current = goal.copy()
-    _condition(current, options, eval_stats, cache, tracer, metrics)
+    _condition(current, options, eval_stats, cache, tracer, metrics, spans)
     history: List[List[Function]] = [list(goal.conjuncts)]
     recorder.record_iterate(current.shared_size(), current.profile(),
                             conjuncts=current.conjuncts)
@@ -128,44 +132,54 @@ def _run(machine: Machine, good_conjuncts: List[Function],
     while recorder.iterations < options.max_iterations:
         recorder.check_time()
         recorder.iterations += 1
-        stepped = ConjList(manager, goal.conjuncts)
-        for conjunct in current:
-            observed = tracer.enabled or metrics.enabled
-            if observed:
-                t0 = time.monotonic()
-            image = back_image(machine, conjunct,
-                               options.back_image_mode,
-                               options.cluster_limit)
-            if observed:
-                seconds = time.monotonic() - t0
-                if tracer.enabled:
-                    tracer.emit(BACK_IMAGE,
-                                mode=options.back_image_mode,
-                                input_size=conjunct.size(),
-                                output_size=image.size(),
-                                seconds=round(seconds, 6))
-                if metrics.enabled:
-                    metrics.inc("back_image_calls")
-                    metrics.observe_time("back_image_seconds", seconds)
-                    metrics.observe_size("back_image_output_nodes",
-                                         image.size())
-            stepped.append(image)
-            manager.auto_collect()
-        _condition(stepped, options, eval_stats, cache, tracer, metrics)
-        history.append(list(stepped.conjuncts))
-        recorder.record_iterate(stepped.shared_size(), stepped.profile(),
-                                conjuncts=stepped.conjuncts)
-        recorder.extra["tautology_stats"] = checker.stats
-        recorder.extra["evaluation_stats"] = eval_stats
-        if cache is not None:
-            recorder.extra["pair_cache_stats"] = cache.stats_dict()
-        if find_failing_conjunct(machine.init, stepped.conjuncts) is not None:
-            return _violation(machine, history, options, recorder)
-        if lists_equal(current, stepped, checker,
-                       assume_right_subset=options.exploit_monotonicity,
-                       tracer=tracer, metrics=metrics):
-            return recorder.finish(Outcome.VERIFIED, holds=True)
-        current = stepped
+        # A return inside the span closes it through finish() (the root
+        # close force-closes open children); the __exit__ then no-ops.
+        with recorder.span("iteration", index=recorder.iterations):
+            stepped = ConjList(manager, goal.conjuncts)
+            for conjunct in current:
+                observed = tracer.enabled or metrics.enabled
+                handle = spans.open_span("back_image") \
+                    if spans.enabled else None
+                if observed:
+                    t0 = time.monotonic()
+                image = back_image(machine, conjunct,
+                                   options.back_image_mode,
+                                   options.cluster_limit)
+                if observed:
+                    seconds = time.monotonic() - t0
+                    if tracer.enabled:
+                        tracer.emit(BACK_IMAGE,
+                                    mode=options.back_image_mode,
+                                    input_size=conjunct.size(),
+                                    output_size=image.size(),
+                                    seconds=round(seconds, 6))
+                    if metrics.enabled:
+                        metrics.inc("back_image_calls")
+                        metrics.observe_time("back_image_seconds", seconds)
+                        metrics.observe_size("back_image_output_nodes",
+                                             image.size())
+                if handle is not None:
+                    spans.close_span(handle, output_size=image.size())
+                stepped.append(image)
+                manager.auto_collect()
+            _condition(stepped, options, eval_stats, cache, tracer,
+                       metrics, spans)
+            history.append(list(stepped.conjuncts))
+            recorder.record_iterate(stepped.shared_size(),
+                                    stepped.profile(),
+                                    conjuncts=stepped.conjuncts)
+            recorder.extra["tautology_stats"] = checker.stats
+            recorder.extra["evaluation_stats"] = eval_stats
+            if cache is not None:
+                recorder.extra["pair_cache_stats"] = cache.stats_dict()
+            if find_failing_conjunct(machine.init,
+                                     stepped.conjuncts) is not None:
+                return _violation(machine, history, options, recorder)
+            if lists_equal(current, stepped, checker,
+                           assume_right_subset=options.exploit_monotonicity,
+                           tracer=tracer, metrics=metrics, spans=spans):
+                return recorder.finish(Outcome.VERIFIED, holds=True)
+            current = stepped
     return recorder.finish(Outcome.NO_CONVERGENCE, holds=None)
 
 

@@ -15,6 +15,7 @@ import time
 from typing import Optional
 
 from ..obs.registry import NULL_REGISTRY
+from ..obs.spans import NULL_SPANS
 from ..trace import TERMINATION, Tracer
 from .conjlist import ConjList
 from .tautology import TautologyChecker
@@ -40,7 +41,8 @@ def lists_equal(left: ConjList, right: ConjList,
                 checker: Optional[TautologyChecker] = None,
                 assume_right_subset: bool = False,
                 tracer: Optional[Tracer] = None,
-                metrics=NULL_REGISTRY) -> bool:
+                metrics=NULL_REGISTRY,
+                spans=NULL_SPANS) -> bool:
     """Exact test of ``left = right``.
 
     ``assume_right_subset=True`` skips the ``right => left`` direction.
@@ -65,7 +67,10 @@ def lists_equal(left: ConjList, right: ConjList,
     trace = tracer is not None and tracer.enabled
     if metrics is None:
         metrics = NULL_REGISTRY
-    observed = trace or metrics.enabled
+    if spans is None:
+        spans = NULL_SPANS
+    observed = trace or metrics.enabled or spans.enabled
+    handle = spans.open_span("termination_test") if spans.enabled else None
     if observed:
         before = checker.stats.snapshot()
         t0 = time.monotonic()
@@ -87,4 +92,9 @@ def lists_equal(left: ConjList, right: ConjList,
             for tier, count in tiers.items():
                 if count:
                     metrics.inc("termination_tier_" + str(tier), count)
+        if handle is not None:
+            spans.close_span(
+                handle, converged=converged,
+                **{f"tier_{tier}": count for tier, count in tiers.items()
+                   if count})
     return converged

@@ -40,6 +40,7 @@ from typing import Dict, List, Optional
 from ..bdd.manager import Function
 from ..bdd.bounded import bounded_and
 from ..obs.registry import NULL_REGISTRY
+from ..obs.spans import NULL_SPANS
 from ..trace import MERGE, Tracer
 from .conjlist import ConjList
 from .paircache import PairCache
@@ -121,7 +122,8 @@ def greedy_evaluate(conjlist: ConjList,
                     stats: Optional[EvaluationStats] = None,
                     cache: Optional[PairCache] = None,
                     tracer: Optional[Tracer] = None,
-                    metrics=NULL_REGISTRY) -> EvaluationStats:
+                    metrics=NULL_REGISTRY,
+                    spans=NULL_SPANS) -> EvaluationStats:
     """Run Figure 1 in place on ``conjlist``; returns statistics.
 
     A smaller ``grow_threshold`` "holds BDD size down, but can get
@@ -152,8 +154,12 @@ def greedy_evaluate(conjlist: ConjList,
     trace = tracer is not None and tracer.enabled
     if metrics is None:
         metrics = NULL_REGISTRY
+    if spans is None:
+        spans = NULL_SPANS
     conjuncts = conjlist.conjuncts
     while len(conjuncts) >= 2:
+        round_span = spans.open_span("merge_round") \
+            if spans.enabled else None
         if metrics.enabled:
             round_started = time.perf_counter()
         # Safe point: all live BDDs are held as Functions here.  A
@@ -206,6 +212,9 @@ def greedy_evaluate(conjlist: ConjList,
                 metrics.inc("evaluate_rounds")
                 metrics.observe_time("evaluate_round_seconds",
                                      time.perf_counter() - round_started)
+            if round_span is not None:
+                spans.close_span(round_span, merged=False,
+                                 list_length=len(conjuncts))
             break
         stats.merges += 1
         stats.record_ratio(best_ratio)
@@ -233,6 +242,10 @@ def greedy_evaluate(conjlist: ConjList,
         # on the next round.
         conjuncts[i] = best_product
         del conjuncts[j]
+        if round_span is not None:
+            spans.close_span(round_span, merged=True,
+                             ratio=round(best_ratio, 4),
+                             list_length=len(conjuncts))
     # Re-normalize (the product might have produced constants/duplicates).
     rebuilt = ConjList(conjlist.manager, conjuncts)
     conjlist.conjuncts = rebuilt.conjuncts

@@ -18,18 +18,31 @@ Surfaces:
 * :mod:`repro.obs.benchjson` is the one versioned schema every
   ``BENCH_*.json`` emitter uses; ``benchmarks/regress.py`` compares
   two such reports with per-metric tolerances (the CI perf gate).
+* :mod:`repro.obs.spans` nests wall-time/resource attribution
+  (``run > iteration > back_image > apply ...``) with Chrome-trace and
+  speedscope exporters; ``Options(spans=SpanProfiler())`` or
+  ``verify --spans FILE`` arm it.
+* :mod:`repro.obs.ledger` persists runs content-addressed
+  (``verify --ledger DIR``, ``repro ledger``/``repro compare``) and is
+  the diff engine ``benchmarks/regress.py`` gates with.
+* :mod:`repro.obs.watchdog` is the opt-in heartbeat thread behind
+  ``Options(heartbeat=SECS)`` / ``verify --heartbeat SECS``.
 """
 
-from . import benchjson
+from . import benchjson, ledger
 from .exporters import METRICS_SCHEMA_VERSION, read_jsonl, render_report, \
     to_prometheus, write_jsonl, write_prometheus
 from .registry import Histogram, MetricsRegistry, NullRegistry, \
     NULL_REGISTRY, RATIO_BUCKETS, SIZE_BUCKETS, TIME_BUCKETS_S
 from .sampler import ResourceSampler, read_rss_kb
+from .spans import NullSpanSink, NULL_SPANS, SpanProfiler, render_rollup
+from .watchdog import Watchdog
 
 __all__ = ["MetricsRegistry", "NullRegistry", "NULL_REGISTRY",
            "Histogram", "ResourceSampler", "read_rss_kb",
            "TIME_BUCKETS_S", "SIZE_BUCKETS", "RATIO_BUCKETS",
            "write_jsonl", "read_jsonl", "to_prometheus",
            "write_prometheus", "render_report",
-           "METRICS_SCHEMA_VERSION", "benchjson"]
+           "METRICS_SCHEMA_VERSION", "benchjson", "ledger",
+           "SpanProfiler", "NullSpanSink", "NULL_SPANS",
+           "render_rollup", "Watchdog"]

@@ -17,6 +17,7 @@ Three ways out of one :class:`~repro.obs.registry.MetricsRegistry`:
 from __future__ import annotations
 
 import json
+import warnings
 from typing import Any, Dict, List, Optional
 
 from .registry import MetricsRegistry
@@ -50,26 +51,38 @@ def write_jsonl(registry: MetricsRegistry, path: str,
 
 
 def read_jsonl(path: str) -> Dict[str, Any]:
-    """Parse a metrics JSONL file back into meta/samples/summary."""
+    """Parse a metrics JSONL file back into meta/samples/summary.
+
+    A file from a crashed or killed run may end mid-line; since every
+    record is flushed line-atomically, only the *last* line can be
+    partial — it is skipped with a warning.  A malformed line anywhere
+    else is real corruption and still raises :class:`ValueError`.
+    """
     meta: Dict[str, Any] = {}
     samples: List[Dict[str, Any]] = []
     summary: Optional[Dict[str, Any]] = None
     with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise ValueError(f"{path}:{lineno}: not JSON: {error}")
-            kind = record.get("kind")
-            if kind == "meta":
-                meta = record
-            elif kind == "summary":
-                summary = record
-            else:
-                samples.append(record)
+        lines = handle.readlines()
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError as error:
+            if lineno == len(lines):
+                warnings.warn(
+                    f"{path}:{lineno}: skipping partial last line "
+                    f"(truncated run?): {error}")
+                break
+            raise ValueError(f"{path}:{lineno}: not JSON: {error}")
+        kind = record.get("kind")
+        if kind == "meta":
+            meta = record
+        elif kind == "summary":
+            summary = record
+        else:
+            samples.append(record)
     return {"meta": meta, "samples": samples, "summary": summary}
 
 

@@ -24,12 +24,17 @@ overhead stays bounded no matter how hot the safe points are.
 
 from __future__ import annotations
 
+import sys
 import time
 from typing import Any, Dict, Optional
 
 from .registry import MetricsRegistry
 
 __all__ = ["ResourceSampler", "read_rss_kb", "SAMPLE_FIELDS"]
+
+#: Where the Linux point-in-time RSS lives; a module constant so tests
+#: can monkeypatch the /proc path away and exercise the fallback.
+_PROC_STATUS = "/proc/self/status"
 
 #: The keys every timeline sample carries (documentation + tests).
 SAMPLE_FIELDS = (
@@ -46,21 +51,32 @@ _MISS_KEYS = ("ite_misses", "quantify_misses", "and_exists_misses",
 
 
 def read_rss_kb() -> Optional[int]:
-    """Resident set size in KiB, or None where /proc is unavailable.
+    """Resident set size in KiB, or None when unmeasurable.
 
-    Reads ``/proc/self/status`` (Linux); no psutil dependency.  The
-    fallback is None rather than ``resource.getrusage`` because
-    ``ru_maxrss`` is a high-water mark, not a point-in-time value, and
-    a timeline of peaks would be misleading.
+    Reads ``/proc/self/status`` (Linux) for a point-in-time value; no
+    psutil dependency.  Where /proc is absent (macOS, BSDs) it falls
+    back to ``resource.getrusage`` — note ``ru_maxrss`` is a *high-water
+    mark*, not point-in-time, so a fallback timeline is monotone (the
+    exporters still get a usable memory figure on every platform).
     """
     try:
-        with open("/proc/self/status", "r", encoding="ascii") as handle:
+        with open(_PROC_STATUS, "r", encoding="ascii") as handle:
             for line in handle:
                 if line.startswith("VmRSS:"):
                     return int(line.split()[1])
     except (OSError, ValueError, IndexError):
         pass
-    return None
+    try:
+        import resource
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (ImportError, OSError, ValueError):
+        return None
+    if peak <= 0:
+        return None
+    # ru_maxrss is bytes on macOS, KiB on Linux/BSD.
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
 
 
 class ResourceSampler:

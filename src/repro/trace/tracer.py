@@ -104,9 +104,12 @@ class RecordingTracer(_ActiveTracer):
 class JsonlTracer(_ActiveTracer):
     """Streams events to a file, one JSON object per line.
 
-    The file is line-buffered, so a run killed by a budget (or a crash)
-    still leaves every completed event on disk — the point of streaming
-    instead of recording.
+    Every event is flushed as soon as it is written, so a run killed by
+    a budget (or a crash) still leaves every completed event on disk —
+    the point of streaming instead of recording.  At worst the final
+    line is partial, which :func:`repro.obs.read_jsonl`-style readers
+    skip with a warning.  Use as a context manager to close the file
+    deterministically.
     """
 
     def __init__(self, path: str) -> None:
@@ -116,6 +119,7 @@ class JsonlTracer(_ActiveTracer):
 
     def _write(self, record: Dict[str, Any]) -> None:
         self._handle.write(json.dumps(record, default=str) + "\n")
+        self._handle.flush()
 
     def close(self) -> None:
         if not self._handle.closed:

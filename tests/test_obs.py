@@ -17,13 +17,13 @@ from repro.bdd import BDD
 from repro.core import METHODS, Options, verify
 from repro.models import build_model
 from repro.obs import (Histogram, MetricsRegistry, NullRegistry,
-                       ResourceSampler, benchjson)
+                       ResourceSampler, SpanProfiler, benchjson)
 from repro.obs.exporters import (METRICS_SCHEMA_VERSION, read_jsonl,
                                  render_report, to_prometheus,
                                  write_jsonl)
 from repro.obs.registry import (NULL_REGISTRY, RATIO_BUCKETS,
                                 SIZE_BUCKETS, TIME_BUCKETS_S)
-from repro.obs.sampler import SAMPLE_FIELDS
+from repro.obs.sampler import SAMPLE_FIELDS, read_rss_kb
 
 
 def _problem(method):
@@ -169,6 +169,46 @@ class TestPrometheusExport:
         text = to_prometheus(registry)
         assert "repro_weird_name_with_chars_total 1" in text
 
+    def test_label_hostile_names_cannot_break_series_syntax(self):
+        # A name carrying label/quote syntax must come out as plain
+        # identifier characters — nothing can inject a label pair.
+        registry = MetricsRegistry()
+        registry.inc('evil{label="x"}')
+        registry.gauge('quote"back\\slash', 1)
+        text = to_prometheus(registry)
+        assert "repro_evil_label__x___total 1" in text
+        assert "repro_quote_back_slash 1" in text
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name = line.split()[0]
+            # le="..." buckets are the only place quotes may appear.
+            if "{" not in name:
+                assert '"' not in name and "\\" not in name
+
+    def test_empty_registry_renders_empty_exposition(self):
+        text = to_prometheus(MetricsRegistry())
+        assert text == "\n"
+        assert "# TYPE" not in text
+
+    def test_cumulative_buckets_are_monotone_and_closed(self):
+        registry = MetricsRegistry()
+        hist = Histogram((1.0, 2.0, 4.0, 8.0))
+        for value in (0.5, 3.0, 3.5, 9.0, 100.0, 0.1):
+            hist.observe(value)
+        registry.histograms["spread"] = hist
+        text = to_prometheus(registry)
+        counts = []
+        for line in text.splitlines():
+            if line.startswith('repro_spread_bucket{le="') \
+                    and "+Inf" not in line:
+                counts.append(int(line.split()[-1]))
+            elif 'le="+Inf"' in line:
+                inf_count = int(line.split()[-1])
+        assert counts == sorted(counts)
+        assert counts[-1] <= inf_count
+        assert inf_count == hist.count
+
 
 class TestJsonlExport:
     def test_round_trip(self, tmp_path):
@@ -183,6 +223,29 @@ class TestJsonlExport:
         assert data["meta"]["model"] == "fifo"
         assert len(data["samples"]) == 1
         assert data["summary"]["counters"]["iterations"] == 3
+
+    def test_partial_last_line_skipped_with_warning(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("iterations", 3)
+        registry.record_sample({"t": 0.0, "kind": "sample"})
+        path = tmp_path / "m.jsonl"
+        write_jsonl(registry, str(path), meta={"model": "fifo"})
+        # Chop the file mid-way through its final line, as a kill or
+        # crash during the summary write would.
+        text = path.read_text()
+        path.write_text(text[:-20])
+        with pytest.warns(UserWarning, match="partial last line"):
+            data = read_jsonl(str(path))
+        assert data["meta"]["model"] == "fifo"
+        assert len(data["samples"]) == 1
+        assert data["summary"] is None
+
+    def test_corrupt_middle_line_still_raises(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"kind": "meta"}\nnot json at all\n'
+                        '{"kind": "summary"}\n')
+        with pytest.raises(ValueError, match="not JSON"):
+            read_jsonl(str(path))
 
     def test_render_report_mentions_everything(self):
         registry = MetricsRegistry()
@@ -310,9 +373,36 @@ class TestResourceSampler:
         assert registry.gauges["sampler_dropped"] == 2
 
 
-#: to_dict keys a metered run is allowed to differ on: wall-clock and
-#: the metrics block itself.  Everything else must be byte-identical.
-_VOLATILE_KEYS = ("elapsed_seconds", "time", "metrics")
+class TestReadRssFallback:
+    def test_linux_proc_path(self):
+        # On this CI image /proc exists; the value is a positive KiB.
+        value = read_rss_kb()
+        assert value is None or value > 0
+
+    def test_falls_back_to_getrusage_without_proc(self, monkeypatch):
+        # Simulate macOS/BSD: no /proc/self/status.  getrusage's
+        # ru_maxrss high-water mark takes over (positive on any
+        # platform the suite runs on).
+        monkeypatch.setattr("repro.obs.sampler._PROC_STATUS",
+                            "/nonexistent/proc/self/status")
+        value = read_rss_kb()
+        assert isinstance(value, int)
+        assert value > 0
+
+    def test_proc_without_vmrss_also_falls_back(self, monkeypatch,
+                                                tmp_path):
+        fake = tmp_path / "status"
+        fake.write_text("Name:\tpython\nState:\tR (running)\n")
+        monkeypatch.setattr("repro.obs.sampler._PROC_STATUS", str(fake))
+        value = read_rss_kb()
+        assert isinstance(value, int)
+        assert value > 0
+
+
+#: to_dict keys a metered run is allowed to differ on: wall-clock, the
+#: metrics block, and the span rollup.  Everything else must be
+#: byte-identical.
+_VOLATILE_KEYS = ("elapsed_seconds", "time", "metrics", "span_rollup")
 
 
 def _comparable(result):
@@ -372,6 +462,26 @@ class TestObservationalContract:
         verify(_problem("xici"), "xici", Options(metrics=registry))
         verify(_problem("xici"), "xici", Options(metrics=registry))
         assert registry.counters["runs_completed"] == 2
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_span_profiled_run_is_edge_identical(self, method):
+        profiled = verify(_problem(method), method,
+                          Options(spans=SpanProfiler()))
+        plain = verify(_problem(method), method, Options())
+        assert plain.span_rollup is None
+        assert "span_rollup" not in plain.to_dict()
+        assert profiled.span_rollup
+        assert _comparable(profiled) == _comparable(plain)
+
+    def test_fully_instrumented_run_is_edge_identical(self):
+        # Metrics + spans + heartbeat together must still not perturb
+        # the engine: same iterations, same nodes, same outcome.
+        instrumented = verify(_problem("xici"), "xici",
+                              Options(metrics=MetricsRegistry(),
+                                      spans=SpanProfiler(),
+                                      heartbeat=3600.0))
+        plain = verify(_problem("xici"), "xici", Options())
+        assert _comparable(instrumented) == _comparable(plain)
 
 
 class TestBenchJson:

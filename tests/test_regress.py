@@ -130,6 +130,59 @@ class TestCompareReports:
         assert violations == []
 
 
+class TestJsonVerdict:
+    def _fake_bench(self, report):
+        class FakeBench:
+            @staticmethod
+            def build_report(scale, rounds):
+                return report
+        return FakeBench
+
+    def test_passing_gate_writes_machine_verdict(self, tmp_path,
+                                                 monkeypatch, capsys):
+        import json
+        from repro.obs import benchjson as bj
+        report = _report(fifo=_metrics())
+        monkeypatch.setattr(regress, "BENCHES",
+                            (("BENCH_fake.json",
+                              self._fake_bench(report)),))
+        bj.write_report(report, tmp_path / "BENCH_fake.json")
+        out = tmp_path / "verdict.json"
+        code = regress.main(["--quick", "--baseline-dir", str(tmp_path),
+                             "--json", str(out)])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["passed"] is True
+        assert data["regressions"] == 0
+        cells = data["reports"][0]["cells"]
+        assert cells[0]["status"] == "ok"
+        assert any(check["metric"] == "peak_nodes"
+                   for check in cells[0]["checks"])
+
+    def test_failing_gate_verdict_names_the_cell(self, tmp_path,
+                                                 monkeypatch, capsys):
+        import json
+        from repro.obs import benchjson as bj
+        baseline = _report(fifo=_metrics(peak_nodes=1000))
+        current = _report(fifo=_metrics(peak_nodes=9000))
+        monkeypatch.setattr(regress, "BENCHES",
+                            (("BENCH_fake.json",
+                              self._fake_bench(current)),))
+        bj.write_report(baseline, tmp_path / "BENCH_fake.json")
+        out = tmp_path / "verdict.json"
+        code = regress.main(["--quick", "--baseline-dir", str(tmp_path),
+                             "--json", str(out)])
+        assert code == 1
+        data = json.loads(out.read_text())
+        assert data["passed"] is False
+        assert data["regressions"] == 1
+        cell = data["reports"][0]["cells"][0]
+        assert cell["status"] == "regression"
+        failing = [c for c in cell["checks"]
+                   if c["status"] == "regression"]
+        assert failing[0]["metric"] == "peak_nodes"
+
+
 class TestGateWiring:
     def test_default_tolerances_cover_gated_metrics(self):
         assert set(DEFAULT_TOLERANCES) == {

@@ -182,3 +182,76 @@ class TestJsonlTracer:
         assert len(grouped["rows"]) == result.iterations + 1
         # termination tiers attach to the row they tested
         assert any(row["tiers"] for row in grouped["rows"])
+
+
+class TestJsonlDurability:
+    def test_events_on_disk_before_close(self, tmp_path):
+        # Per-event flush: a crash after emit must lose nothing.
+        path = tmp_path / "t.jsonl"
+        tracer = JsonlTracer(str(path))
+        tracer.emit("iteration", nodes=5)
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[-1])["event"] == "iteration"
+        tracer.close()
+        tracer.close()  # idempotent
+
+
+class TestTraceReportInputs:
+    """The .gz / partial-tail / --spans input paths of trace_report."""
+
+    def _module(self):
+        import importlib.util
+        script = REPO_ROOT / "benchmarks" / "trace_report.py"
+        spec = importlib.util.spec_from_file_location(
+            "trace_report_inputs", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def _trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(str(path)) as tracer:
+            verify(_problem("xici"), "xici", Options(tracer=tracer))
+        return path
+
+    def test_gz_input(self, tmp_path):
+        import gzip
+        module = self._module()
+        path = self._trace(tmp_path)
+        gz_path = tmp_path / "trace.jsonl.gz"
+        gz_path.write_bytes(gzip.compress(path.read_bytes()))
+        assert module.read_events(str(gz_path)) \
+            == module.read_events(str(path))
+
+    def test_partial_last_line_skipped_with_warning(self, tmp_path):
+        import pytest
+        module = self._module()
+        path = self._trace(tmp_path)
+        text = path.read_text()
+        path.write_text(text[:-15])
+        with pytest.warns(UserWarning, match="partial last line"):
+            events = module.read_events(str(path))
+        assert events  # everything before the torn line survives
+
+    def test_spans_column_and_rollup_table(self, tmp_path):
+        from repro.obs import SpanProfiler
+        module = self._module()
+        spans = SpanProfiler()
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(str(path)) as tracer:
+            result = verify(_problem("xici"), "xici",
+                            Options(tracer=tracer, spans=spans))
+        spans_path = tmp_path / "spans.json"
+        spans.write_chrome_trace(str(spans_path))
+        events = module.read_events(str(path))
+        span_events = module.read_span_events(str(spans_path))
+        report = module.format_report(events, None, span_events)
+        assert "span s" in report
+        assert "span rollup (self time, heaviest first):" in report
+        assert "back_image" in report
+        by_index = module.iteration_span_seconds(span_events)
+        assert set(by_index) == set(range(1, result.iterations + 1))
+        rollup = module.span_rollup(span_events)
+        assert rollup["run"]["count"] == 1
+        for agg in rollup.values():
+            assert agg["self_seconds"] <= agg["seconds"] + 1e-9
