@@ -1,33 +1,87 @@
-"""Microbenchmarks of the BDD substrate itself.
+"""Microbenchmarks of the BDD substrate itself, swept over kernels.
 
-Unlike the table benches (one verification run per cell), these use
-pytest-benchmark the conventional way — many rounds of a small
-operation — to give the package a performance baseline: ITE-heavy
-construction (N-queens), quantification, relational products,
-Restrict, the early-exit intersection test, and garbage collection.
+Two halves share one set of workloads:
+
+* pytest-benchmark entries (``bench_*``) — many rounds of a small
+  operation, the package's conventional perf baseline, parametrized
+  over both kernels where the kernel is what's being measured.
+* a standalone ``build_report(scale, rounds)`` + CLI (the
+  ``bench_reorder.py`` pattern) that runs every workload under the
+  ``dict`` *and* ``array`` kernels, checks the two produce identical
+  structural checksums (the kernels are edge-identical by contract),
+  and emits ``BENCH_kernel.json`` in the unified
+  :mod:`repro.obs.benchjson` schema.  ``benchmarks/regress.py`` gates
+  it: ``outcome`` carries the checksum (exact tolerance — a structural
+  divergence between kernels fails CI), ``seconds`` rides the generous
+  wall-time bound.
+
+The workloads split by what they stress, and the report discloses the
+speedup of every cell rather than a single blended number:
+
+* ``queens`` / ``wordops`` — apply-path work (ITE chains,
+  quantification, relational products).  Here the array kernel's flat
+  probe meets CPython's heavily optimized dict + tuple machinery
+  head-on and roughly ties; honest cells, reported as such.
+* ``dense_sweep`` / ``gc`` / ``eval_batch`` — bulk structure work
+  (node counting, support, mark-and-compact, batched evaluation),
+  where the flat struct-of-arrays layout is the entire point: numpy
+  sweeps over zero-copy views replace per-node Python DFS.  The
+  ``speedup_bulk_geomean`` headline in ``derived`` is the geometric
+  mean over these cells.
+
+Standalone (no pytest dependency)::
+
+    PYTHONPATH=src python benchmarks/bench_micro_bddops.py
+    PYTHONPATH=src python benchmarks/bench_micro_bddops.py \\
+        --rounds 3 --output BENCH_kernel.json
 """
 
-import pytest
+from __future__ import annotations
 
-from repro.bdd import BDD, sat_count
-from repro.expr import BitVec
-
+import argparse
+import math
+import random
 import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bdd import BDD, sat_count  # noqa: E402
+from repro.bdd.kernel import KERNELS  # noqa: E402
+from repro.expr import BitVec  # noqa: E402
+from repro.obs import benchjson  # noqa: E402
+
+try:  # optional: used to build evaluate_batch columns
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+import pytest  # noqa: E402
+
 sys.path.insert(0, __file__.rsplit("/", 2)[0] + "/examples")
 from queens_bdd import queens_constraint  # noqa: E402
 
 
-def bench_queens_construction(benchmark):
+# ----------------------------------------------------------------------
+# pytest-benchmark entries
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def bench_queens_construction(benchmark, kernel):
     def build():
-        manager = BDD()
+        manager = BDD(kernel=kernel)
         return queens_constraint(manager, 6)
 
     constraint = benchmark(build)
     assert sat_count(constraint) == 4  # 6-queens has 4 solutions
 
 
-def _word_setup(width=12):
-    manager = BDD()
+def _word_setup(width=12, kernel="dict"):
+    manager = BDD(kernel=kernel)
     bits_a, bits_b = [], []
     for i in range(width):
         bits_a.append(manager.new_var(f"a{i}"))
@@ -44,8 +98,9 @@ def bench_adder_equality(benchmark):
     assert result.is_true  # addition commutes
 
 
-def bench_quantification(benchmark):
-    manager, a, b = _word_setup()
+@pytest.mark.parametrize("kernel", KERNELS)
+def bench_quantification(benchmark, kernel):
+    manager, a, b = _word_setup(kernel=kernel)
     relation = a.add(BitVec.constant(manager, 12, 5)).eq(b)
     names = [f"a{i}" for i in range(12)]
 
@@ -92,9 +147,10 @@ def bench_intersects_early_exit(benchmark):
     assert benchmark(check)
 
 
-def bench_garbage_collection(benchmark):
+@pytest.mark.parametrize("kernel", KERNELS)
+def bench_garbage_collection(benchmark, kernel):
     def collect():
-        manager = BDD()
+        manager = BDD(kernel=kernel)
         keep = []
         vars_ = [manager.new_var(f"x{i}") for i in range(16)]
         for i in range(8):
@@ -107,3 +163,199 @@ def bench_garbage_collection(benchmark):
 
     freed = benchmark(collect)
     assert freed >= 0
+
+
+# ----------------------------------------------------------------------
+# Standalone kernel sweep (BENCH_kernel.json)
+# ----------------------------------------------------------------------
+#
+# Every workload returns (seconds, checksum).  The checksum digests the
+# structures the run produced — node counts, support sizes, satisfying
+# counts — and must be identical across kernels; build_report asserts
+# it and regress.py re-asserts it against the committed baseline.
+
+def _dense_function(manager, nvars=22, ncubes=500, width=14, seed=11):
+    """A deliberately wide BDD (OR of sparse random cubes) plus a live
+    set of all its partial disjunctions, for sweep and GC workloads."""
+    rng = random.Random(seed)
+    vs = [manager.new_var(f"v{i}") for i in range(nvars)]
+    f = manager.false
+    keep = []
+    for _ in range(ncubes):
+        cube = manager.true
+        for i in rng.sample(range(nvars), width):
+            v = vs[i]
+            cube = cube & (v if rng.random() < 0.5 else ~v)
+        f = f | cube
+        keep.append(f)
+    return f, keep
+
+
+def _wl_queens(kernel: str, scale: str) -> Tuple[float, str]:
+    """Apply-path: ITE-heavy constraint construction."""
+    n = 7 if scale == "full" else 6
+    start = time.perf_counter()
+    manager = BDD(kernel=kernel)
+    constraint = queens_constraint(manager, n)
+    seconds = time.perf_counter() - start
+    stats = manager.stats()
+    return seconds, (f"size={constraint.size()};"
+                     f"created={stats['nodes_created']}")
+
+
+def _wl_wordops(kernel: str, scale: str) -> Tuple[float, str]:
+    """Apply-path: adder equality, quantification, relational product."""
+    width = 12 if scale == "full" else 10
+    manager, a, b = _word_setup(width=width, kernel=kernel)
+    names = [f"a{i}" for i in range(width)]
+    start = time.perf_counter()
+    commutes = a.add(b).eq(b.add(a))
+    relation = a.add(BitVec.constant(manager, width, 5)).eq(b)
+    image = relation.exists(names)
+    step = a.inc().eq(b)
+    window = a.ule_const(1000)
+    product = window.and_exists(step, names)
+    seconds = time.perf_counter() - start
+    return seconds, (f"commutes={commutes.is_true};"
+                     f"image={image.size()};product={product.size()};"
+                     f"created={manager.stats()['nodes_created']}")
+
+
+def _wl_dense_sweep(kernel: str, scale: str) -> Tuple[float, str]:
+    """Bulk: node-count and support sweeps over a wide shared BDD."""
+    rounds = 10 if scale == "full" else 6
+    manager = BDD(kernel=kernel)
+    f, keep = _dense_function(manager)
+    roots = keep[::10]
+    start = time.perf_counter()
+    for _ in range(rounds):
+        size = f.size()
+        support = f.support()
+        shared = manager.count_nodes(roots)
+    seconds = time.perf_counter() - start
+    return seconds, f"size={size};support={len(support)};shared={shared}"
+
+
+def _wl_gc(kernel: str, scale: str) -> Tuple[float, str]:
+    """Bulk: mark-and-compact cycles with a large live set."""
+    cycles = 5 if scale == "full" else 3
+    manager = BDD(kernel=kernel)
+    f, keep = _dense_function(manager)
+    start = time.perf_counter()
+    for _ in range(cycles):
+        manager.garbage_collect()
+    seconds = time.perf_counter() - start
+    return seconds, (f"live={manager.stats()['nodes_current']};"
+                     f"size={f.size()}")
+
+
+def _wl_eval_batch(kernel: str, scale: str) -> Tuple[float, str]:
+    """Bulk: batched evaluation of a deep chain function."""
+    depth = 48
+    batch = 1 << 17 if scale == "full" else 1 << 16
+    manager = BDD(kernel=kernel)
+    vs = [manager.new_var(f"c{i}") for i in range(depth)]
+    f = manager.false
+    for v in vs:
+        f = f ^ v
+    if _np is not None:
+        rng = _np.random.default_rng(3)
+        columns = {f"c{i}": rng.integers(0, 2, batch).astype(bool)
+                   for i in range(depth)}
+    else:
+        rng = random.Random(3)
+        columns = {f"c{i}": [rng.random() < 0.5 for _ in range(batch)]
+                   for i in range(depth)}
+    start = time.perf_counter()
+    result = f.evaluate_batch(columns)
+    seconds = time.perf_counter() - start
+    return seconds, f"sat={sum(result)};batch={batch}"
+
+
+#: name -> (workload, kind); "bulk" cells feed the headline geomean.
+WORKLOADS = (
+    ("queens", _wl_queens, "apply"),
+    ("wordops", _wl_wordops, "apply"),
+    ("dense_sweep", _wl_dense_sweep, "bulk"),
+    ("gc", _wl_gc, "bulk"),
+    ("eval_batch", _wl_eval_batch, "bulk"),
+)
+
+
+def _geomean(values: List[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def build_report(scale: str = "quick", rounds: int = 3) -> Dict[str, object]:
+    """Run every workload under both kernels; assert checksum parity."""
+    report = benchjson.new_report(
+        "kernel", scale=scale, rounds=rounds,
+        params={"kernels": list(KERNELS), "numpy": _np is not None})
+    derived = report["derived"]
+    speedups: Dict[str, float] = {}
+    bulk: List[float] = []
+    for name, workload, kind in WORKLOADS:
+        best: Dict[str, float] = {}
+        checksums: Dict[str, str] = {}
+        for kernel in KERNELS:
+            for _ in range(rounds):
+                seconds, checksum = workload(kernel, scale)
+                if kernel in checksums and checksums[kernel] != checksum:
+                    raise SystemExit(
+                        f"{name}: nondeterministic checksum under "
+                        f"{kernel}: {checksums[kernel]} != {checksum}")
+                checksums[kernel] = checksum
+                if kernel not in best or seconds < best[kernel]:
+                    best[kernel] = seconds
+        if len(set(checksums.values())) != 1:
+            raise SystemExit(
+                f"{name}: kernels disagree structurally: {checksums}")
+        for kernel in KERNELS:
+            benchjson.add_entry(report, name, "micro", kernel, {
+                "outcome": f"ok:{checksums[kernel]}",
+                "seconds": round(best[kernel], 4),
+            })
+        speedup = best["dict"] / best["array"]
+        speedups[name] = round(speedup, 3)
+        if kind == "bulk":
+            bulk.append(speedup)
+        print(f"{name:<12} dict {best['dict']:>8.4f}s  "
+              f"array {best['array']:>8.4f}s  "
+              f"speedup {speedup:>6.2f}x  [{kind}]")
+    derived["speedup"] = speedups
+    derived["speedup_all_geomean"] = round(
+        _geomean(list(speedups.values())), 3)
+    derived["speedup_bulk_geomean"] = round(_geomean(bulk), 3)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_kernel.json")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="repetitions per cell; best wall time wins")
+    parser.add_argument("--scale", default="quick",
+                        choices=["quick", "full"])
+    parser.add_argument("--min-bulk-speedup", type=float, default=1.5,
+                        help="fail when the bulk-cell geomean speedup "
+                             "(array vs dict) drops below this floor "
+                             "(conservative for noisy shared runners; "
+                             "locally the geomean runs ~3x)")
+    args = parser.parse_args(argv)
+
+    report = build_report(scale=args.scale, rounds=args.rounds)
+    benchjson.write_report(report, args.output)
+    print(f"wrote {args.output}")
+    bulk = report["derived"]["speedup_bulk_geomean"]
+    print(f"bulk speedup geomean: {bulk}x  "
+          f"(all cells: {report['derived']['speedup_all_geomean']}x)")
+    if bulk < args.min_bulk_speedup:
+        print(f"FAIL: bulk speedup {bulk}x below floor "
+              f"{args.min_bulk_speedup}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

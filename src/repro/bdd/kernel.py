@@ -1,0 +1,1127 @@
+"""The array BDD kernel: flat storage, iterative ops, kernel registry.
+
+:class:`ArrayBDD` is a drop-in :class:`~repro.bdd.manager.BDD` whose
+storage and hot operations are rebuilt for speed while every observable
+contract is preserved:
+
+* **Storage** — the three parallel node columns are ``array('q')``
+  instead of Python lists (same attributes, same indexing, so sifting,
+  dot export, satisfy counts and the explicit-state cross-checks are
+  oblivious — and numpy can view them zero-copy for the bulk
+  operations); the unique table is an open-addressed
+  :class:`~repro.bdd.nodestore.UniqueTable` instead of a tuple-keyed
+  dict; the five edge-keyed memo dicts become flat lossy
+  :class:`~repro.bdd.nodestore.OpCache` tables.
+
+* **Operations** — ITE, existential quantification, and-exists,
+  restrict and constrain run without Python recursion (no 200k
+  recursion-limit headroom, no frame objects or key tuples per node).
+  Each op is a *descend/unwind* loop: resolve the current call; if it
+  expands, push the pending else-branch as one tagged tuple frame and
+  iterate straight into the then-branch; when a call resolves, unwind
+  frames — an else-pending frame redirects the loop into its else
+  child, a combine frame runs the inlined ``mk`` (unique-table probe
+  over local variables) and the computed-cache store.  Children that
+  hit a terminal case or the cache never touch the stack at all.
+
+* **Bulk structure sweeps** — reachability-shaped queries
+  (:meth:`_count_nodes` behind ``Function.size``/``shared_size``,
+  :meth:`_support_levels`, and the garbage collector's mark phase) are
+  frontier sweeps over zero-copy numpy views of the node columns
+  instead of per-node Python set DFS; this is exactly the access
+  pattern the flat layout exists for, and where it wins biggest.
+
+* **Equivalence** — the kernel is *edge-identical* to the dict manager:
+  given the same operation sequence, both allocate the same nodes in
+  the same order and return bit-for-bit equal edges.  The argument:
+  terminal rewrites and canonicalization are copied verbatim; recursion
+  order is preserved because the then-branch is always entered first
+  (the dict kernel's left-to-right evaluation); and a *lossy* computed
+  cache can only cause recomputation, which re-derives the same edge
+  through the exact unique table without allocating (every node a
+  recomputation needs was created the first time the subproblem ran).
+  Statistics *counters* may differ (a lossy cache records more
+  misses); structures never do.  ``tests/test_kernel_parity.py``
+  enforces this differentially, which is why the dict manager stays on
+  as the oracle.
+
+The kernel registry at the bottom (:func:`resolve_kernel`,
+:func:`set_default_kernel`, :func:`kernel_context`,
+:func:`make_manager`) backs ``Options(kernel=...)`` and the CLI
+``--kernel`` flag: ``BDD.__new__`` consults it so that *every* existing
+``BDD()`` construction site — the fsm builder, reorder shadows,
+transfer targets — transparently builds the selected kernel.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from array import array
+from contextlib import contextmanager
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from .manager import BDD, BudgetExceededError, TERMINAL_LEVEL
+from .nodestore import MIX_A, MIX_B, MIX_C, NodeStore, OpCache, UniqueTable
+
+try:  # optional: vectorized sweeps only, never required
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised where numpy is absent
+    _np = None
+
+__all__ = ["ArrayBDD", "KERNELS", "default_kernel", "set_default_kernel",
+           "resolve_kernel", "kernel_context", "make_manager"]
+
+#: Below this store size the plain Python DFS beats the numpy sweep's
+#: fixed costs (array allocation, per-round dispatch).
+_SWEEP_MIN_NODES = 2048
+
+
+class ArrayBDD(BDD):
+    """The flat-array kernel behind the :class:`BDD` facade.
+
+    Construct via ``BDD(kernel="array")`` (or under
+    :func:`kernel_context`); direct construction is equivalent.  See
+    the module docstring for the storage layout and the equivalence
+    argument; see ``docs/ALGORITHMS.md`` for the full design.
+    """
+
+    kernel = "array"
+
+    def __init__(self, max_nodes: Optional[int] = None,
+                 time_limit: Optional[float] = None,
+                 kernel: Optional[str] = None) -> None:
+        super().__init__(max_nodes=max_nodes, time_limit=time_limit)
+        # Replace the list storage built by BDD.__init__ with the flat
+        # node store; same attribute names, same indexing protocol.
+        store = NodeStore(TERMINAL_LEVEL)
+        self._store = store
+        self._level = store.level
+        self._high = store.high
+        self._low = store.low
+        self._unique = UniqueTable(store.level, store.high, store.low)
+        # Flat lossy computed caches; width = key words + result word.
+        self._ite_cache = OpCache(4)
+        self._quant_cache = OpCache(3)
+        self._andex_cache = OpCache(4)
+        self._restrict_cache = OpCache(3)
+        self._constrain_cache = OpCache(3)
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    def _mk_raw(self, level: int, high: int, low: int) -> int:
+        # Same contract as the dict version: find-or-create with budget
+        # checks before any mutation.  Inlined probe over locals.
+        unique = self._unique
+        slots = unique.slots
+        mask = unique.mask
+        levels = self._level
+        highs = self._high
+        lows = self._low
+        i = ((level * MIX_A) ^ (high * MIX_B) ^ (low * MIX_C)) & mask
+        while True:
+            s = slots[i]
+            if s == 0:
+                break
+            n = s - 1
+            if levels[n] == level and highs[n] == high and lows[n] == low:
+                return n << 1
+            i = (i + 1) & mask
+        node = len(levels)
+        if self.max_nodes is not None and node > self.max_nodes:
+            raise BudgetExceededError("node", self.max_nodes)
+        if self._deadline is not None:
+            self._time_check_countdown -= 1
+            if self._time_check_countdown <= 0:
+                self._time_check_countdown = 4096
+                if time.monotonic() > self._deadline:
+                    raise BudgetExceededError("time", self._deadline)
+        levels.append(level)
+        highs.append(high)
+        lows.append(low)
+        slots[i] = node + 1
+        unique.used += 1
+        if unique.used > unique.limit:
+            unique.grow()
+        self._level_members[level].append(node)
+        self._nodes_created += 1
+        if node + 1 > self._peak_nodes:
+            self._peak_nodes = node + 1
+        return node << 1
+
+    # ------------------------------------------------------------------
+    # Core operation: if-then-else
+    # ------------------------------------------------------------------
+    #
+    # Frame tuples (tag first; si/sm carry the cache slot probed at
+    # expansion time and the cache mask it was computed under, so the
+    # store can reuse the probe unless the cache has grown since —
+    # masks strictly increase, so equality is a sufficient check):
+    #   (0, negate, top, si, sm, kf, kg, kh, f0, g0, h0)  else pending
+    #   (1, negate, top, si, sm, kf, kg, kh, r1)     combine r1 w/ res
+    #
+    # Cache probes use the same multiplicative mix as the unique
+    # table: the caches are direct-mapped and lossy, so hash *quality*
+    # bounds the recomputation rate — a cheaper, weaker hash measurably
+    # blows up ITE-heavy image computations (each collision evicts a
+    # still-hot subproblem whose recomputation re-collides in turn).
+
+    def _ite(self, f: int, g: int, h: int) -> int:
+        # Fast path: the full terminal/rewrite/canonicalize + cache
+        # probe sequence without touching the frame stack.  Verbatim
+        # from the dict kernel.
+        if f == 0:
+            return g
+        if f == 1:
+            return h
+        if g == h:
+            return g
+        if g == 0 and h == 1:
+            return f
+        if g == 1 and h == 0:
+            return f ^ 1
+        if g == f:
+            g = 0
+        elif g == (f ^ 1):
+            g = 1
+        if h == f:
+            h = 1
+        elif h == (f ^ 1):
+            h = 0
+        if g == h:
+            return g
+        if g == 0 and h == 1:
+            return f
+        if g == 1 and h == 0:
+            return f ^ 1
+        if f & 1:
+            f, g, h = f ^ 1, h, g
+        root_negate = g & 1
+        if root_negate:
+            g, h = g ^ 1, h ^ 1
+        cache = self._ite_cache
+        cdata = cache.data
+        cmask = cache.mask
+        i4 = (((f * MIX_A) ^ (g * MIX_B) ^ (h * MIX_C)) & cmask) << 2
+        if cdata[i4] == f and cdata[i4 + 1] == g and cdata[i4 + 2] == h:
+            self._ite_hits += 1
+            return cdata[i4 + 3] ^ root_negate
+        # Slow path: descend/unwind over tagged tuple frames.  The loop
+        # re-resolves the now-canonical (f, g, h) — and recounts its
+        # miss — so the root negate is re-applied at the very end.
+        # Stacks are fresh per call, so a BudgetExceededError mid-way
+        # leaves no loop state behind.
+        unique = self._unique
+        uslots = unique.slots
+        umask = unique.mask
+        levels = self._level
+        highs = self._high
+        lows = self._low
+        mk_raw = self._mk_raw
+        A = MIX_A
+        B = MIX_B
+        C = MIX_C
+        tasks: list = []
+        push = tasks.append
+        pop = tasks.pop
+        res = 0
+        hits = 0
+        misses = 0
+        try:
+            while True:
+                # -- resolve the current (f, g, h) ----------------------
+                if f == 0:
+                    res = g
+                elif f == 1:
+                    res = h
+                elif g == h:
+                    res = g
+                else:
+                    if g == f:
+                        g = 0
+                    elif g == (f ^ 1):
+                        g = 1
+                    if h == f:
+                        h = 1
+                    elif h == (f ^ 1):
+                        h = 0
+                    if g == h:
+                        res = g
+                    elif g == 0 and h == 1:
+                        res = f
+                    elif g == 1 and h == 0:
+                        res = f ^ 1
+                    else:
+                        if f & 1:
+                            f, g, h = f ^ 1, h, g
+                        negate = g & 1
+                        if negate:
+                            g, h = g ^ 1, h ^ 1
+                        i4 = (((f * MIX_A) ^ (g * MIX_B) ^ (h * MIX_C)) & cmask) << 2
+                        if cdata[i4] == f and cdata[i4 + 1] == g \
+                                and cdata[i4 + 2] == h:
+                            hits += 1
+                            res = cdata[i4 + 3] ^ negate
+                        else:
+                            misses += 1
+                            nf = f >> 1
+                            ng = g >> 1
+                            nh = h >> 1
+                            lf = levels[nf]
+                            lg = levels[ng]
+                            lh = levels[nh]
+                            top = lf if lf < lg else lg
+                            if lh < top:
+                                top = lh
+                            # f and g are regular here; only h carries
+                            # a possible complement bit.
+                            if lf == top:
+                                f1 = highs[nf]
+                                f0 = lows[nf]
+                            else:
+                                f1 = f0 = f
+                            if lg == top:
+                                g1 = highs[ng]
+                                g0 = lows[ng]
+                            else:
+                                g1 = g0 = g
+                            if lh == top:
+                                s = h & 1
+                                h1 = highs[nh] ^ s
+                                h0 = lows[nh] ^ s
+                            else:
+                                h1 = h0 = h
+                            push((0, negate, top, i4, cmask,
+                                  f, g, h, f0, g0, h0))
+                            f, g, h = f1, g1, h1
+                            continue  # descend into the then-branch
+                # -- unwind: res holds the just-finished call's value ---
+                while True:
+                    if not tasks:
+                        return res ^ root_negate
+                    frame = pop()
+                    if not frame[0]:
+                        _t, negate, top, si, sm, kf, kg, kh, f, g, h \
+                            = frame
+                        push((1, negate, top, si, sm, kf, kg, kh, res))
+                        break  # descend into the else-branch (f, g, h)
+                    _t, negate, top, si, sm, kf, kg, kh, r1 = frame
+                    r0 = res
+                    # Inline _mk(top, r1, r0).
+                    if r1 == r0:
+                        raw = r1
+                    else:
+                        neg = r1 & 1
+                        hi = r1 ^ neg
+                        lo = r0 ^ neg
+                        i = ((top * A) ^ (hi * B) ^ (lo * C)) & umask
+                        while True:
+                            s = uslots[i]
+                            if s == 0:
+                                raw = mk_raw(top, hi, lo) | neg
+                                uslots = unique.slots
+                                umask = unique.mask
+                                break
+                            n = s - 1
+                            if levels[n] == top and highs[n] == hi \
+                                    and lows[n] == lo:
+                                raw = (n << 1) | neg
+                                break
+                            i = (i + 1) & umask
+                    if sm != cmask:
+                        si = (((kf * A) ^ (kg * B) ^ (kh * C))
+                              & cmask) << 2
+                    if cdata[si] == 0:
+                        used = cache.used + 1
+                        if used > cache.grow_at:
+                            cache.grow()
+                            cdata = cache.data
+                            cmask = cache.mask
+                            si = (((kf * A) ^ (kg * B) ^ (kh * C))
+                                  & cmask) << 2
+                            used = cache.used + (cdata[si] == 0)
+                        cache.used = used
+                    cdata[si] = kf
+                    cdata[si + 1] = kg
+                    cdata[si + 2] = kh
+                    cdata[si + 3] = raw
+                    res = raw ^ negate
+        finally:
+            self._ite_hits += hits
+            self._ite_misses += misses
+
+    # ------------------------------------------------------------------
+    # Quantification
+    # ------------------------------------------------------------------
+    #
+    # Frame tuples (si/sm as in _ite):
+    #   (0, q, top, si, sm, kf, f0)  else pending (q: top quantified)
+    #   (1, q, top, si, sm, kf, r1)  combine r1 with res
+
+    def _exists(self, f: int, levelset: frozenset, levels_key: int,
+                max_level: int) -> int:
+        levels = self._level
+        if f <= 1 or levels[f >> 1] > max_level:
+            return f
+        cache = self._quant_cache
+        cdata = cache.data
+        cmask = cache.mask
+        i3 = (((f * MIX_A) ^ (levels_key * MIX_B)) & cmask) * 3
+        if cdata[i3] == f and cdata[i3 + 1] == levels_key:
+            self._quant_hits += 1
+            return cdata[i3 + 2]
+        highs = self._high
+        lows = self._low
+        ite = self._ite
+        unique = self._unique
+        mk_raw = self._mk_raw
+        A = MIX_A
+        B = MIX_B
+        C = MIX_C
+        tasks: list = []
+        push = tasks.append
+        pop = tasks.pop
+        res = 0
+        hits = 0
+        misses = 0
+        try:
+            while True:
+                # -- resolve the current f -----------------------------
+                if f <= 1 or levels[f >> 1] > max_level:
+                    res = f
+                else:
+                    i3 = (((f * MIX_A) ^ (levels_key * MIX_B)) & cmask) * 3
+                    if cdata[i3] == f and cdata[i3 + 1] == levels_key:
+                        hits += 1
+                        res = cdata[i3 + 2]
+                    else:
+                        misses += 1
+                        node = f >> 1
+                        sign = f & 1
+                        top = levels[node]
+                        push((0, top in levelset, top, i3, cmask, f,
+                              lows[node] ^ sign))
+                        f = highs[node] ^ sign
+                        continue
+                # -- unwind --------------------------------------------
+                while True:
+                    if not tasks:
+                        return res
+                    frame = pop()
+                    if not frame[0]:
+                        _t, q, top, si, sm, kf, f0 = frame
+                        if not (q and res == 0):
+                            push((1, q, top, si, sm, kf, res))
+                            f = f0
+                            break
+                        # exists x with a True then-branch: the whole
+                        # quantification is True — skip the else child.
+                        out = 0
+                    else:
+                        _t, q, top, si, sm, kf, r1 = frame
+                        if q:
+                            out = ite(r1, 0, res)  # _or(r1, r0)
+                        elif r1 == res:
+                            out = r1
+                        else:
+                            # Inline _mk(top, r1, res); nested ite()
+                            # calls can grow the unique table, so fetch
+                            # its slots fresh per combine.
+                            neg = r1 & 1
+                            hi = r1 ^ neg
+                            lo = res ^ neg
+                            uslots = unique.slots
+                            umask = unique.mask
+                            i = ((top * A) ^ (hi * B) ^ (lo * C)) \
+                                & umask
+                            while True:
+                                s = uslots[i]
+                                if s == 0:
+                                    out = mk_raw(top, hi, lo) | neg
+                                    break
+                                n = s - 1
+                                if levels[n] == top \
+                                        and highs[n] == hi \
+                                        and lows[n] == lo:
+                                    out = (n << 1) | neg
+                                    break
+                                i = (i + 1) & umask
+                    if sm != cmask:
+                        si = (((kf * A) ^ (levels_key * B)) & cmask) * 3
+                    if cdata[si] == 0:
+                        used = cache.used + 1
+                        if used > cache.grow_at:
+                            cache.grow()
+                            cdata = cache.data
+                            cmask = cache.mask
+                            si = (((kf * A) ^ (levels_key * B)) & cmask) * 3
+                            used = cache.used + (cdata[si] == 0)
+                        cache.used = used
+                    cdata[si] = kf
+                    cdata[si + 1] = levels_key
+                    cdata[si + 2] = out
+                    res = out
+        finally:
+            self._quant_hits += hits
+            self._quant_misses += misses
+
+    # ------------------------------------------------------------------
+    # Relational product
+    # ------------------------------------------------------------------
+    #
+    # Frame tuples (si/sm as in _ite):
+    #   (0, q, top, si, sm, kf, kg, f0, g0)  else branch pending
+    #   (1, q, top, si, sm, kf, kg, r1)      combine r1 with res
+
+    def _and_exists(self, f: int, g: int, levelset: frozenset,
+                    levels_key: int, max_level: int) -> int:
+        levels = self._level
+        highs = self._high
+        lows = self._low
+        cache = self._andex_cache
+        cdata = cache.data
+        cmask = cache.mask
+        ite = self._ite
+        exists = self._exists
+        unique = self._unique
+        mk_raw = self._mk_raw
+        A = MIX_A
+        B = MIX_B
+        C = MIX_C
+        tasks: list = []
+        push = tasks.append
+        pop = tasks.pop
+        res = 0
+        hits = 0
+        misses = 0
+        try:
+            while True:
+                # -- resolve the current (f, g) ------------------------
+                # Special cases, verbatim from the dict kernel.
+                if f == 1 or g == 1:
+                    res = 1
+                elif f == 0 or f == g:
+                    res = exists(g, levelset, levels_key, max_level)
+                elif g == 0:
+                    res = exists(f, levelset, levels_key, max_level)
+                elif f == (g ^ 1):
+                    res = 1
+                else:
+                    if f > g:
+                        f, g = g, f
+                    lf = levels[f >> 1]
+                    lg = levels[g >> 1]
+                    top = lf if lf < lg else lg
+                    if top > max_level:
+                        res = ite(f, g, 1)  # _and(f, g)
+                    else:
+                        i4 = (((f * A) ^ (g * B) ^ (levels_key * C))
+                              & cmask) << 2
+                        if cdata[i4] == f and cdata[i4 + 1] == g \
+                                and cdata[i4 + 2] == levels_key:
+                            hits += 1
+                            res = cdata[i4 + 3]
+                        else:
+                            misses += 1
+                            if lf == top:
+                                sign = f & 1
+                                f1 = highs[f >> 1] ^ sign
+                                f0 = lows[f >> 1] ^ sign
+                            else:
+                                f1 = f0 = f
+                            if lg == top:
+                                sign = g & 1
+                                g1 = highs[g >> 1] ^ sign
+                                g0 = lows[g >> 1] ^ sign
+                            else:
+                                g1 = g0 = g
+                            push((0, top in levelset, top, i4, cmask,
+                                  f, g, f0, g0))
+                            f, g = f1, g1
+                            continue
+                # -- unwind --------------------------------------------
+                while True:
+                    if not tasks:
+                        return res
+                    frame = pop()
+                    if not frame[0]:
+                        _t, q, top, si, sm, kf, kg, f0, g0 = frame
+                        if not (q and res == 0):
+                            push((1, q, top, si, sm, kf, kg, res))
+                            f, g = f0, g0
+                            break
+                        out = 0
+                    else:
+                        _t, q, top, si, sm, kf, kg, r1 = frame
+                        if q:
+                            out = ite(r1, 0, res)  # _or(r1, r0)
+                        elif r1 == res:
+                            out = r1
+                        else:
+                            # Inline _mk(top, r1, res); nested ite()/
+                            # exists() calls can grow the unique table,
+                            # so fetch its slots fresh per combine.
+                            neg = r1 & 1
+                            hi = r1 ^ neg
+                            lo = res ^ neg
+                            uslots = unique.slots
+                            umask = unique.mask
+                            i = ((top * A) ^ (hi * B) ^ (lo * C)) \
+                                & umask
+                            while True:
+                                s = uslots[i]
+                                if s == 0:
+                                    out = mk_raw(top, hi, lo) | neg
+                                    break
+                                n = s - 1
+                                if levels[n] == top \
+                                        and highs[n] == hi \
+                                        and lows[n] == lo:
+                                    out = (n << 1) | neg
+                                    break
+                                i = (i + 1) & umask
+                    if sm != cmask:
+                        si = (((kf * A) ^ (kg * B) ^ (levels_key * C))
+                              & cmask) << 2
+                    if cdata[si] == 0:
+                        used = cache.used + 1
+                        if used > cache.grow_at:
+                            cache.grow()
+                            cdata = cache.data
+                            cmask = cache.mask
+                            si = (((kf * A) ^ (kg * B) ^ (levels_key * C))
+                                  & cmask) << 2
+                            used = cache.used + (cdata[si] == 0)
+                        cache.used = used
+                    cdata[si] = kf
+                    cdata[si + 1] = kg
+                    cdata[si + 2] = levels_key
+                    cdata[si + 3] = out
+                    res = out
+        finally:
+            self._andex_hits += hits
+            self._andex_misses += misses
+
+    # ------------------------------------------------------------------
+    # Generalized cofactors
+    # ------------------------------------------------------------------
+    #
+    # Frame tuples (si/sm as in _ite):
+    #   (0, top, si, sm, kf, kc, f0, c0)  else branch pending
+    #   (1, top, si, sm, kf, kc, r1)      combine r1 with res
+    #   (2, si, sm, kf, kc)           store res for a single-branch call
+
+    def _restrict_rec(self, f: int, c: int) -> int:
+        if c <= 1 or f <= 1:
+            return f
+        levels = self._level
+        highs = self._high
+        lows = self._low
+        cache = self._restrict_cache
+        cdata = cache.data
+        cmask = cache.mask
+        ite = self._ite
+        unique = self._unique
+        mk_raw = self._mk_raw
+        A = MIX_A
+        B = MIX_B
+        C = MIX_C
+        tasks: list = []
+        push = tasks.append
+        pop = tasks.pop
+        res = 0
+        hits = 0
+        misses = 0
+        try:
+            while True:
+                # -- resolve the current (f, c) ------------------------
+                if c <= 1 or f <= 1:
+                    res = f
+                else:
+                    i3 = (((f * A) ^ (c * B)) & cmask) * 3
+                    if cdata[i3] == f and cdata[i3 + 1] == c:
+                        hits += 1
+                        res = cdata[i3 + 2]
+                    else:
+                        misses += 1
+                        lf = levels[f >> 1]
+                        lc = levels[c >> 1]
+                        if lc < lf:
+                            # Top variable of c is absent from f:
+                            # existentially drop it from the care set.
+                            sign = c & 1
+                            c1 = highs[c >> 1] ^ sign
+                            c0 = lows[c >> 1] ^ sign
+                            push((2, i3, cmask, f, c))
+                            c = ite(c1, 0, c0)  # _or(c1, c0)
+                            continue
+                        sign = f & 1
+                        f1 = highs[f >> 1] ^ sign
+                        f0 = lows[f >> 1] ^ sign
+                        if lf < lc:
+                            c1 = c0 = c
+                        else:
+                            sign = c & 1
+                            c1 = highs[c >> 1] ^ sign
+                            c0 = lows[c >> 1] ^ sign
+                        if c1 == 1:  # c_x is False
+                            push((2, i3, cmask, f, c))
+                            f, c = f0, c0
+                        elif c0 == 1:  # c_xbar is False
+                            push((2, i3, cmask, f, c))
+                            f, c = f1, c1
+                        else:
+                            push((0, lf, i3, cmask, f, c, f0, c0))
+                            f, c = f1, c1
+                        continue
+                # -- unwind --------------------------------------------
+                while True:
+                    if not tasks:
+                        return res
+                    frame = pop()
+                    tag = frame[0]
+                    if tag == 0:
+                        _t, top, si, sm, kf, kc, f0, c0 = frame
+                        push((1, top, si, sm, kf, kc, res))
+                        f, c = f0, c0
+                        break
+                    if tag == 1:
+                        _t, top, si, sm, kf, kc, r1 = frame
+                        if r1 == res:
+                            out = r1
+                        else:
+                            # Inline _mk(top, r1, res); nested ite()
+                            # calls can grow the unique table, so fetch
+                            # its slots fresh per combine.
+                            neg = r1 & 1
+                            hi = r1 ^ neg
+                            lo = res ^ neg
+                            uslots = unique.slots
+                            umask = unique.mask
+                            i = ((top * A) ^ (hi * B) ^ (lo * C)) \
+                                & umask
+                            while True:
+                                s = uslots[i]
+                                if s == 0:
+                                    out = mk_raw(top, hi, lo) | neg
+                                    break
+                                n = s - 1
+                                if levels[n] == top \
+                                        and highs[n] == hi \
+                                        and lows[n] == lo:
+                                    out = (n << 1) | neg
+                                    break
+                                i = (i + 1) & umask
+                    else:
+                        _t, si, sm, kf, kc = frame
+                        out = res
+                    if sm != cmask:
+                        si = (((kf * A) ^ (kc * B)) & cmask) * 3
+                    if cdata[si] == 0:
+                        used = cache.used + 1
+                        if used > cache.grow_at:
+                            cache.grow()
+                            cdata = cache.data
+                            cmask = cache.mask
+                            si = (((kf * A) ^ (kc * B)) & cmask) * 3
+                            used = cache.used + (cdata[si] == 0)
+                        cache.used = used
+                    cdata[si] = kf
+                    cdata[si + 1] = kc
+                    cdata[si + 2] = out
+                    res = out
+        finally:
+            self._restrict_hits += hits
+            self._restrict_misses += misses
+
+    def _constrain_rec(self, f: int, c: int) -> int:
+        if c <= 1 or f <= 1:
+            return f
+        levels = self._level
+        highs = self._high
+        lows = self._low
+        cache = self._constrain_cache
+        cdata = cache.data
+        cmask = cache.mask
+        unique = self._unique
+        mk_raw = self._mk_raw
+        A = MIX_A
+        B = MIX_B
+        C = MIX_C
+        tasks: list = []
+        push = tasks.append
+        pop = tasks.pop
+        res = 0
+        hits = 0
+        misses = 0
+        try:
+            while True:
+                # -- resolve the current (f, c) ------------------------
+                if c <= 1 or f <= 1:
+                    res = f
+                elif f == c:
+                    res = 0  # On the care set, f is true everywhere.
+                elif f == (c ^ 1):
+                    res = 1  # On the care set, f is false everywhere.
+                else:
+                    i3 = (((f * A) ^ (c * B)) & cmask) * 3
+                    if cdata[i3] == f and cdata[i3 + 1] == c:
+                        hits += 1
+                        res = cdata[i3 + 2]
+                    else:
+                        misses += 1
+                        lf = levels[f >> 1]
+                        lc = levels[c >> 1]
+                        top = lf if lf < lc else lc
+                        if lf == top:
+                            sign = f & 1
+                            f1 = highs[f >> 1] ^ sign
+                            f0 = lows[f >> 1] ^ sign
+                        else:
+                            f1 = f0 = f
+                        if lc == top:
+                            sign = c & 1
+                            c1 = highs[c >> 1] ^ sign
+                            c0 = lows[c >> 1] ^ sign
+                        else:
+                            c1 = c0 = c
+                        if c1 == 1:  # c_x is False
+                            push((2, i3, cmask, f, c))
+                            f, c = f0, c0
+                        elif c0 == 1:  # c_xbar is False
+                            push((2, i3, cmask, f, c))
+                            f, c = f1, c1
+                        else:
+                            push((0, top, i3, cmask, f, c, f0, c0))
+                            f, c = f1, c1
+                        continue
+                # -- unwind --------------------------------------------
+                while True:
+                    if not tasks:
+                        return res
+                    frame = pop()
+                    tag = frame[0]
+                    if tag == 0:
+                        _t, top, si, sm, kf, kc, f0, c0 = frame
+                        push((1, top, si, sm, kf, kc, res))
+                        f, c = f0, c0
+                        break
+                    if tag == 1:
+                        _t, top, si, sm, kf, kc, r1 = frame
+                        if r1 == res:
+                            out = r1
+                        else:
+                            # Inline _mk(top, r1, res).  Only mk_raw
+                            # itself can grow the unique table here, so
+                            # a fresh fetch per combine still applies.
+                            neg = r1 & 1
+                            hi = r1 ^ neg
+                            lo = res ^ neg
+                            uslots = unique.slots
+                            umask = unique.mask
+                            i = ((top * A) ^ (hi * B) ^ (lo * C)) \
+                                & umask
+                            while True:
+                                s = uslots[i]
+                                if s == 0:
+                                    out = mk_raw(top, hi, lo) | neg
+                                    break
+                                n = s - 1
+                                if levels[n] == top \
+                                        and highs[n] == hi \
+                                        and lows[n] == lo:
+                                    out = (n << 1) | neg
+                                    break
+                                i = (i + 1) & umask
+                    else:
+                        _t, si, sm, kf, kc = frame
+                        out = res
+                    if sm != cmask:
+                        si = (((kf * A) ^ (kc * B)) & cmask) * 3
+                    if cdata[si] == 0:
+                        used = cache.used + 1
+                        if used > cache.grow_at:
+                            cache.grow()
+                            cdata = cache.data
+                            cmask = cache.mask
+                            si = (((kf * A) ^ (kc * B)) & cmask) * 3
+                            used = cache.used + (cdata[si] == 0)
+                        cache.used = used
+                    cdata[si] = kf
+                    cdata[si + 1] = kc
+                    cdata[si + 2] = out
+                    res = out
+        finally:
+            self._constrain_hits += hits
+            self._constrain_misses += misses
+
+    # ------------------------------------------------------------------
+    # Bulk structure sweeps (vectorized when numpy is present)
+    # ------------------------------------------------------------------
+
+    def _np_reachable(self, roots: Sequence[int]):
+        """Boolean mark vector over node ids, via frontier sweeps.
+
+        Each round gathers the children of the unmarked frontier
+        through zero-copy views of the node columns; rounds are bounded
+        by the DAG depth, so total work is a handful of vectorized
+        passes instead of one Python iteration per node.
+        """
+        count = len(self._level)
+        marked = _np.zeros(count, dtype=bool)
+        if not roots:
+            return marked
+        highs = _np.frombuffer(self._high, dtype=_np.int64)
+        lows = _np.frombuffer(self._low, dtype=_np.int64)
+        frontier = _np.array(roots, dtype=_np.int64)
+        marked[frontier] = True
+        # Dedup by scattering into a scratch bitmap instead of
+        # np.unique: O(store) boolean ops per round beat the sort by
+        # 3-5x on real frontiers.
+        scratch = _np.zeros(count, dtype=bool)
+        while frontier.size:
+            children = _np.concatenate(
+                (highs[frontier], lows[frontier])) >> 1
+            scratch[:] = False
+            scratch[children] = True
+            scratch &= ~marked
+            marked |= scratch
+            frontier = _np.flatnonzero(scratch)
+        return marked
+
+    def _mark_live(self, handles) -> bytearray:
+        if _np is None or len(self._level) < _SWEEP_MIN_NODES:
+            return super()._mark_live(handles)
+        roots = [0] + [fn.edge >> 1 for fn in handles]
+        return bytearray(
+            self._np_reachable(roots).view(_np.uint8).tobytes())
+
+    def _count_nodes(self, edges: Iterable[int]) -> int:
+        root_edges = list(edges)
+        if _np is None or len(self._level) < _SWEEP_MIN_NODES:
+            return super()._count_nodes(root_edges)
+        if not root_edges:
+            return 0
+        marked = self._np_reachable([e >> 1 for e in root_edges])
+        inner = int(marked.sum()) - int(marked[0])
+        # The dict oracle counts the terminal exactly once whenever any
+        # non-terminal node is reachable.
+        return inner + 1 if inner else 1
+
+    def _support_levels(self, edge: int) -> frozenset:
+        if _np is None or len(self._level) < _SWEEP_MIN_NODES:
+            return super()._support_levels(edge)
+        marked = self._np_reachable([edge >> 1])
+        marked[0] = False
+        if not marked.any():
+            return frozenset()
+        levels = _np.frombuffer(self._level, dtype=_np.int64)
+        return frozenset(_np.unique(levels[marked]).tolist())
+
+    def _eval_batch(self, edge: int, columns, count: int):
+        # Vectorized level-by-level walk: every assignment (row) steps
+        # one BDD node per round, all rows at once.  Rounds are bounded
+        # by the path depth, so the whole batch costs a few dozen
+        # vector passes instead of count * depth Python iterations.
+        if _np is None or count < 64:
+            return super()._eval_batch(edge, columns, count)
+        highs = _np.frombuffer(self._high, dtype=_np.int64)
+        lows = _np.frombuffer(self._low, dtype=_np.int64)
+        levels = _np.frombuffer(self._level, dtype=_np.int64)
+        values = _np.zeros((len(self._var_names), count), dtype=bool)
+        for level, col in columns.items():
+            values[level] = _np.asarray(col, dtype=bool)
+        cur = _np.full(count, edge, dtype=_np.int64)
+        idx = _np.flatnonzero(cur > 1)
+        while idx.size:
+            e = cur[idx]
+            nodes = e >> 1
+            nxt = _np.where(values[levels[nodes], idx],
+                            highs[nodes], lows[nodes]) ^ (e & 1)
+            cur[idx] = nxt
+            idx = idx[nxt > 1]
+        return (cur == 0).tolist()
+
+    # ------------------------------------------------------------------
+    # Garbage collection (array-native compaction)
+    # ------------------------------------------------------------------
+
+    def _compact(self, marked: bytearray, before: int):
+        levels = self._level
+        highs = self._high
+        lows = self._low
+        if _np is not None and before > 2048:
+            m = _np.frombuffer(marked, dtype=_np.uint8).astype(bool)
+            survivors = _np.flatnonzero(m)
+            remap_np = _np.zeros(before, dtype=_np.int64)
+            remap_np[survivors] = _np.arange(len(survivors),
+                                             dtype=_np.int64)
+            hi = _np.frombuffer(highs, _np.int64)[survivors]
+            lo = _np.frombuffer(lows, _np.int64)[survivors]
+            hi = (remap_np[hi >> 1] << 1) | (hi & 1)
+            lo = (remap_np[lo >> 1] << 1) | (lo & 1)
+            new_level = array(
+                "q", _np.frombuffer(levels, _np.int64)[survivors]
+                .tobytes())
+            new_high = array("q", hi.tobytes())
+            new_low = array("q", lo.tobytes())
+            remap = array("q", remap_np.tobytes())
+        else:
+            remap = array("q", bytes(8 * before))
+            new_level = array("q")
+            new_high = array("q")
+            new_low = array("q")
+            count = 0
+            for node in range(before):
+                if marked[node]:
+                    remap[node] = count
+                    count += 1
+            for node in range(before):
+                if marked[node]:
+                    new_level.append(levels[node])
+                    if node:
+                        h = highs[node]
+                        l = lows[node]
+                        new_high.append((remap[h >> 1] << 1) | (h & 1))
+                        new_low.append((remap[l >> 1] << 1) | (l & 1))
+                    else:
+                        new_high.append(0)
+                        new_low.append(0)
+        store = self._store
+        store.level = new_level
+        store.high = new_high
+        store.low = new_low
+        self._level = new_level
+        self._high = new_high
+        self._low = new_low
+        count = len(new_level)
+        unique = UniqueTable.sized_for(new_level, new_high, new_low,
+                                       count)
+        slots = unique.slots
+        mask = unique.mask
+        # Prior canonicity guarantees distinct keys: insert without
+        # comparing.  Homes are precomputed vectorized when numpy is
+        # around — int64 wraparound is harmless because `& mask` only
+        # reads low bits, which two's complement preserves exactly.
+        if _np is not None and count > 2048:
+            homes = (((_np.frombuffer(new_level, _np.int64)[1:]
+                       * MIX_A)
+                      ^ (_np.frombuffer(new_high, _np.int64)[1:]
+                         * MIX_B)
+                      ^ (_np.frombuffer(new_low, _np.int64)[1:]
+                         * MIX_C)) & mask).tolist()
+            node = 1
+            for i in homes:
+                while slots[i]:
+                    i = (i + 1) & mask
+                slots[i] = node + 1
+                node += 1
+        else:
+            for node in range(1, count):
+                i = ((new_level[node] * MIX_A)
+                     ^ (new_high[node] * MIX_B)
+                     ^ (new_low[node] * MIX_C)) & mask
+                while slots[i]:
+                    i = (i + 1) & mask
+                slots[i] = node + 1
+        unique.used = count - 1
+        self._unique = unique
+        members: List[List[int]] = [[] for _ in self._var_names]
+        for node in range(1, count):
+            members[new_level[node]].append(node)
+        self._level_members = members
+        return remap
+
+
+# ---------------------------------------------------------------------------
+# Kernel registry
+# ---------------------------------------------------------------------------
+
+#: The selectable kernel names ("auto" resolves to the fast one).
+KERNELS = ("dict", "array")
+
+def _initial_default() -> str:
+    """Start-of-process default: ``REPRO_KERNEL`` env var or "dict".
+
+    The env hook exists so an unmodified test suite can run wholesale
+    on a chosen kernel (CI's kernel-parity job sets
+    ``REPRO_KERNEL=array``); inside a process, prefer
+    :func:`kernel_context`.
+    """
+    name = os.environ.get("REPRO_KERNEL")
+    if not name:
+        return "dict"
+    if name == "auto":
+        return "array"
+    if name not in KERNELS:
+        raise ValueError(
+            f"REPRO_KERNEL={name!r}: expected one of "
+            f"{('auto',) + KERNELS}")
+    return name
+
+
+_default_kernel = _initial_default()
+
+
+def default_kernel() -> str:
+    """The kernel a bare ``BDD()`` constructs right now."""
+    return _default_kernel
+
+
+def set_default_kernel(name: str) -> str:
+    """Set the process-wide default kernel; returns the previous one.
+
+    Accepts a concrete kernel name (``"auto"`` is resolved first).
+    Prefer :func:`kernel_context` — it restores the previous default.
+    """
+    global _default_kernel
+    resolved = resolve_kernel(name)
+    previous = _default_kernel
+    _default_kernel = resolved
+    return previous
+
+
+def resolve_kernel(name: Optional[str]) -> str:
+    """Map a kernel request to a concrete kernel name.
+
+    ``None`` means "whatever the current default is" (so existing
+    ``BDD()`` call sites keep constructing the dict manager unless a
+    context says otherwise); ``"auto"`` selects the fast array kernel.
+    """
+    if name is None:
+        return _default_kernel
+    if name == "auto":
+        return "array"
+    if name not in KERNELS:
+        raise ValueError(
+            f"unknown BDD kernel {name!r}; expected one of "
+            f"{('auto',) + KERNELS}")
+    return name
+
+
+@contextmanager
+def kernel_context(name: Optional[str]) -> Iterator[None]:
+    """Make ``name`` the default kernel within the ``with`` block.
+
+    Every ``BDD()`` constructed inside — by model factories, the fsm
+    builder, anything — builds the selected kernel.  ``None`` is a
+    no-op so call sites can pass an optional request through.
+    """
+    if name is None:
+        yield
+        return
+    previous = set_default_kernel(name)
+    try:
+        yield
+    finally:
+        set_default_kernel(previous)
+
+
+def make_manager(kernel: Optional[str] = None,
+                 max_nodes: Optional[int] = None,
+                 time_limit: Optional[float] = None) -> BDD:
+    """Construct a manager on an explicitly selected kernel."""
+    return BDD(max_nodes=max_nodes, time_limit=time_limit,
+               kernel=resolve_kernel(kernel))

@@ -83,10 +83,40 @@ class BDD:
     live :class:`Function` handles — are untouched), :meth:`sift` runs
     Rudell sifting on top of it, and :meth:`reorder` rebuilds the whole
     manager under an arbitrary permutation.
+
+    Two interchangeable kernels implement this class.  This one — the
+    *dict* kernel — stores nodes in Python lists and memo tables in
+    tuple-keyed dicts and recurses in Python; it is the readable
+    reference and the differential-testing oracle.  The *array* kernel
+    (:class:`repro.bdd.kernel.ArrayBDD`) keeps the same facade on flat
+    ``array('q')`` storage with iterative operations and is
+    edge-identical but several times faster.  ``BDD(kernel=...)``
+    selects one explicitly; a bare ``BDD()`` builds whatever
+    :func:`repro.bdd.kernel.kernel_context` has made the default
+    (initially ``"dict"``).
     """
 
+    #: Kernel name reported by this class; the array kernel overrides.
+    kernel = "dict"
+
+    def __new__(cls, max_nodes: Optional[int] = None,
+                time_limit: Optional[float] = None,
+                kernel: Optional[str] = None) -> "BDD":
+        # Kernel dispatch happens here, not in a factory, so that every
+        # existing construction site — fsm builders, reorder shadows,
+        # transfer targets, tests — transparently builds the selected
+        # kernel.  Subclass constructors bypass the dispatch.
+        if cls is BDD:
+            from .kernel import ArrayBDD, resolve_kernel
+            if resolve_kernel(kernel) == "array":
+                return super().__new__(ArrayBDD)
+        return super().__new__(cls)
+
     def __init__(self, max_nodes: Optional[int] = None,
-                 time_limit: Optional[float] = None) -> None:
+                 time_limit: Optional[float] = None,
+                 kernel: Optional[str] = None) -> None:
+        # ``kernel`` is consumed by __new__; accepted here so the
+        # signatures agree.
         # Parallel arrays indexed by node id.  Node 0 is the terminal.
         self._level: List[int] = [TERMINAL_LEVEL]
         self._high: List[int] = [0]
@@ -284,7 +314,8 @@ class BDD:
         self._cache_evictions += (
             len(self._ite_cache) + len(self._quant_cache)
             + len(self._andex_cache) + len(self._restrict_cache)
-            + len(self._constrain_cache))
+            + len(self._constrain_cache)
+            + sum(len(cache) for cache in self._compose_caches.values()))
         self._cache_flushes += 1
         self._ite_cache.clear()
         self._quant_cache.clear()
@@ -432,6 +463,27 @@ class BDD:
         if len(self._compose_caches) > 0:
             raise RuntimeError("garbage_collect during vector compose")
         handles = self._live_functions()
+        marked = self._mark_live(handles)
+        before = len(self._level)
+        remap = self._compact(marked, before)
+        for fn in handles:
+            fn.edge = self._remap_edge(fn.edge, remap)
+        self.clear_caches()
+        self.gc_epoch += 1
+        self._gc_runs += 1
+        freed = before - len(self._level)
+        self._gc_freed += freed
+        if self._gc_observers:
+            for observer in list(self._gc_observers):
+                observer(freed, len(self._level), self.gc_epoch)
+        return freed
+
+    def _mark_live(self, handles: Sequence["Function"]) -> bytearray:
+        """Mark every node reachable from the live handles.
+
+        The mark half of :meth:`garbage_collect`; the array kernel
+        overrides it with a vectorized frontier sweep.
+        """
         marked = bytearray(len(self._level))
         marked[0] = 1
         stack = [fn.edge >> 1 for fn in handles]
@@ -442,7 +494,17 @@ class BDD:
             marked[node] = 1
             stack.append(self._high[node] >> 1)
             stack.append(self._low[node] >> 1)
-        before = len(self._level)
+        return marked
+
+    def _compact(self, marked: bytearray, before: int) -> Sequence[int]:
+        """Rebuild the node storage keeping only marked nodes.
+
+        The storage-specific half of :meth:`garbage_collect` — the
+        array kernel overrides it with an array-native (optionally
+        vectorized) version.  Returns the old-id -> new-id remap table;
+        the caller translates live handles and handles the epoch/cache
+        bookkeeping.
+        """
         remap: List[int] = [0] * before
         # Two passes: swap_levels rewrites parents in place, so children
         # no longer always precede parents in id order — every remapped
@@ -471,20 +533,10 @@ class BDD:
         for node in range(1, len(self._level)):
             members[self._level[node]].append(node)
         self._level_members = members
-        for fn in handles:
-            fn.edge = self._remap_edge(fn.edge, remap)
-        self.clear_caches()
-        self.gc_epoch += 1
-        self._gc_runs += 1
-        freed = before - len(self._level)
-        self._gc_freed += freed
-        if self._gc_observers:
-            for observer in list(self._gc_observers):
-                observer(freed, len(self._level), self.gc_epoch)
-        return freed
+        return remap
 
     @staticmethod
-    def _remap_edge(edge: int, remap: List[int]) -> int:
+    def _remap_edge(edge: int, remap: Sequence[int]) -> int:
         return (remap[edge >> 1] << 1) | (edge & 1)
 
     def maybe_collect(self, min_nodes: int = 200_000,
@@ -525,7 +577,11 @@ class BDD:
                 "variable names")
         if len(self._compose_caches) > 0:
             raise RuntimeError("reorder during vector compose")
-        shadow = BDD()
+        # Same class as self: the shadow's storage is adopted wholesale
+        # below, so a dict manager must rebuild on dict storage and an
+        # array manager on array storage, whatever the current default
+        # kernel is.
+        shadow = type(self)(kernel=self.kernel)
         for name in new_order:
             shadow.new_var(name)
         handles = self._live_functions()
@@ -1322,6 +1378,28 @@ class BDD:
             edge = (self._high[node] if value else self._low[node]) ^ sign
         return edge == 0
 
+    def _eval_batch(self, edge: int, columns: Dict[int, Sequence[bool]],
+                    count: int) -> List[bool]:
+        """Evaluate ``edge`` under ``count`` assignments at once.
+
+        ``columns`` maps level -> one value per assignment; the caller
+        (:meth:`Function.evaluate_batch`) has already checked that the
+        support is covered.  The array kernel overrides this with a
+        vectorized level-by-level walk.
+        """
+        highs = self._high
+        lows = self._low
+        levels = self._level
+        out = []
+        for b in range(count):
+            e = edge
+            while e > 1:
+                node = e >> 1
+                e = (highs[node] if columns[levels[node]][b]
+                     else lows[node]) ^ (e & 1)
+            out.append(e == 0)
+        return out
+
     # ------------------------------------------------------------------
     # Function construction helpers
     # ------------------------------------------------------------------
@@ -1584,6 +1662,39 @@ class Function:
         by_level = {self.bdd._name_to_level[n]: v
                     for n, v in assignment.items()}
         return self.bdd._eval(self.edge, by_level)
+
+    def evaluate_batch(
+            self, columns: Dict[str, Sequence[bool]]) -> List[bool]:
+        """Evaluate under a whole batch of assignments at once.
+
+        ``columns`` is columnar: each variable name maps to one value
+        per assignment, all columns the same length.  Returns one bool
+        per assignment (row).  Every variable in the function's support
+        must have a column; extras are ignored.  On the array kernel
+        this is a vectorized level-by-level walk over the whole batch —
+        the bulk analogue of :meth:`evaluate` for simulation
+        cross-checks and counterexample sampling.
+        """
+        bdd = self.bdd
+        if not columns:
+            raise ValueError(
+                "evaluate_batch needs at least one assignment column")
+        by_level = {}
+        count = None
+        for name, col in columns.items():
+            if count is None:
+                count = len(col)
+            elif len(col) != count:
+                raise ValueError(
+                    f"assignment column {name!r} has {len(col)} values, "
+                    f"expected {count}")
+            by_level[bdd._name_to_level[name]] = col
+        for level in bdd._support_levels(self.edge):
+            if level not in by_level:
+                raise KeyError(
+                    f"assignment missing variable "
+                    f"{bdd._var_names[level]!r}")
+        return bdd._eval_batch(self.edge, by_level, count)
 
     # -- dunder plumbing --------------------------------------------------
 

@@ -1,0 +1,378 @@
+"""Flat storage primitives for the array BDD kernel.
+
+Three building blocks, all designed around ``array('q')`` (signed
+64-bit) flat storage so the hot loops in :mod:`repro.bdd.kernel` touch
+contiguous machine integers instead of tuple-keyed hash maps:
+
+* :class:`NodeStore` — the struct-of-arrays node table: three parallel
+  flat arrays (``level``, ``high``, ``low``) indexed by node id.  Node
+  0 is the terminal, exactly as in the dict manager; the arrays are
+  *the same attributes* (``_level``/``_high``/``_low``) the rest of the
+  package already indexes, so every cold-path consumer (sifting, dot
+  export, satisfy counts, the tautology checker) works unchanged.
+
+* :class:`UniqueTable` — an open-addressed, linear-probe hash table
+  mapping ``(level, high, low)`` to a node id.  The slot vector is a
+  flat Python list (CPython specializes list subscripting in its hot
+  interpreter loop; ``array('q')`` indexing stays generic and boxes a
+  fresh int per read, which measurably hurts the probe-heavy paths).
+  Slots store ``node id + 1`` (0 = empty); key words are never copied
+  — a probe compares
+  against the node store's own arrays, which is both the memory win
+  and the reason the table must own references to those arrays.
+  Deletion (sifting unlinks dead nodes mid-session) uses backward-shift
+  compaction, so the table is **tombstone-free**: probe chains never
+  accumulate deleted markers and a rehash only happens to grow.  The
+  mapping protocol (``get``/``[]``/``del``/``len``/``items``) keeps the
+  inherited cold paths (``_swap_adjacent``, ``_deref``, the resource
+  sampler) source-compatible with the dict kernel; the hot paths in
+  :mod:`repro.bdd.kernel` probe ``slots`` directly with the same hash.
+
+* :class:`OpCache` — a flat, fixed-width *lossy* computed-op cache (the
+  Brace–Rudell–Bryant computed table): one flat word vector of
+  ``width``-word slots (key words then the result word), direct-mapped
+  by the mixed key hash, colliding entries overwritten.  Losing an
+  entry can only cost recomputation, never correctness — results are
+  re-derived through the exact unique table — and bounds cache memory
+  for long runs, unlike the dict kernel's unbounded memo dicts.  Key
+  word 0 doubles as the empty marker because every cached operation
+  keys on an edge >= 2 in its first word (constants are handled before
+  any probe).
+
+Hash discipline: all three consumers (table methods, kernel hot loops,
+resize) must agree on the mix, so the multipliers are module constants
+and :func:`mix3` / :func:`mix2` are the only hash functions.
+
+The optional numpy acceleration (bulk edge remapping during garbage
+collection) lives in :func:`remap_edges`; without numpy it falls back
+to a plain loop — numpy is never required.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, Optional, Tuple
+
+try:  # optional: bulk remap acceleration only, never required
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised where numpy is absent
+    _np = None
+
+__all__ = ["NodeStore", "UniqueTable", "OpCache",
+           "MIX_A", "MIX_B", "MIX_C", "mix2", "mix3", "remap_edges"]
+
+#: Odd 32-bit multipliers (Knuth/Murmur-style) shared by every probe
+#: site.  Kept below 2**32 so the products of realistic operands stay
+#: within two CPython int digits.
+MIX_A = 0x9E3779B1
+MIX_B = 0x85EBCA77
+MIX_C = 0xC2B2AE3D
+
+
+def mix3(a: int, b: int, c: int) -> int:
+    """Mix three non-negative ints; caller masks to table size."""
+    return (a * MIX_A) ^ (b * MIX_B) ^ (c * MIX_C)
+
+
+def mix2(a: int, b: int) -> int:
+    """Mix two non-negative ints; caller masks to table size."""
+    return (a * MIX_A) ^ (b * MIX_B)
+
+
+def _zeros(n: int) -> array:
+    """A flat array('q') of ``n`` zeros."""
+    return array("q", bytes(8 * n))
+
+
+class NodeStore:
+    """Struct-of-arrays node table; row ``i`` is node ``i``.
+
+    A thin owner of the three parallel arrays — the array kernel
+    aliases them as ``_level``/``_high``/``_low`` so that every
+    existing index-based consumer is oblivious to the storage change.
+    """
+
+    __slots__ = ("level", "high", "low")
+
+    def __init__(self, terminal_level: int) -> None:
+        self.level = array("q", (terminal_level,))
+        self.high = array("q", (0,))
+        self.low = array("q", (0,))
+
+    def __len__(self) -> int:
+        return len(self.level)
+
+
+class UniqueTable:
+    """Open-addressed linear-probe index over a node store.
+
+    ``slots[i] == 0`` means empty, else ``slots[i] - 1`` is a node id
+    whose key is read back from the store arrays.  Grows by rehash at
+    2/3 load; shrink only happens wholesale (garbage collection builds
+    a fresh table).  Deletions backward-shift the probe chain instead
+    of leaving tombstones.
+    """
+
+    __slots__ = ("slots", "mask", "used", "limit", "level", "high", "low")
+
+    MIN_SIZE = 1 << 10
+
+    def __init__(self, level: array, high: array, low: array,
+                 size: int = MIN_SIZE) -> None:
+        if size & (size - 1):
+            raise ValueError(f"size must be a power of two, not {size}")
+        self.level = level
+        self.high = high
+        self.low = low
+        self.slots = [0] * size
+        self.mask = size - 1
+        self.used = 0
+        self.limit = (size * 2) // 3
+
+    @classmethod
+    def sized_for(cls, level: array, high: array, low: array,
+                  entries: int) -> "UniqueTable":
+        """A table comfortably holding ``entries`` without growing."""
+        size = cls.MIN_SIZE
+        while (size * 2) // 3 <= entries:
+            size <<= 1
+        return cls(level, high, low, size=size)
+
+    # -- internal ------------------------------------------------------
+
+    def _home(self, node: int) -> int:
+        return ((self.level[node] * MIX_A) ^ (self.high[node] * MIX_B)
+                ^ (self.low[node] * MIX_C)) & self.mask
+
+    def _find(self, lvl: int, high: int, low: int) -> Tuple[int, int]:
+        """Probe for a key; returns (slot index, node id or -1)."""
+        slots = self.slots
+        mask = self.mask
+        levels = self.level
+        highs = self.high
+        lows = self.low
+        i = ((lvl * MIX_A) ^ (high * MIX_B) ^ (low * MIX_C)) & mask
+        while True:
+            s = slots[i]
+            if s == 0:
+                return i, -1
+            n = s - 1
+            if levels[n] == lvl and highs[n] == high and lows[n] == low:
+                return i, n
+            i = (i + 1) & mask
+
+    def grow(self) -> None:
+        """Double the slot array and rehash every entry (no tombstones
+        exist, so this is a straight reinsertion sweep)."""
+        old = self.slots
+        size = (self.mask + 1) << 1
+        slots = [0] * size
+        mask = size - 1
+        levels = self.level
+        highs = self.high
+        lows = self.low
+        for s in old:
+            if s:
+                n = s - 1
+                i = ((levels[n] * MIX_A) ^ (highs[n] * MIX_B)
+                     ^ (lows[n] * MIX_C)) & mask
+                while slots[i]:
+                    i = (i + 1) & mask
+                slots[i] = s
+        self.slots = slots
+        self.mask = mask
+        self.limit = (size * 2) // 3
+
+    # -- mapping protocol (cold paths: swap, deref, sampler, tests) ----
+
+    def __len__(self) -> int:
+        return self.used
+
+    def get(self, key: Tuple[int, int, int],
+            default: Optional[int] = None) -> Optional[int]:
+        _, node = self._find(*key)
+        return default if node < 0 else node
+
+    def __contains__(self, key: Tuple[int, int, int]) -> bool:
+        return self._find(*key)[1] >= 0
+
+    def __getitem__(self, key: Tuple[int, int, int]) -> int:
+        _, node = self._find(*key)
+        if node < 0:
+            raise KeyError(key)
+        return node
+
+    def __setitem__(self, key: Tuple[int, int, int], node: int) -> None:
+        i, found = self._find(*key)
+        self.slots[i] = node + 1
+        if found < 0:
+            self.used += 1
+            if self.used > self.limit:
+                self.grow()
+
+    def __delitem__(self, key: Tuple[int, int, int]) -> None:
+        i, node = self._find(*key)
+        if node < 0:
+            raise KeyError(key)
+        # Backward-shift deletion: close the probe chain instead of
+        # dropping a tombstone.  An entry at j may move into the hole
+        # at i iff its home slot lies cyclically at or before i.
+        slots = self.slots
+        mask = self.mask
+        self.used -= 1
+        j = i
+        while True:
+            slots[i] = 0
+            while True:
+                j = (j + 1) & mask
+                s = slots[j]
+                if s == 0:
+                    return
+                home = self._home(s - 1)
+                if (j - home) & mask >= (j - i) & mask:
+                    slots[i] = s
+                    i = j
+                    break
+
+    def items(self) -> Iterator[Tuple[Tuple[int, int, int], int]]:
+        """Iterate ``((level, high, low), node)`` pairs (diagnostics)."""
+        levels = self.level
+        highs = self.high
+        lows = self.low
+        for s in self.slots:
+            if s:
+                n = s - 1
+                yield (levels[n], highs[n], lows[n]), n
+
+    def load_factor(self) -> float:
+        return self.used / (self.mask + 1)
+
+
+class OpCache:
+    """Flat lossy computed-op cache: ``width`` int64 words per slot.
+
+    The first ``width - 1`` words are the key, the last is the result.
+    Direct-mapped: a colliding insert overwrites (lossy, like every
+    classic BDD computed table) — so a probe must compare every key
+    word, and correctness never depends on an entry surviving.  The
+    cache grows (contents dropped — they are only hints, and the loss
+    per resize is bounded by one half-load working set) until
+    ``max_slots``, bounding both probe cost and memory.  A key's first
+    word is never 0 (terminal operands resolve before any cache
+    probe), so 0 marks an empty slot.
+
+    Hot paths do not call these methods; they index ``data`` directly
+    with the shared :func:`mix2`/:func:`mix3` hash and ``mask``.  The
+    methods exist for the cold paths and for
+    :meth:`repro.bdd.manager.BDD.clear_caches`'s eviction accounting
+    (``len(cache)`` = live entries).
+    """
+
+    __slots__ = ("data", "mask", "width", "used", "grow_at", "max_slots")
+
+    def __init__(self, width: int, slots: int = 1 << 10,
+                 max_slots: int = 1 << 20) -> None:
+        if width < 2:
+            raise ValueError("width must cover one key word and a result")
+        if slots & (slots - 1):
+            raise ValueError(f"slots must be a power of two, not {slots}")
+        self.width = width
+        self.data = [0] * (slots * width)
+        self.mask = slots - 1
+        self.used = 0
+        self.max_slots = max_slots
+        self.grow_at = self._grow_threshold(slots)
+
+    def _grow_threshold(self, slots: int) -> int:
+        # Grow at half load while growth is still allowed; once at the
+        # cap, run direct-mapped forever (used can reach slots).
+        if slots >= self.max_slots:
+            return 1 << 62
+        return slots >> 1
+
+    def __len__(self) -> int:
+        return self.used
+
+    def clear(self) -> None:
+        self.data = [0] * ((self.mask + 1) * self.width)
+        self.used = 0
+
+    def grow(self) -> None:
+        """Double capacity, dropping current entries (they are hints).
+
+        Measured head-to-head, rehashing the survivors into the new
+        table saves under 1% of misses (each grow forfeits at most one
+        half-load working set, repaid once) while paying a full-table
+        walk per resize — dropping is the better trade.  Pending slot
+        indexes computed under the old mask remain valid offsets into
+        the larger array — a stale store lands in a slot the new hash
+        may never probe, which only wastes the entry.
+        """
+        slots = (self.mask + 1) << 1
+        if slots > self.max_slots:
+            return
+        self.data = [0] * (slots * self.width)
+        self.mask = slots - 1
+        self.used = 0
+        self.grow_at = self._grow_threshold(slots)
+
+    # Cold-path probe/store for two-key caches (restrict/constrain use
+    # these from tests; kernel loops inline the same sequence).
+
+    def lookup2(self, a: int, b: int) -> Optional[int]:
+        i = (mix2(a, b) & self.mask) * self.width
+        data = self.data
+        if data[i] == a and data[i + 1] == b:
+            return data[i + 2]
+        return None
+
+    def store2(self, a: int, b: int, result: int) -> None:
+        i = (mix2(a, b) & self.mask) * self.width
+        data = self.data
+        if data[i] == 0:
+            self.used += 1
+            if self.used > self.grow_at:
+                self.grow()
+                i = (mix2(a, b) & self.mask) * self.width
+                data = self.data
+                self.used += data[i] == 0
+        data[i] = a
+        data[i + 1] = b
+        data[i + 2] = result
+
+    def lookup3(self, a: int, b: int, c: int) -> Optional[int]:
+        i = (mix3(a, b, c) & self.mask) * self.width
+        data = self.data
+        if data[i] == a and data[i + 1] == b and data[i + 2] == c:
+            return data[i + 3]
+        return None
+
+    def store3(self, a: int, b: int, c: int, result: int) -> None:
+        i = (mix3(a, b, c) & self.mask) * self.width
+        data = self.data
+        if data[i] == 0:
+            self.used += 1
+            if self.used > self.grow_at:
+                self.grow()
+                i = (mix3(a, b, c) & self.mask) * self.width
+                data = self.data
+                self.used += data[i] == 0
+        data[i] = a
+        data[i + 1] = b
+        data[i + 2] = c
+        data[i + 3] = result
+
+
+def remap_edges(edges: array, remap: array) -> array:
+    """Translate every edge through a node-id remap table.
+
+    ``edges[i]`` becomes ``(remap[edges[i] >> 1] << 1) | (edges[i] & 1)``.
+    Uses numpy when available (garbage collection of large tables is a
+    bulk operation); the fallback is the obvious loop.
+    """
+    if _np is not None and len(edges) > 512:
+        e = _np.frombuffer(edges, dtype=_np.int64)
+        r = _np.frombuffer(remap, dtype=_np.int64)
+        out = (r[e >> 1] << 1) | (e & 1)
+        return array("q", out.tobytes())
+    return array("q", ((remap[e >> 1] << 1) | (e & 1) for e in edges))

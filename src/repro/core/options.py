@@ -12,6 +12,7 @@ import argparse
 from dataclasses import dataclass, fields
 from typing import Any, Dict, Optional
 
+from ..bdd.kernel import KERNELS
 from ..iclist.evaluate import GROW_THRESHOLD
 from ..obs.registry import MetricsRegistry
 from ..obs.spans import SpanProfiler
@@ -41,6 +42,11 @@ class Options:
     #: Garbage-collect the node table at iterate boundaries once it
     #: exceeds this size (None disables collection).
     gc_min_nodes: Optional[int] = 200_000
+    #: BDD kernel backing the run: "dict" (the reference tuple-keyed
+    #: manager), "array" (the flat struct-of-arrays kernel), or "auto"
+    #: (resolve to the fast kernel).  Both kernels are edge-identical;
+    #: this knob trades nothing but speed.
+    kernel: str = "auto"
 
     # -- dynamic variable reordering -----------------------------------------
     #: "none" keeps the build-time order; "sift" runs one Rudell
@@ -137,6 +143,7 @@ class Options:
         "back_image": "back_image_mode",
         "monotone": "exploit_monotonicity",
         "auto_decompose": "auto_decompose",
+        "kernel": "kernel",
         "reorder": "reorder",
         "reorder_trigger": "reorder_trigger",
         "heartbeat": "heartbeat",
@@ -194,6 +201,7 @@ class Options:
                 "pairwise_step3": self.pairwise_step3,
                 "exploit_monotonicity": self.exploit_monotonicity,
                 "auto_decompose": self.auto_decompose,
+                "kernel": self.kernel,
                 "reorder": self.reorder,
                 "reorder_trigger": self.reorder_trigger}
 
@@ -210,6 +218,8 @@ class Options:
                 f"unknown back_image_mode {self.back_image_mode!r}")
         if self.pair_cache_capacity <= 0:
             raise ValueError("pair_cache_capacity must be positive")
+        if self.kernel not in ("auto",) + KERNELS:
+            raise ValueError(f"unknown BDD kernel {self.kernel!r}")
         if self.reorder not in ("none", "sift", "auto"):
             raise ValueError(f"unknown reorder mode {self.reorder!r}")
         if self.reorder_trigger <= 1.0:

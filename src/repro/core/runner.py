@@ -35,6 +35,15 @@ def verify(problem: Problem, method: str,
     method = method.lower()
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; pick from {METHODS}")
+    kernel = problem.machine.manager.kernel
+    if options is not None and options.kernel not in ("auto", kernel):
+        # The kernel is fixed when the problem's manager is built;
+        # an explicit conflicting request here would silently not
+        # take effect, so refuse it ("auto" accepts whatever runs).
+        raise ValueError(
+            f"options request kernel {options.kernel!r} but the "
+            f"problem was built on the {kernel!r} kernel; rebuild the "
+            f"model under that kernel (build_model(..., kernel=...))")
     conjuncts = problem.conjuncts(assisted=assisted)
     if method == "fwd":
         result = verify_forward(problem.machine, conjuncts, options)
@@ -53,4 +62,5 @@ def verify(problem: Problem, method: str,
         result = verify_xici(problem.machine, conjuncts, options)
     result.model = problem.name
     result.extra["assisted"] = assisted
+    result.extra["kernel"] = kernel
     return result

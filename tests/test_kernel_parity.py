@@ -1,0 +1,372 @@
+"""Differential tests: the array kernel against the dict oracle.
+
+The array kernel's contract is *edge identity*: replay any operation
+sequence on both kernels and every returned edge, every node-table row,
+and every observable structure is bit-for-bit equal.  These tests
+replay randomized operation scripts (apply ops, quantification,
+generalized cofactors, compose, GC under load, sifting) on both
+kernels and compare everything, plus unit-test the kernel registry and
+the flat-store primitives the kernel is built from.
+"""
+
+import random
+
+import pytest
+
+from repro.bdd import BDD, ArrayBDD, KERNELS, default_kernel, \
+    kernel_context, make_manager, resolve_kernel, set_default_kernel, sift
+from repro.bdd.manager import TERMINAL_LEVEL
+from repro.bdd.nodestore import NodeStore, OpCache, UniqueTable
+
+NAMES = [f"v{i}" for i in range(10)]
+
+OPS = ("and", "or", "xor", "not", "ite", "exists", "forall",
+       "restrict", "constrain", "compose")
+
+
+def _replay_script(manager, rng, steps=250):
+    """Drive one randomized operation script; returns the handle pool."""
+    variables = [manager.new_var(name) for name in NAMES]
+    pool = list(variables) + [manager.true, manager.false]
+    for _ in range(steps):
+        op = rng.choice(OPS)
+        a = rng.choice(pool)
+        b = rng.choice(pool)
+        c = rng.choice(pool)
+        if op == "and":
+            result = a & b
+        elif op == "or":
+            result = a | b
+        elif op == "xor":
+            result = a ^ b
+        elif op == "not":
+            result = ~a
+        elif op == "ite":
+            result = manager.ite(a, b, c)
+        elif op == "exists":
+            result = a.exists(rng.sample(NAMES, rng.randint(1, 3)))
+        elif op == "forall":
+            result = a.forall(rng.sample(NAMES, rng.randint(1, 3)))
+        elif op == "restrict":
+            result = a.restrict(b)
+        elif op == "constrain":
+            result = a.constrain(b)
+        else:
+            result = a.compose({rng.choice(NAMES): b})
+        pool.append(result)
+    return pool
+
+
+def _assert_tables_equal(dict_mgr, array_mgr):
+    assert list(dict_mgr._level) == list(array_mgr._level)
+    assert list(dict_mgr._high) == list(array_mgr._high)
+    assert list(dict_mgr._low) == list(array_mgr._low)
+
+
+def _pair(seed, steps=250):
+    dict_mgr = BDD(kernel="dict")
+    array_mgr = BDD(kernel="array")
+    pool_d = _replay_script(dict_mgr, random.Random(seed), steps)
+    pool_a = _replay_script(array_mgr, random.Random(seed), steps)
+    return dict_mgr, array_mgr, pool_d, pool_a
+
+
+class TestRandomizedParity:
+    @pytest.mark.parametrize("seed", [7, 99, 2024])
+    def test_operation_scripts_are_edge_identical(self, seed):
+        dict_mgr, array_mgr, pool_d, pool_a = _pair(seed)
+        assert isinstance(array_mgr, ArrayBDD)
+        assert [f.edge for f in pool_d] == [f.edge for f in pool_a]
+        _assert_tables_equal(dict_mgr, array_mgr)
+
+    @pytest.mark.parametrize("seed", [13, 501])
+    def test_gc_under_load_parity(self, seed):
+        dict_mgr, array_mgr, pool_d, pool_a = _pair(seed)
+        keep = list(range(0, len(pool_d), 7))
+        pool_d = [pool_d[i] for i in keep]
+        pool_a = [pool_a[i] for i in keep]
+        import gc
+        gc.collect()
+        assert dict_mgr.garbage_collect() == array_mgr.garbage_collect()
+        _assert_tables_equal(dict_mgr, array_mgr)
+        assert [f.edge for f in pool_d] == [f.edge for f in pool_a]
+        # The rebuilt unique table resolves every surviving node.
+        assert len(array_mgr._unique) == len(array_mgr._level) - 1
+        # Post-GC operations stay aligned (caches were flushed on both).
+        r_d = (pool_d[0] & pool_d[1]) | ~pool_d[2]
+        r_a = (pool_a[0] & pool_a[1]) | ~pool_a[2]
+        assert r_d.edge == r_a.edge
+
+    def test_sift_parity(self):
+        def build(kernel):
+            manager = BDD(kernel=kernel)
+            rng = random.Random(21)
+            variables = [manager.new_var(f"x{i}") for i in range(8)]
+            for _ in range(6):
+                f = manager.true
+                for _ in range(6):
+                    v = rng.choice(variables)
+                    f = f & (v if rng.random() < 0.5 else ~v) \
+                        | rng.choice(variables)
+            return manager, sift(manager)
+
+        dict_mgr, res_d = build("dict")
+        array_mgr, res_a = build("array")
+        _assert_tables_equal(dict_mgr, array_mgr)
+        assert dict_mgr.var_names == array_mgr.var_names
+        assert res_d.swaps == res_a.swaps
+        assert res_d.nodes_after == res_a.nodes_after
+
+    def test_quantifier_stress_parity(self):
+        # Deeper quantification/and_exists mix than the generic script.
+        def run(kernel):
+            manager = BDD(kernel=kernel)
+            rng = random.Random(5)
+            variables = [manager.new_var(f"q{i}") for i in range(12)]
+            names = [f"q{i}" for i in range(12)]
+            acc = manager.false
+            for _ in range(25):
+                f = manager.true
+                for _ in range(8):
+                    v = rng.choice(variables)
+                    f = (f & (v if rng.random() < 0.5 else ~v)) \
+                        | (rng.choice(variables) ^ rng.choice(variables))
+                acc = acc | f.exists(rng.sample(names, 3))
+                acc = acc & ~f.forall(rng.sample(names, 2))
+                acc = acc.and_exists(f, rng.sample(names, 2))
+            return manager, acc
+
+        dict_mgr, acc_d = run("dict")
+        array_mgr, acc_a = run("array")
+        assert acc_d.edge == acc_a.edge
+        _assert_tables_equal(dict_mgr, array_mgr)
+
+    def test_stats_shape_matches(self):
+        dict_mgr, array_mgr, _pd, _pa = _pair(31, steps=80)
+        assert set(dict_mgr.stats()) == set(array_mgr.stats())
+        # Structural stats must agree exactly; cache hit/miss counters
+        # may differ (the flat caches are lossy).
+        for key in ("nodes_current", "nodes_peak", "nodes_created"):
+            assert dict_mgr.stats()[key] == array_mgr.stats()[key]
+
+
+class TestEvaluateBatch:
+    def _parity_fn(self, kernel, nv=24):
+        manager = BDD(kernel=kernel)
+        variables = [manager.new_var(f"x{i}") for i in range(nv)]
+        f = variables[0]
+        for v in variables[1:]:
+            f = f ^ v
+        return manager, f
+
+    def test_matches_scalar_evaluate_on_both_kernels(self):
+        rng = random.Random(77)
+        for kernel in KERNELS:
+            manager, f = self._parity_fn(kernel)
+            names = manager.var_names
+            columns = {n: [rng.random() < 0.5 for _ in range(200)]
+                       for n in names}
+            batch = f.evaluate_batch(columns)
+            assert len(batch) == 200
+            for row in (0, 17, 199):
+                scalar = f.evaluate(
+                    {n: columns[n][row] for n in names})
+                assert batch[row] == scalar
+
+    def test_kernels_agree(self):
+        rng = random.Random(3)
+        md, fd = self._parity_fn("dict")
+        ma, fa = self._parity_fn("array")
+        columns = {n: [rng.random() < 0.5 for _ in range(500)]
+                   for n in md.var_names}
+        assert fd.evaluate_batch(columns) == fa.evaluate_batch(columns)
+
+    def test_small_batches_use_the_fallback(self):
+        # Below the vectorization cutoff the array kernel delegates to
+        # the scalar walk; results must be identical either way.
+        md, fd = self._parity_fn("dict", nv=6)
+        ma, fa = self._parity_fn("array", nv=6)
+        columns = {n: [bool(i & 1) for i in range(8)]
+                   for n in md.var_names}
+        assert fd.evaluate_batch(columns) == fa.evaluate_batch(columns)
+
+    def test_rejects_empty_and_ragged_columns(self):
+        _manager, f = self._parity_fn("array", nv=4)
+        with pytest.raises(ValueError):
+            f.evaluate_batch({})
+        with pytest.raises(ValueError):
+            f.evaluate_batch({"x0": [True], "x1": [True, False],
+                              "x2": [True], "x3": [True]})
+
+    def test_rejects_missing_support_variable(self):
+        for kernel in KERNELS:
+            _manager, f = self._parity_fn(kernel, nv=4)
+            with pytest.raises(KeyError):
+                f.evaluate_batch({"x0": [True], "x1": [True],
+                                  "x2": [True]})
+
+    def test_constant_function_ignores_values(self):
+        manager = BDD(kernel="array")
+        manager.new_var("x")
+        t = manager.true
+        assert t.evaluate_batch({"x": [True, False] * 50}) == [True] * 100
+
+
+class TestKernelRegistry:
+    def test_bare_construction_follows_default(self):
+        # dict unless the process default was changed (the CI
+        # kernel-parity job exports REPRO_KERNEL=array).
+        manager = BDD()
+        assert manager.kernel == default_kernel()
+        expected = default_kernel() == "array"
+        assert isinstance(manager, ArrayBDD) == expected
+        with kernel_context("dict"):
+            assert not isinstance(BDD(), ArrayBDD)
+
+    def test_explicit_kernel_dispatch(self):
+        assert isinstance(BDD(kernel="array"), ArrayBDD)
+        assert isinstance(BDD(kernel="auto"), ArrayBDD)
+        assert BDD(kernel="dict").kernel == "dict"
+
+    def test_resolve_kernel(self):
+        assert resolve_kernel(None) == default_kernel()
+        assert resolve_kernel("auto") == "array"
+        assert resolve_kernel("dict") == "dict"
+        assert resolve_kernel("array") == "array"
+        with pytest.raises(ValueError):
+            resolve_kernel("cudd")
+
+    def test_kernel_context_scopes_the_default(self):
+        before = default_kernel()
+        with kernel_context("array"):
+            assert default_kernel() == "array"
+            assert isinstance(BDD(), ArrayBDD)
+            with kernel_context(None):  # None is a no-op passthrough
+                assert default_kernel() == "array"
+        assert default_kernel() == before
+
+    def test_kernel_context_restores_on_error(self):
+        before = default_kernel()
+        with pytest.raises(RuntimeError):
+            with kernel_context("array"):
+                raise RuntimeError("boom")
+        assert default_kernel() == before
+
+    def test_make_manager(self):
+        manager = make_manager("array", max_nodes=123)
+        assert isinstance(manager, ArrayBDD)
+        assert manager.max_nodes == 123
+
+    def test_reorder_shadow_inherits_the_kernel(self):
+        from repro.bdd import improve_order
+        manager = BDD(kernel="array")
+        xs = [manager.new_var(f"y{i}") for i in range(6)]
+        f = (xs[0] & xs[3]) | (xs[1] & xs[4]) | (xs[2] & xs[5])
+        order, best = improve_order([f])
+        assert best <= f.size()
+        assert sorted(order) == sorted(manager.var_names)
+
+
+class TestSelectionSurface:
+    def test_build_model_kernel_parameter(self):
+        from repro.models import build_model
+        problem = build_model("fifo", depth=3, width=4, kernel="array")
+        assert problem.machine.manager.kernel == "array"
+        default = build_model("fifo", depth=3, width=4)
+        assert default.machine.manager.kernel == default_kernel()
+
+    def test_runner_records_and_polices_the_kernel(self):
+        from repro.core import Options, verify
+        from repro.models import build_model
+        problem = build_model("fifo", depth=3, width=4, kernel="array")
+        result = verify(problem, "xici", Options(kernel="auto"))
+        assert result.extra["kernel"] == "array"
+        with pytest.raises(ValueError):
+            verify(problem, "xici", Options(kernel="dict"))
+
+    def test_options_validate_rejects_unknown_kernel(self):
+        from repro.core import Options
+        with pytest.raises(ValueError):
+            Options(kernel="cudd").validate()
+        Options(kernel="auto").validate()
+
+    def test_options_summary_includes_kernel(self):
+        from repro.core import Options
+        assert Options().summary()["kernel"] == "auto"
+
+
+class TestFlatStorePrimitives:
+    def test_unique_table_mapping_protocol(self):
+        store = NodeStore(TERMINAL_LEVEL)
+        table = UniqueTable(store.level, store.high, store.low)
+        rows = [(1, 0, 2), (1, 2, 0), (2, 0, 2), (3, 4, 2)]
+        for i, (level, high, low) in enumerate(rows, start=1):
+            store.level.append(level)
+            store.high.append(high)
+            store.low.append(low)
+            table[(level, high, low)] = i
+        assert len(table) == len(rows)
+        for i, key in enumerate(rows, start=1):
+            assert key in table
+            assert table[key] == i
+        assert table.get((9, 9, 9)) is None
+        assert dict(table.items()) == {
+            key: i for i, key in enumerate(rows, start=1)}
+        del table[rows[1]]
+        assert rows[1] not in table
+        assert len(table) == len(rows) - 1
+        for i, key in enumerate(rows, start=1):
+            if key != rows[1]:
+                assert table[key] == i
+
+    def test_unique_table_survives_growth(self):
+        store = NodeStore(TERMINAL_LEVEL)
+        table = UniqueTable(store.level, store.high, store.low, size=8)
+        for i in range(1, 40):
+            key = (i, (i * 2) & ~1, ((i * 3) | 1) ^ 1)
+            store.level.append(key[0])
+            store.high.append(key[1])
+            store.low.append(key[2])
+            table[key] = i
+        assert len(table) == 39
+        for i in range(1, 40):
+            key = (i, (i * 2) & ~1, ((i * 3) | 1) ^ 1)
+            assert table[key] == i
+
+    def test_opcache_lossy_lookup_and_growth(self):
+        cache = OpCache(3, slots=4)
+        assert cache.lookup2(10, 12) is None
+        cache.store2(10, 12, 99)
+        assert cache.lookup2(10, 12) == 99
+        for i in range(1, 200):
+            cache.store2(i * 2, i * 4, i)
+        # Growth keeps recent entries reachable at the new mask.
+        assert cache.lookup2(398, 796) == 199
+        assert len(cache.data) % 3 == 0
+
+    def test_opcache_clear_resets(self):
+        cache = OpCache(4, slots=8)
+        cache.store3(2, 4, 6, 8)
+        assert cache.lookup3(2, 4, 6) == 8
+        cache.clear()
+        assert cache.lookup3(2, 4, 6) is None
+        assert cache.used == 0
+
+
+class TestClearCaches:
+    def test_clear_caches_counts_compose_entries(self):
+        # The eviction tally must include in-flight compose caches
+        # (they only exist mid-operation, so stage one directly).
+        for kernel in KERNELS:
+            manager = BDD(kernel=kernel)
+            manager._ite_cache.clear()
+            manager._quant_cache.clear()
+            manager._andex_cache.clear()
+            manager._restrict_cache.clear()
+            manager._constrain_cache.clear()
+            manager._compose_caches[1] = {3: 0, 5: 1, 7: 0}
+            before = manager.stats()["cache_evictions"]
+            manager.clear_caches()
+            evicted = manager.stats()["cache_evictions"] - before
+            assert evicted == 3, kernel
+            assert not manager._compose_caches
