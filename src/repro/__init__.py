@@ -56,8 +56,8 @@ __version__ = "1.2.0"
 
 from . import bdd, bench, core, explicit, expr, fsm, iclist, models, \
     obs, trace
-from .core import METHODS, Options, Outcome, Problem, \
-    VerificationResult, verify
+from .core import METHODS, Options, OPTIONS_SCHEMA_VERSION, Outcome, \
+    Problem, VerificationResult, request_hash, verify
 from .models import MODELS, available_models, build_model
 from .obs import MetricsRegistry, NullRegistry, NullSpanSink, \
     ResourceSampler, SpanProfiler, Watchdog
@@ -65,7 +65,8 @@ from .trace import JsonlTracer, NullTracer, RecordingTracer, Tracer
 
 __all__ = ["bdd", "bench", "core", "explicit", "expr", "fsm", "iclist",
            "models", "obs", "trace", "__version__",
-           "verify", "METHODS", "Options", "Outcome", "Problem",
+           "verify", "METHODS", "Options", "OPTIONS_SCHEMA_VERSION",
+           "request_hash", "Outcome", "Problem",
            "VerificationResult",
            "available_models", "build_model", "MODELS",
            "Tracer", "NullTracer", "RecordingTracer", "JsonlTracer",

@@ -56,6 +56,7 @@ transfer targets — transparently builds the selected kernel.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from array import array
 from contextlib import contextmanager
@@ -1062,24 +1063,38 @@ def _initial_default() -> str:
     return name
 
 
-_default_kernel = _initial_default()
+# Two layers of default, consulted in order by resolve_kernel(None):
+#
+# * ``_local.kernel`` — a *thread-local* overlay set by
+#   :func:`kernel_context`.  Worker threads running different
+#   ``Options(kernel=...)`` values concurrently (the job server's
+#   normal state) each see only their own selection; without this, two
+#   overlapping ``with kernel_context(...)`` blocks would race on one
+#   process global and restore each other's state out of order.
+# * ``_process_default`` — the process-wide fallback, from the
+#   ``REPRO_KERNEL`` env var (or "dict").  :func:`set_default_kernel`
+#   writes this one, and fresh threads inherit it.
+_process_default = _initial_default()
+_local = threading.local()
 
 
 def default_kernel() -> str:
-    """The kernel a bare ``BDD()`` constructs right now."""
-    return _default_kernel
+    """The kernel a bare ``BDD()`` constructs right now, this thread."""
+    return getattr(_local, "kernel", None) or _process_default
 
 
 def set_default_kernel(name: str) -> str:
     """Set the process-wide default kernel; returns the previous one.
 
     Accepts a concrete kernel name (``"auto"`` is resolved first).
-    Prefer :func:`kernel_context` — it restores the previous default.
+    Prefer :func:`kernel_context` — it restores the previous default
+    and is scoped to the calling thread, so concurrent contexts never
+    interfere.
     """
-    global _default_kernel
+    global _process_default
     resolved = resolve_kernel(name)
-    previous = _default_kernel
-    _default_kernel = resolved
+    previous = _process_default
+    _process_default = resolved
     return previous
 
 
@@ -1091,7 +1106,7 @@ def resolve_kernel(name: Optional[str]) -> str:
     context says otherwise); ``"auto"`` selects the fast array kernel.
     """
     if name is None:
-        return _default_kernel
+        return default_kernel()
     if name == "auto":
         return "array"
     if name not in KERNELS:
@@ -1107,16 +1122,21 @@ def kernel_context(name: Optional[str]) -> Iterator[None]:
 
     Every ``BDD()`` constructed inside — by model factories, the fsm
     builder, anything — builds the selected kernel.  ``None`` is a
-    no-op so call sites can pass an optional request through.
+    no-op so call sites can pass an optional request through.  The
+    override is **thread-local**: concurrent contexts on different
+    threads (e.g. the job server's worker pool building models on
+    different kernels at once) cannot observe or clobber each other.
     """
     if name is None:
         yield
         return
-    previous = set_default_kernel(name)
+    resolved = resolve_kernel(name)
+    previous = getattr(_local, "kernel", None)
+    _local.kernel = resolved
     try:
         yield
     finally:
-        set_default_kernel(previous)
+        _local.kernel = previous
 
 
 def make_manager(kernel: Optional[str] = None,

@@ -39,7 +39,6 @@ from __future__ import annotations
 
 import sys
 import time
-import warnings
 import weakref
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, \
     Tuple
@@ -175,11 +174,10 @@ class BDD:
         #: every :meth:`garbage_collect`.  Purely observational — the
         #: structured-tracing layer emits ``gc`` events from one, the
         #: resource sampler snapshots from another.  Register with
-        #: :meth:`add_gc_observer` / :meth:`remove_gc_observer`; the
-        #: legacy single-slot :attr:`gc_observer` attribute still works
-        #: via a deprecation shim.
+        #: :meth:`add_gc_observer` / :meth:`remove_gc_observer`.  (The
+        #: deprecated single-slot ``gc_observer`` attribute shim was
+        #: removed after one deprecation cycle; see docs/API.md.)
         self._gc_observers: List[Callable[[int, int, int], None]] = []
-        self._gc_observer_legacy = None
         #: Metrics sink for the op-level histograms.  Always a registry
         #: object; the default :data:`~repro.obs.registry.NULL_REGISTRY`
         #: has ``enabled = False``, so every hot-path emit reduces to
@@ -418,35 +416,6 @@ class BDD:
             self._gc_observers.remove(observer)
         except ValueError:
             return
-        if self._gc_observer_legacy is observer:
-            self._gc_observer_legacy = None
-
-    @property
-    def gc_observer(self):
-        """Deprecated single-slot view of the GC observer fan-out.
-
-        Reading returns the callable last assigned through this
-        attribute (None if none).  Assigning replaces that callable on
-        the fan-out list; other observers registered via
-        :meth:`add_gc_observer` are unaffected.  New code should use
-        :meth:`add_gc_observer` / :meth:`remove_gc_observer`.
-        """
-        return self._gc_observer_legacy
-
-    @gc_observer.setter
-    def gc_observer(self, observer) -> None:
-        warnings.warn(
-            "BDD.gc_observer is deprecated; use add_gc_observer() / "
-            "remove_gc_observer()", DeprecationWarning, stacklevel=2)
-        previous = self._gc_observer_legacy
-        if previous is not None:
-            try:
-                self._gc_observers.remove(previous)
-            except ValueError:
-                pass
-        self._gc_observer_legacy = observer
-        if observer is not None:
-            self._gc_observers.append(observer)
 
     def garbage_collect(self) -> int:
         """Mark-compact collection; returns the number of nodes freed.

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Three subcommands:
+Subcommands:
 
 * ``verify`` — run one verification method on one model::
 
@@ -8,10 +8,20 @@ Three subcommands:
       python -m repro verify --model pipeline --regs 2 --bits 1 \\
           --method xici --bug no-bypass --show-trace
 
+  (A bare invocation — ``python -m repro --model fifo ...`` — still
+  works as a deprecated alias for ``verify``.)
+
+* ``serve`` — run the verification job server (see docs/SERVICE.md)::
+
+      python -m repro serve --port 8080 --ledger runs/ --token s3cret
+
 * ``tables`` — regenerate the paper's tables (paper-vs-measured)::
 
       python -m repro tables --table 1-fifo
       python -m repro tables --table all --scale paper
+
+* ``bench-report`` — render a ``BENCH_*.json`` benchmark report, or
+  gate one against a baseline (``--against``; exit 1 on regressions).
 
 * ``models`` — list available models and their parameters.
 
@@ -47,6 +57,7 @@ from .iclist.evaluate import GROW_THRESHOLD
 from .models import MODELS
 from .obs import MetricsRegistry, SpanProfiler, ledger, render_report, \
     render_rollup, write_jsonl, write_prometheus
+from .obs import benchjson
 from .trace import JsonlTracer, RecordingTracer, Tracer
 from .bench.tables import table1_fifo, table1_movavg, table1_network, \
     table2_movavg_unassisted, table3_pipeline
@@ -255,6 +266,72 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServerConfig, VerificationServer, tokens_from_env
+    tokens = tuple(args.token or []) + tuple(tokens_from_env())
+    config = ServerConfig(
+        host=args.host, port=args.port, tokens=tokens,
+        rate=args.rate, burst=args.burst, workers=args.workers,
+        queue_limit=args.queue_limit, ledger_dir=args.ledger,
+        cache=not args.no_cache, job_heartbeat=args.job_heartbeat,
+        log_requests=not args.quiet)
+    server = VerificationServer(config)
+    print(f"repro serve: listening on {server.url} "
+          f"(auth {'on' if server.service.auth.enabled else 'OPEN'}, "
+          f"workers {config.workers}, queue {config.queue_limit}, "
+          f"ledger {config.ledger_dir or 'off'})", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    report = benchjson.load_report(args.report)
+    if args.against:
+        baseline = benchjson.load_report(args.against)
+        diff = ledger.diff_reports(baseline, report)
+        if args.json:
+            print(json.dumps(diff, indent=2, sort_keys=True))
+        else:
+            for note in diff["notes"]:
+                print(f"note: {note}")
+            for violation in diff["violations"]:
+                print(f"REGRESSION: {violation}")
+            print(f"{diff['benchmark']}: "
+                  f"{'PASS' if diff['passed'] else 'FAIL'} "
+                  f"({len(diff['cells'])} cells, "
+                  f"{len(diff['violations'])} violations)")
+        return 0 if diff["passed"] else 1
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"benchmark : {report.get('benchmark', '?')} "
+          f"(scale {report.get('scale', '?')}, "
+          f"rounds {report.get('rounds', '?')})")
+    entries = report.get("entries", [])
+    if not entries:
+        print("(no entries)")
+        return 0
+    print(f"{'model':<12} {'method':<6} {'config':<16} "
+          f"{'outcome':<22} {'iters':>5} {'peak':>8} {'seconds':>9}")
+    for entry in entries:
+        metrics = entry.get("metrics", {})
+        print(f"{entry.get('model', '?'):<12} "
+              f"{entry.get('method', '?'):<6} "
+              f"{entry.get('config', '?'):<16} "
+              f"{str(metrics.get('outcome')):<22} "
+              f"{str(metrics.get('iterations', '-')):>5} "
+              f"{str(metrics.get('peak_nodes', '-')):>8} "
+              f"{float(metrics.get('seconds') or 0.0):>9.4f}")
+    if report.get("derived"):
+        print("derived:")
+        for key in sorted(report["derived"]):
+            print(f"  {key}: {report['derived'][key]}")
+    return 0
+
+
 def _cmd_models(_args: argparse.Namespace) -> int:
     print("available models:")
     for name, help_text in _MODEL_HELP.items():
@@ -386,6 +463,58 @@ def main(argv: Optional[List[str]] = None) -> int:
     models = subparsers.add_parser("models", help="list available models")
     models.set_defaults(func=_cmd_models)
 
+    serve = subparsers.add_parser(
+        "serve", help="run the verification job server "
+                      "(see docs/SERVICE.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1; "
+                            "configure tokens before binding wider)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 = ephemeral; default 8080)")
+    serve.add_argument("--token", action="append", metavar="TOKEN",
+                       help="accepted bearer token (repeatable; also "
+                            "read comma-separated from "
+                            "$REPRO_SERVE_TOKENS; none = open server)")
+    serve.add_argument("--rate", type=float, default=None,
+                       metavar="PER_SEC",
+                       help="job submissions per second per token "
+                            "(default: unlimited)")
+    serve.add_argument("--burst", type=float, default=10.0,
+                       help="rate-limit burst capacity (default 10)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker threads executing jobs (default 2)")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="max queued jobs before 429 backpressure "
+                            "(default 16)")
+    serve.add_argument("--ledger", metavar="DIR", default=None,
+                       help="archive finished runs in DIR and serve "
+                            "identical requests from it (the "
+                            "request-hash cache)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="archive runs but never serve cached "
+                            "results")
+    serve.add_argument("--job-heartbeat", type=float, default=1.0,
+                       metavar="SECS",
+                       help="heartbeat cadence injected into jobs "
+                            "that do not set one (default 1.0)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access-log lines")
+    serve.set_defaults(func=_cmd_serve)
+
+    bench_report = subparsers.add_parser(
+        "bench-report",
+        help="render a BENCH_*.json report, or gate it against a "
+             "baseline")
+    bench_report.add_argument("report", help="benchjson report file")
+    bench_report.add_argument("--against", metavar="BASELINE",
+                              default=None,
+                              help="baseline report to diff against "
+                                   "(exit 1 on regressions)")
+    bench_report.add_argument("--json", action="store_true",
+                              help="print the structured report/"
+                                   "verdict instead of the table")
+    bench_report.set_defaults(func=_cmd_bench_report)
+
     ledger_parser = subparsers.add_parser(
         "ledger", help="list or show archived runs (see verify --ledger)")
     ledger_parser.add_argument("action", nargs="?", default="list",
@@ -424,6 +553,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         info.add_argument(flag, type=int, default=default)
     info.set_defaults(func=_cmd_info)
 
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0].startswith("-") \
+            and argv[0] not in ("-h", "--help"):
+        # Legacy bare invocation (pre-subcommand CLI): treat
+        # ``repro --model fifo ...`` as ``repro verify --model fifo``.
+        print("repro: bare invocation is deprecated; "
+              "use 'repro verify ...'", file=sys.stderr)
+        argv = ["verify"] + list(argv)
     args = parser.parse_args(argv)
     return args.func(args)
 

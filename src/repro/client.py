@@ -1,0 +1,153 @@
+"""Tiny stdlib client for the verification job server.
+
+Wraps the HTTP API of :mod:`repro.serve` in a handful of methods so
+scripts never hand-roll ``urllib`` calls::
+
+    from repro.client import ServiceClient
+    client = ServiceClient("http://127.0.0.1:8080", token="s3cret")
+    job = client.submit("fifo", method="xici", params={"depth": 3},
+                        bug="overflow")
+    done = client.wait(job["id"])
+    print(done["result"]["outcome"], "cached:", done["cached"])
+
+Every method returns the server's parsed JSON document.  HTTP errors
+raise :class:`ServiceClientError` carrying the status code and the
+structured error body (including ``retry_after`` on 429s), so callers
+can implement honest backoff.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional
+
+from .core.options import Options
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(Exception):
+    """An HTTP-level failure; carries the server's error document."""
+
+    def __init__(self, status: int, body: Any,
+                 headers: Optional[Dict[str, str]] = None) -> None:
+        error = (body or {}).get("error", {}) \
+            if isinstance(body, dict) else {}
+        message = error.get("message") or f"HTTP {status}"
+        super().__init__(f"{status}: {message}")
+        self.status = status
+        self.body = body
+        self.headers = dict(headers or {})
+        self.code = error.get("code")
+        self.retry_after = error.get("retry_after") \
+            or self.headers.get("Retry-After")
+
+
+def _client_error(error: urllib.error.HTTPError) -> ServiceClientError:
+    raw = error.read().decode("utf-8", "replace")
+    try:
+        body = json.loads(raw)
+    except json.JSONDecodeError:
+        body = {"error": {"code": "opaque", "message": raw}}
+    return ServiceClientError(error.code, body, headers=dict(error.headers))
+
+
+class ServiceClient:
+    """A minimal synchronous client for one job server."""
+
+    def __init__(self, base_url: str, token: Optional[str] = None,
+                 timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.token = token
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def _call(self, method: str, path: str,
+              payload: Optional[Dict[str, Any]] = None) -> Any:
+        request = urllib.request.Request(
+            self.base_url + path, method=method)
+        if self.token:
+            request.add_header("Authorization", f"Bearer {self.token}")
+        data = None
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(request, data=data,
+                                        timeout=self.timeout) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raise _client_error(error) from None
+
+    # -- the API --------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._call("GET", "/v1/healthz")
+
+    def models(self) -> Dict[str, Any]:
+        return self._call("GET", "/v1/models")
+
+    def submit(self, model: str, method: str = "xici",
+               params: Optional[Dict[str, int]] = None,
+               bug: Optional[str] = None, assisted: bool = False,
+               options: Optional[Options] = None, priority: int = 0,
+               label: Optional[str] = None) -> Dict[str, Any]:
+        """POST one verification request; returns the job document."""
+        payload: Dict[str, Any] = {
+            "model": model, "method": method,
+            "params": dict(params or {}), "assisted": assisted,
+            "priority": priority,
+        }
+        if bug is not None:
+            payload["bug"] = bug
+        if options is not None:
+            payload["options"] = options.to_dict()
+        if label is not None:
+            payload["label"] = label
+        return self._call("POST", "/v1/jobs", payload)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._call("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._call("DELETE", f"/v1/jobs/{job_id}")
+
+    def events(self, job_id: str, since: int = 0,
+               follow: bool = False) -> Iterator[Dict[str, Any]]:
+        """Yield the job's NDJSON events (streams until terminal when
+        ``follow`` is set)."""
+        path = f"/v1/jobs/{job_id}/events?since={since}" \
+               + ("&follow=1" if follow else "")
+        request = urllib.request.Request(self.base_url + path)
+        if self.token:
+            request.add_header("Authorization", f"Bearer {self.token}")
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout) as reply:
+                for line in reply:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raise _client_error(error) from None
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.1) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; return it."""
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.job(job_id)
+            if document["state"] in ("done", "failed", "cancelled"):
+                return document
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {document['state']!r} after "
+                    f"{timeout:.0f}s")
+            time.sleep(poll)

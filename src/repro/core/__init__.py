@@ -1,6 +1,6 @@
 """Verification engines (S5): the paper's five methods plus plumbing."""
 
-from .options import Options
+from .options import Options, OPTIONS_SCHEMA_VERSION, request_hash
 from .problem import Problem
 from .result import Outcome, RunRecorder, VerificationResult
 from .forward import verify_forward
@@ -14,6 +14,8 @@ from .implicit_trace import find_failing_conjunct, \
 
 __all__ = [
     "Options",
+    "OPTIONS_SCHEMA_VERSION",
+    "request_hash",
     "Problem",
     "Outcome",
     "RunRecorder",

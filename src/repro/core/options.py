@@ -9,16 +9,23 @@ benches can sweep it.
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 from dataclasses import dataclass, fields
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Mapping, Optional, Union
 
 from ..bdd.kernel import KERNELS
 from ..iclist.evaluate import GROW_THRESHOLD
+from ..iclist.tautology import VAR_CHOICES
 from ..obs.registry import MetricsRegistry
 from ..obs.spans import SpanProfiler
 from ..trace import Tracer
 
-__all__ = ["Options"]
+__all__ = ["Options", "OPTIONS_SCHEMA_VERSION", "request_hash"]
+
+#: Version of the serialized Options shape (:meth:`Options.to_dict`).
+#: Bump on any incompatible rename/retype of a serializable field.
+OPTIONS_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -130,6 +137,12 @@ class Options:
     #: Stall-warning window for the heartbeat; None derives the default
     #: ``max(5 * heartbeat, 30)``.
     heartbeat_stall: Optional[float] = None
+    #: Where the heartbeat's progress lines go: any ``write()``-able
+    #: object (None means the current ``sys.stderr`` at print time).
+    #: The job server points this at the per-job event log so clients
+    #: can stream progress; like the other sinks it is a live object,
+    #: never serialized.
+    heartbeat_stream: Optional[Any] = None
 
     #: CLI flag name → Options field, for every flag that is a plain
     #: rename (shared by :meth:`from_args` and the argparse setup).
@@ -177,6 +190,118 @@ class Options:
         values["spans"] = spans
         return cls(**values)
 
+    #: Fields that hold live sink objects (observability plumbing).
+    #: They never serialize: :meth:`to_dict` skips them and
+    #: :meth:`from_dict` rejects them with a pointed error — attach
+    #: sinks to the deserialized object afterwards.
+    SINK_FIELDS = ("tracer", "metrics", "spans", "heartbeat_stream")
+
+    #: Serializable field -> accepted JSON types.  ``bool`` is listed
+    #: explicitly where allowed because it subclasses ``int``;
+    #: :meth:`from_dict` rejects a bool wherever only ``int`` appears.
+    FIELD_TYPES = {
+        "max_nodes": (int, type(None)),
+        "time_limit": (int, float, type(None)),
+        "max_iterations": (int,),
+        "want_trace": (bool,),
+        "gc_min_nodes": (int, type(None)),
+        "kernel": (str,),
+        "reorder": (str,),
+        "reorder_trigger": (int, float),
+        "cluster_limit": (int,),
+        "back_image_mode": (str,),
+        "use_frontier": (bool,),
+        "grow_threshold": (int, float),
+        "evaluator": (str,),
+        "use_bounded_and": (bool,),
+        "use_pair_cache": (bool,),
+        "pair_cache_capacity": (int,),
+        "simplifier": (str,),
+        "simplify_only_by_smaller": (bool,),
+        "var_choice": (str,),
+        "pairwise_step3": (str,),
+        "exploit_monotonicity": (bool,),
+        "auto_decompose": (bool,),
+        "heartbeat": (int, float, type(None)),
+        "heartbeat_stall": (int, float, type(None)),
+    }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Every serializable field, plus ``schema_version``.
+
+        The faithful wire form of this Options object: JSON-safe, and
+        :meth:`from_dict` round-trips it exactly.  The sink fields
+        (:attr:`SINK_FIELDS`) are live objects and are skipped — a
+        deserialized Options starts with null sinks.
+        """
+        data: Dict[str, Any] = {"schema_version": OPTIONS_SCHEMA_VERSION}
+        for field in fields(self):
+            if field.name not in self.SINK_FIELDS:
+                data[field.name] = getattr(self, field.name)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Options":
+        """Build a validated Options from its :meth:`to_dict` form.
+
+        Strict on purpose — this is the request-parsing path of the job
+        server: unknown keys, sink fields, wrong value types, out-of-
+        registry string values, and schema-version mismatches all raise
+        ``ValueError`` with a message that names the offending field.
+        Missing fields keep their dataclass defaults, so ``{}`` is a
+        valid (all-defaults) document.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"options must be a JSON object, got {type(data).__name__}")
+        values = dict(data)
+        version = values.pop("schema_version", OPTIONS_SCHEMA_VERSION)
+        if version != OPTIONS_SCHEMA_VERSION:
+            raise ValueError(
+                f"options schema_version {version!r} != "
+                f"{OPTIONS_SCHEMA_VERSION} (this build)")
+        sinks = sorted(set(values) & set(cls.SINK_FIELDS))
+        if sinks:
+            raise ValueError(
+                f"options field(s) {sinks} hold live sink objects and "
+                "are not serializable; build the Options first, then "
+                "attach sinks to the instance")
+        unknown = sorted(set(values) - set(cls.FIELD_TYPES))
+        if unknown:
+            raise ValueError(
+                f"unknown options field(s) {unknown}; valid fields: "
+                f"{sorted(cls.FIELD_TYPES)}")
+        for name, value in values.items():
+            allowed = cls.FIELD_TYPES[name]
+            if isinstance(value, bool) and bool not in allowed:
+                raise ValueError(
+                    f"options field {name!r}: expected "
+                    f"{_type_names(allowed)}, got bool")
+            if not isinstance(value, allowed):
+                raise ValueError(
+                    f"options field {name!r}: expected "
+                    f"{_type_names(allowed)}, got "
+                    f"{type(value).__name__}")
+        options = cls(**values)
+        try:
+            options.validate()
+        except ValueError as error:
+            raise ValueError(f"invalid options: {error}") from None
+        return options
+
+    def request_dict(self) -> Dict[str, Any]:
+        """The cache-identity view of these options.
+
+        :meth:`to_dict` minus ``schema_version`` and the heartbeat
+        cadence (``heartbeat`` / ``heartbeat_stall``): progress-line
+        frequency never changes a result, so two requests differing
+        only there must hash identically and share a ledger entry.
+        """
+        data = self.to_dict()
+        for key in ("schema_version", "heartbeat", "heartbeat_stall"):
+            data.pop(key, None)
+        return data
+
     def summary(self) -> Dict[str, Any]:
         """The engine-relevant knobs as a plain dict.
 
@@ -216,6 +341,13 @@ class Options:
         if self.back_image_mode not in ("compose", "relational"):
             raise ValueError(
                 f"unknown back_image_mode {self.back_image_mode!r}")
+        if self.simplifier not in ("restrict", "constrain", "multiway"):
+            raise ValueError(f"unknown simplifier {self.simplifier!r}")
+        if self.var_choice not in VAR_CHOICES:
+            raise ValueError(f"unknown var_choice {self.var_choice!r}")
+        if self.pairwise_step3 not in ("simplify", "direct", "off"):
+            raise ValueError(
+                f"unknown pairwise_step3 {self.pairwise_step3!r}")
         if self.pair_cache_capacity <= 0:
             raise ValueError("pair_cache_capacity must be positive")
         if self.kernel not in ("auto",) + KERNELS:
@@ -228,3 +360,46 @@ class Options:
             raise ValueError("heartbeat interval must be positive")
         if self.heartbeat_stall is not None and self.heartbeat_stall <= 0:
             raise ValueError("heartbeat_stall must be positive")
+
+
+def _type_names(allowed: tuple) -> str:
+    names = [("null" if kind is type(None) else kind.__name__)
+             for kind in allowed]
+    return " | ".join(names)
+
+
+def request_hash(model: str, method: str, *,
+                 params: Optional[Mapping[str, Any]] = None,
+                 bug: Optional[str] = None,
+                 assisted: bool = False,
+                 options: Optional[Union[Options,
+                                         Mapping[str, Any]]] = None) -> str:
+    """Canonical content hash of one verification request.
+
+    The one request identity shared by the job server and the run
+    ledger: sha256 over the sorted-key canonical JSON of the request
+    document — model, method, model parameters, bug label, assisted
+    flag, and the cache-relevant option knobs
+    (:meth:`Options.request_dict`, so heartbeat cadence is excluded).
+    ``options`` may be an :class:`Options` or its ``to_dict`` form
+    (validated through :meth:`Options.from_dict` first); None means
+    defaults.  Two requests hash equal iff the engine would do the
+    same work — the server serves the second straight from the ledger.
+    """
+    if options is None:
+        options = Options()
+    elif not isinstance(options, Options):
+        options = Options.from_dict(options)
+    document = {
+        "schema_version": OPTIONS_SCHEMA_VERSION,
+        "model": model,
+        "method": method,
+        "params": {str(key): (params or {})[key]
+                   for key in sorted(params or {})},
+        "bug": bug,
+        "assisted": bool(assisted),
+        "options": options.request_dict(),
+    }
+    canonical = json.dumps(document, sort_keys=True,
+                           separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -290,7 +290,8 @@ class RunRecorder:
                 interval=options.heartbeat,
                 stall_window=options.heartbeat_stall,
                 time_limit=options.time_limit,
-                label=f"{method}/{model}")
+                label=f"{method}/{model}",
+                stream=options.heartbeat_stream)
             manager.heartbeat = self._watchdog
             self._watchdog.start()
 

@@ -37,13 +37,19 @@ from . import benchjson
 __all__ = ["LEDGER_SCHEMA_VERSION", "Tolerance", "DEFAULT_TOLERANCES",
            "diff_metrics", "diff_reports", "run_document", "run_id_of",
            "record_run", "load_run", "list_runs", "run_metrics",
-           "run_tolerances", "diff_runs", "render_run_diff"]
+           "run_tolerances", "diff_runs", "render_run_diff",
+           "record_request", "lookup_request", "load_request"]
 
 #: Bump on any incompatible change to the run-document shape.
 LEDGER_SCHEMA_VERSION = 1
 
 #: Filename of the canonical document inside each artifact directory.
 RUN_FILENAME = "run.json"
+
+#: Subdirectory holding the request-hash index (see
+#: :func:`record_request`).  Run ids are 12 hex chars, so the name can
+#: never collide with a run directory.
+REQUEST_INDEX_DIR = "requests"
 
 
 # ----------------------------------------------------------------------
@@ -287,6 +293,84 @@ def load_run(ledger_dir: Union[str, Path], run_id: str
         raise ValueError(f"run id prefix {run_id!r} is ambiguous: {names}")
     entry = matches[0]
     return entry.name, _load_doc(entry / RUN_FILENAME)
+
+
+# ----------------------------------------------------------------------
+# The request-hash index (verification-as-a-service cache keying)
+# ----------------------------------------------------------------------
+#
+# Run ids content-address the *document* (config + result), which is
+# only known after a run finishes — a client holding a request cannot
+# derive the run id up front.  The request index closes that gap: the
+# job server keys every completed run by its canonical request hash
+# (:func:`repro.core.options.request_hash`), so an identical future
+# request resolves to the archived run without executing anything.
+
+def _request_path(ledger_dir: Union[str, Path], request_hash: str) -> Path:
+    if not request_hash or any(ch in request_hash for ch in "/\\."):
+        raise ValueError(f"malformed request hash {request_hash!r}")
+    return Path(ledger_dir) / REQUEST_INDEX_DIR / f"{request_hash}.json"
+
+
+def record_request(ledger_dir: Union[str, Path], request_hash: str,
+                   run_id: str,
+                   request: Optional[Dict[str, Any]] = None) -> Path:
+    """Index one archived run under its canonical request hash.
+
+    Writes ``<ledger_dir>/requests/<request_hash>.json`` pointing at
+    ``run_id`` (which must already be recorded via
+    :func:`record_run`), optionally keeping the original request
+    document for auditability.  Re-recording the same hash overwrites
+    — the engines are deterministic, so any run reached from the same
+    request is interchangeable.  Returns the index path.
+    """
+    path = _request_path(ledger_dir, request_hash)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entry = {
+        "schema_version": LEDGER_SCHEMA_VERSION,
+        "kind": "request",
+        "request_hash": request_hash,
+        "run_id": run_id,
+    }
+    if request is not None:
+        entry["request"] = request
+    path.write_text(json.dumps(entry, indent=2, sort_keys=True,
+                               default=str) + "\n", encoding="utf-8")
+    return path
+
+
+def load_request(ledger_dir: Union[str, Path], request_hash: str
+                 ) -> Optional[Dict[str, Any]]:
+    """The raw index entry for one request hash, or None."""
+    path = _request_path(ledger_dir, request_hash)
+    if not path.is_file():
+        return None
+    entry = json.loads(path.read_text(encoding="utf-8"))
+    version = entry.get("schema_version")
+    if version != LEDGER_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r} != "
+            f"{LEDGER_SCHEMA_VERSION} (re-record the request)")
+    return entry
+
+
+def lookup_request(ledger_dir: Union[str, Path], request_hash: str
+                   ) -> Optional[str]:
+    """Resolve a request hash to its archived run id (the cache probe).
+
+    None when the hash was never recorded *or* the indexed run
+    directory has since been deleted — a dangling pointer must read as
+    a cache miss, not serve a missing document.
+    """
+    entry = load_request(ledger_dir, request_hash)
+    if entry is None:
+        return None
+    run_id = entry.get("run_id")
+    if not run_id:
+        return None
+    if not (Path(ledger_dir) / run_id / RUN_FILENAME).is_file():
+        return None
+    return run_id
 
 
 # ----------------------------------------------------------------------

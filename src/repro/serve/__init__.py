@@ -1,0 +1,57 @@
+"""Verification-as-a-service: async job server over the public API.
+
+The package mirrors a production service's layering:
+
+* :mod:`repro.serve.schema` — JSON request schema + strict parsing.
+* :mod:`repro.serve.auth` — bearer-token authentication.
+* :mod:`repro.serve.rate_limiter` — per-principal token buckets.
+* :mod:`repro.serve.jobs` — job lifecycle, bounded priority queue,
+  worker pool, event logs.
+* :mod:`repro.serve.pipeline` — cache probe -> build -> run -> ledger.
+* :mod:`repro.serve.api` — the stdlib HTTP transport.
+
+Start one from Python::
+
+    from repro.serve import ServerConfig, VerificationServer
+    server = VerificationServer(ServerConfig(port=0, ledger_dir="runs"))
+    server.start()          # background threads; server.url is live
+    ...
+    server.stop()
+
+or from the CLI: ``repro serve --port 8080 --ledger runs/``.  See
+docs/SERVICE.md for the endpoint reference and deployment notes.
+"""
+
+from .api import ServerConfig, ServiceError, VerificationServer, \
+    VerificationService
+from .auth import ANONYMOUS, Authenticator, TOKENS_ENV, tokens_from_env
+from .jobs import Job, JobEventLog, JobQueue, JobState, QueueFullError, \
+    WorkerPool
+from .pipeline import VerificationPipeline
+from .rate_limiter import RateLimiter, TokenBucket
+from .schema import REQUEST_SCHEMA_VERSION, RequestError, VerifyRequest, \
+    parse_request
+
+__all__ = [
+    "ServerConfig",
+    "ServiceError",
+    "VerificationServer",
+    "VerificationService",
+    "ANONYMOUS",
+    "TOKENS_ENV",
+    "Authenticator",
+    "tokens_from_env",
+    "Job",
+    "JobEventLog",
+    "JobQueue",
+    "JobState",
+    "QueueFullError",
+    "WorkerPool",
+    "VerificationPipeline",
+    "RateLimiter",
+    "TokenBucket",
+    "REQUEST_SCHEMA_VERSION",
+    "RequestError",
+    "VerifyRequest",
+    "parse_request",
+]

@@ -1,0 +1,422 @@
+"""HTTP transport for verification-as-a-service (stdlib only).
+
+Layering (mirroring the api / auth / rate_limiter / pipeline shape of
+production detection services):
+
+* :class:`ServerConfig` — everything tunable in one dataclass.
+* :class:`VerificationService` — the transport-free application core:
+  authenticate -> rate-limit -> parse -> enqueue, plus job lookup,
+  cancel, and stats.  All HTTP-visible failures are
+  :class:`ServiceError` (status + structured JSON body); tests can
+  drive this class directly without a socket.
+* :class:`VerificationServer` — a ``ThreadingHTTPServer`` bolted onto
+  the service, with ``start()``/``stop()`` for embedding (tests bind
+  port 0) and :meth:`serve_forever` for the CLI.
+
+Endpoints (all JSON; auth = ``Authorization: Bearer <token>`` when
+tokens are configured)::
+
+    GET    /v1/healthz            liveness + queue/worker/cache stats
+    GET    /v1/models             model registry (params, help)
+    GET    /v1/methods            verification methods
+    POST   /v1/jobs               submit a request  -> 202 job document
+    GET    /v1/jobs               list job documents (no result bodies)
+    GET    /v1/jobs/{id}          one job document (result included)
+    GET    /v1/jobs/{id}/events   NDJSON event log; ``?since=N`` to
+                                  resume, ``?follow=1`` to stream until
+                                  the job finishes
+    DELETE /v1/jobs/{id}          cooperative cancel
+
+Backpressure contract: a full queue or a drained rate-limit bucket
+answers **429 with a Retry-After header** — the server never buffers
+unbounded work and never silently drops a request.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..core import METHODS
+from ..models import MODELS
+from .auth import Authenticator
+from .jobs import Job, JobQueue, JobState, QueueFullError, WorkerPool
+from .pipeline import VerificationPipeline
+from .rate_limiter import RateLimiter
+from .schema import REQUEST_SCHEMA_VERSION, RequestError, parse_request
+
+__all__ = ["ServerConfig", "ServiceError", "VerificationService",
+           "VerificationServer"]
+
+#: Seconds between event-log polls while streaming ``?follow=1``.
+_STREAM_POLL_SECONDS = 0.05
+
+
+@dataclass
+class ServerConfig:
+    """Everything the server can be told from the CLI or a test."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    #: Accepted bearer tokens; empty = open server (development only).
+    tokens: Tuple[str, ...] = ()
+    #: Job submissions per second per principal (None/0 = unlimited).
+    rate: Optional[float] = None
+    #: Rate-limit burst capacity.
+    burst: float = 10.0
+    #: Worker threads executing jobs.
+    workers: int = 2
+    #: Bounded queue depth; beyond it POST answers 429.
+    queue_limit: int = 16
+    #: Ledger directory for result persistence + request-hash cache
+    #: (None disables both).
+    ledger_dir: Optional[str] = None
+    #: Serve identical requests from the ledger without re-running.
+    cache: bool = True
+    #: Default heartbeat cadence injected into jobs (seconds).
+    job_heartbeat: Optional[float] = 1.0
+    #: Print one access-log line per request to stderr.
+    log_requests: bool = False
+    #: Retire terminal jobs beyond this many (oldest first).
+    max_finished_jobs: int = 1024
+
+
+class ServiceError(Exception):
+    """An HTTP-visible failure: status code + structured JSON error."""
+
+    def __init__(self, status: int, code: str, message: str,
+                 headers: Optional[Dict[str, str]] = None,
+                 **extra: Any) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.headers = dict(headers or {})
+        self.extra = extra
+
+    def body(self) -> Dict[str, Any]:
+        error = {"code": self.code, "message": str(self)}
+        error.update(self.extra)
+        return {"error": error}
+
+
+class VerificationService:
+    """The application core behind the HTTP handler."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.auth = Authenticator(config.tokens)
+        self.limiter = RateLimiter(config.rate, config.burst)
+        self.queue = JobQueue(config.queue_limit)
+        self.pipeline = VerificationPipeline(
+            ledger_dir=config.ledger_dir,
+            use_cache=config.cache,
+            job_heartbeat=config.job_heartbeat)
+        self.pool = WorkerPool(self.queue, self.pipeline.run_job,
+                               workers=config.workers)
+        self._jobs: Dict[str, Job] = {}
+        self._jobs_order: List[str] = []
+        self._lock = threading.Lock()
+        self._started = time.time()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        self.pool.start()
+
+    def stop(self) -> None:
+        self.pool.stop()
+
+    # -- request handling -----------------------------------------------
+
+    def authenticate(self, authorization: Optional[str]) -> str:
+        principal = self.auth.authenticate(authorization)
+        if principal is None:
+            raise ServiceError(
+                401, "unauthorized",
+                "missing or invalid bearer token",
+                headers={"WWW-Authenticate": "Bearer"})
+        return principal
+
+    def submit(self, raw: Any, principal: str) -> Job:
+        """Parse, admission-control, and enqueue one request."""
+        allowed, retry_after = self.limiter.check(principal)
+        if not allowed:
+            raise ServiceError(
+                429, "rate_limited",
+                f"rate limit exceeded for this token; retry in "
+                f"{retry_after:.2f}s",
+                headers={"Retry-After":
+                         str(max(1, math.ceil(retry_after)))},
+                retry_after=round(retry_after, 3))
+        try:
+            request = parse_request(raw)
+        except RequestError as error:
+            raise ServiceError(400, error.code, str(error),
+                               **({"field": error.field}
+                                  if error.field else {})) from None
+        job = Job(request, priority=request.priority)
+        job.events.append("submitted",
+                          authenticated=self.auth.enabled,
+                          request_hash=job.request_hash)
+        with self._lock:
+            self._jobs[job.id] = job
+            self._jobs_order.append(job.id)
+        try:
+            self.queue.put(job)
+        except QueueFullError as error:
+            with self._lock:
+                self._jobs.pop(job.id, None)
+                self._jobs_order.remove(job.id)
+            raise ServiceError(
+                429, "queue_full",
+                f"{error} — backpressure: retry later",
+                headers={"Retry-After": "2"}) from None
+        self._retire_finished()
+        return job
+
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(404, "unknown_job",
+                               f"no job {job_id!r}")
+        return job
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        job = self.job(job_id)
+        newly = job.cancel()
+        doc = job.snapshot(include_result=False)
+        doc["cancelled"] = newly or job.state == JobState.CANCELLED
+        return doc
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            jobs = [self._jobs[job_id] for job_id in self._jobs_order]
+        return [job.snapshot(include_result=False) for job in jobs]
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+        stats = {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self._started, 3),
+            "workers": self.pool.alive,
+            "queue_depth": len(self.queue),
+            "queue_limit": self.queue.limit,
+            "auth_enabled": self.auth.enabled,
+            "rate_limit_enabled": self.limiter.enabled,
+            "cache_enabled": self.pipeline.use_cache,
+            "ledger_dir": self.pipeline.ledger_dir,
+            "jobs_by_state": states,
+            "schema_version": REQUEST_SCHEMA_VERSION,
+        }
+        stats.update(self.pipeline.stats())
+        return stats
+
+    def _retire_finished(self) -> None:
+        """Drop the oldest terminal jobs past the retention bound."""
+        keep = self.config.max_finished_jobs
+        with self._lock:
+            terminal = [job_id for job_id in self._jobs_order
+                        if self._jobs[job_id].terminal]
+            for job_id in terminal[:max(0, len(terminal) - keep)]:
+                self._jobs.pop(job_id, None)
+                self._jobs_order.remove(job_id)
+
+
+def _make_handler(service: VerificationService):
+    """Build the request-handler class bound to one service."""
+
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-serve/1"
+
+        # -- plumbing ---------------------------------------------------
+
+        def log_message(self, fmt: str, *args: Any) -> None:
+            if service.config.log_requests:
+                sys.stderr.write("[repro:serve] %s - %s\n"
+                                 % (self.address_string(), fmt % args))
+
+        def _send_json(self, status: int, payload: Any,
+                       headers: Optional[Dict[str, str]] = None) -> None:
+            body = (json.dumps(payload, indent=2, default=str)
+                    + "\n").encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_error_doc(self, error: ServiceError) -> None:
+            self._send_json(error.status, error.body(),
+                            headers=error.headers)
+
+        def _read_json(self) -> Any:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                raise ServiceError(400, "empty_body",
+                                   "request body must be a JSON object")
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as err:
+                raise ServiceError(400, "bad_json",
+                                   f"request body is not valid JSON: "
+                                   f"{err}") from None
+
+        def _route(self) -> Tuple[str, Dict[str, List[str]]]:
+            parsed = urlparse(self.path)
+            return parsed.path.rstrip("/") or "/", parse_qs(parsed.query)
+
+        def _principal(self) -> str:
+            return service.authenticate(
+                self.headers.get("Authorization"))
+
+        # -- verbs ------------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            try:
+                path, query = self._route()
+                if path == "/v1/healthz":
+                    self._send_json(200, service.stats())
+                    return
+                self._principal()
+                if path == "/v1/models":
+                    self._send_json(200, {
+                        name: {"help": spec.help,
+                               "params": sorted(spec.params),
+                               "bug_kind": spec.bug_kind}
+                        for name, spec in MODELS.items()})
+                elif path == "/v1/methods":
+                    self._send_json(200, {"methods": list(METHODS)})
+                elif path == "/v1/jobs":
+                    self._send_json(200, {"jobs": service.list_jobs()})
+                elif path.startswith("/v1/jobs/") \
+                        and path.endswith("/events"):
+                    job_id = path[len("/v1/jobs/"):-len("/events")]
+                    self._stream_events(service.job(job_id), query)
+                elif path.startswith("/v1/jobs/"):
+                    job = service.job(path[len("/v1/jobs/"):])
+                    self._send_json(200, job.snapshot())
+                else:
+                    raise ServiceError(404, "unknown_endpoint",
+                                       f"no endpoint {path!r}")
+            except ServiceError as error:
+                self._send_error_doc(error)
+
+        def do_POST(self) -> None:  # noqa: N802
+            try:
+                path, _query = self._route()
+                principal = self._principal()
+                if path != "/v1/jobs":
+                    raise ServiceError(404, "unknown_endpoint",
+                                       f"no POST endpoint {path!r}")
+                job = service.submit(self._read_json(), principal)
+                self._send_json(202, job.snapshot(include_result=False),
+                                headers={"Location":
+                                         f"/v1/jobs/{job.id}"})
+            except ServiceError as error:
+                self._send_error_doc(error)
+
+        def do_DELETE(self) -> None:  # noqa: N802
+            try:
+                path, _query = self._route()
+                self._principal()
+                if not path.startswith("/v1/jobs/"):
+                    raise ServiceError(404, "unknown_endpoint",
+                                       f"no DELETE endpoint {path!r}")
+                self._send_json(200,
+                                service.cancel(path[len("/v1/jobs/"):]))
+            except ServiceError as error:
+                self._send_error_doc(error)
+
+        # -- event streaming -------------------------------------------
+
+        def _stream_events(self, job: Job,
+                           query: Dict[str, List[str]]) -> None:
+            try:
+                since = int(query.get("since", ["0"])[0])
+            except ValueError:
+                raise ServiceError(400, "bad_since",
+                                   "'since' must be an integer") from None
+            follow = query.get("follow", ["0"])[0] in ("1", "true")
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("X-Job-State", job.state)
+            self.end_headers()
+            seq = since
+            try:
+                while True:
+                    batch = job.events.snapshot(seq)
+                    if batch:
+                        for event in batch:
+                            line = json.dumps(event, default=str) + "\n"
+                            self.wfile.write(line.encode("utf-8"))
+                            seq = event["seq"] + 1
+                        self.wfile.flush()
+                        continue
+                    if not follow or job.terminal:
+                        return
+                    time.sleep(_STREAM_POLL_SECONDS)
+            except (BrokenPipeError, ConnectionResetError):
+                return  # client went away; nothing to clean up
+
+    return Handler
+
+
+class VerificationServer:
+    """ThreadingHTTPServer + worker pool, embeddable and CLI-runnable.
+
+    ``ServerConfig.port = 0`` binds an ephemeral port (tests);
+    :attr:`port` always reports the real one.
+    """
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.service = VerificationService(config)
+        self._httpd = ThreadingHTTPServer(
+            (config.host, config.port), _make_handler(self.service))
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Run workers + HTTP loop on background threads (tests)."""
+        self.service.start()
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-serve-http", daemon=True)
+            self._thread.start()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.service.stop()
+
+    def serve_forever(self) -> None:
+        """Blocking run (the ``repro serve`` CLI path)."""
+        self.service.start()
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()
+            self.service.stop()

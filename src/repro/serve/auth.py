@@ -1,0 +1,72 @@
+"""Bearer-token authentication for the job server.
+
+Deliberately minimal: a static set of tokens (CLI ``--token``,
+repeatable, or the ``REPRO_SERVE_TOKENS`` env var,
+comma-separated), checked with a constant-time comparison.  The
+authenticated *principal* — the token itself — is also the rate
+limiter's bucket key, so each credential gets its own budget.
+
+With no tokens configured the server runs **open** (development
+mode): every request authenticates as :data:`ANONYMOUS`.  That is a
+deliberate default for localhost tinkering; deployment notes in
+docs/SERVICE.md say to always configure tokens when binding anything
+but loopback.
+"""
+
+from __future__ import annotations
+
+import hmac
+import os
+from typing import Iterable, Optional
+
+__all__ = ["ANONYMOUS", "TOKENS_ENV", "Authenticator", "tokens_from_env"]
+
+#: Principal assigned to every request when auth is disabled.
+ANONYMOUS = "anonymous"
+
+#: Environment variable holding comma-separated accepted tokens.
+TOKENS_ENV = "REPRO_SERVE_TOKENS"
+
+
+def tokens_from_env(environ=os.environ) -> list:
+    """Accepted tokens from :data:`TOKENS_ENV` (empty list if unset)."""
+    raw = environ.get(TOKENS_ENV, "")
+    return [token for token in (part.strip() for part in raw.split(","))
+            if token]
+
+
+class Authenticator:
+    """Validate ``Authorization: Bearer <token>`` headers.
+
+    :meth:`authenticate` returns the principal (the matching token,
+    or :data:`ANONYMOUS` when no tokens are configured) or ``None``
+    for a missing/malformed/unknown credential — the HTTP layer maps
+    ``None`` to 401.
+    """
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        self._tokens = tuple(token for token in tokens if token)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any token is configured (False = open server)."""
+        return bool(self._tokens)
+
+    def authenticate(self, authorization: Optional[str]) -> Optional[str]:
+        """Resolve one Authorization header value to a principal."""
+        if not self.enabled:
+            return ANONYMOUS
+        if not authorization:
+            return None
+        scheme, _, credential = authorization.partition(" ")
+        if scheme.lower() != "bearer":
+            return None
+        credential = credential.strip()
+        if not credential:
+            return None
+        for token in self._tokens:
+            # hmac.compare_digest: no early-exit timing channel on the
+            # credential bytes.
+            if hmac.compare_digest(credential, token):
+                return token
+        return None

@@ -1,0 +1,153 @@
+"""The verification pipeline: cache probe -> build -> run -> ledger.
+
+This is the layer between the transport (``api.py``) and the engine
+(``repro.core``), and the only place the two meet.  One job flows
+through:
+
+1. **Cache probe** — the job's canonical request hash is looked up in
+   the ledger's request index (:func:`repro.obs.ledger.lookup_request`).
+   A hit finishes the job immediately with the archived run document:
+   one engine execution per distinct request, ever, per ledger.
+2. **Build** — the model registry constructs the problem on the
+   requested BDD kernel (thread-local :func:`kernel_context`, so
+   concurrent workers on different kernels never interfere).
+3. **Run** — ``repro.verify`` with the request's Options, plus the
+   job's observability sinks attached: a
+   :class:`~repro.serve.jobs.JobEventTracer` for structured engine
+   events, the job event log as ``heartbeat_stream`` for watchdog
+   progress lines, and a :class:`~repro.obs.SpanProfiler` when the
+   run will be archived.  The engine itself is byte-identical to a
+   CLI run — sinks are observational only.
+4. **Archive** — the finished run is recorded content-addressed in
+   the ledger and indexed by request hash, making it the cache entry
+   for every future identical request and diffable via
+   ``repro compare``.
+
+A job cancelled mid-run (cooperative, through the budget hook — see
+:mod:`repro.serve.jobs`) is *not* archived: its partial budget outcome
+must never be served as the cached answer to an honest request.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import replace
+from typing import Any, Dict, Optional
+
+from ..core import verify
+from ..models import build_model
+from ..obs import SpanProfiler, ledger
+from .jobs import Job, JobEventTracer, JobState
+
+__all__ = ["VerificationPipeline"]
+
+
+class VerificationPipeline:
+    """Executes jobs; owns the ledger cache and the run counters."""
+
+    def __init__(self, ledger_dir: Optional[str] = None,
+                 use_cache: bool = True,
+                 job_heartbeat: Optional[float] = 1.0) -> None:
+        self.ledger_dir = str(ledger_dir) if ledger_dir else None
+        self.use_cache = bool(use_cache) and self.ledger_dir is not None
+        #: Heartbeat cadence injected into jobs that do not set one
+        #: (None leaves requests without progress lines).
+        self.job_heartbeat = job_heartbeat
+        self._lock = threading.Lock()
+        self._counters = {"jobs_executed": 0, "cache_hits": 0,
+                          "jobs_failed": 0, "jobs_cancelled": 0}
+
+    # -- stats ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counters)
+
+    def _bump(self, counter: str) -> None:
+        with self._lock:
+            self._counters[counter] += 1
+
+    # -- the executor (WorkerPool calls this on a worker thread) --------
+
+    def run_job(self, job: Job) -> None:
+        job.mark_running()
+        if self._serve_from_cache(job):
+            return
+        request = job.request
+        options = self._job_options(job)
+        job.events.append("build_start", model=request.model,
+                          kernel=options.kernel)
+        problem = build_model(request.model, bug=request.bug,
+                              kernel=options.kernel, **request.params)
+        if not job.attach_manager(problem.machine.manager):
+            # Cancelled between dequeue and build finish.
+            self._bump("jobs_cancelled")
+            job.finish(JobState.CANCELLED, where="built")
+            return
+        spans = options.spans
+        try:
+            result = verify(problem, request.method, options,
+                            assisted=request.assisted)
+        finally:
+            job.detach_manager()
+        if job.cancel_requested:
+            # The budget hook unwound the engine; report cancelled and
+            # keep the partial outcome out of the cache.
+            self._bump("jobs_cancelled")
+            job.result = result.to_dict(include_profiles=False)
+            job.finish(JobState.CANCELLED, where="running",
+                       outcome=result.outcome)
+            return
+        self._bump("jobs_executed")
+        # Serialize exactly as the ledger document does (no iterate
+        # profiles, no counterexample steps): a cache-served result
+        # must be indistinguishable from a live one.
+        job.result = result.to_dict(include_profiles=False,
+                                    include_counterexample=False)
+        if self.ledger_dir is not None:
+            run_id = ledger.record_run(self.ledger_dir, result,
+                                       config=options.summary(),
+                                       spans=spans)
+            ledger.record_request(self.ledger_dir, job.request_hash,
+                                  run_id, request=request.to_dict())
+            job.run_id = run_id
+            job.events.append("archived", run_id=run_id,
+                              request_hash=job.request_hash)
+        job.finish(JobState.DONE, outcome=result.outcome,
+                   cached=False)
+
+    # -- helpers --------------------------------------------------------
+
+    def _serve_from_cache(self, job: Job) -> bool:
+        """Finish the job from the ledger when its hash is indexed."""
+        if not self.use_cache:
+            return False
+        run_id = ledger.lookup_request(self.ledger_dir, job.request_hash)
+        if run_id is None:
+            return False
+        run_id, document = ledger.load_run(self.ledger_dir, run_id)
+        self._bump("cache_hits")
+        job.cached = True
+        job.run_id = run_id
+        job.result = document.get("result")
+        job.events.append("cache_hit", run_id=run_id,
+                          request_hash=job.request_hash)
+        job.finish(JobState.DONE,
+                   outcome=(job.result or {}).get("outcome"),
+                   cached=True)
+        return True
+
+    def _job_options(self, job: Job) -> Any:
+        """The request's Options plus this job's observability sinks."""
+        options = job.request.options
+        heartbeat = options.heartbeat
+        if heartbeat is None:
+            heartbeat = self.job_heartbeat
+        return replace(
+            options,
+            tracer=JobEventTracer(job.events),
+            heartbeat=heartbeat,
+            heartbeat_stream=job.events,
+            spans=(SpanProfiler() if self.ledger_dir is not None
+                   else None),
+        )

@@ -1,0 +1,85 @@
+"""Per-principal token-bucket rate limiting for the job server.
+
+The classic shape: each principal owns a bucket of ``burst`` tokens
+refilled continuously at ``rate`` tokens/second; one job submission
+spends one token.  A drained bucket yields ``(False, retry_after)``
+where ``retry_after`` is the exact time until one whole token exists
+again — the HTTP layer forwards it as a ``Retry-After`` header so
+well-behaved clients back off precisely instead of hammering.
+
+Thread-safety: one lock around the whole limiter.  Submissions are
+orders of magnitude rarer than BDD operations; contention here is
+irrelevant and the simplicity is worth it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+__all__ = ["TokenBucket", "RateLimiter"]
+
+
+class TokenBucket:
+    """One principal's budget: ``burst`` capacity, ``rate``/s refill."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock=time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive tokens/second")
+        if burst < 1:
+            raise ValueError("burst must allow at least one token")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def acquire(self) -> Tuple[bool, float]:
+        """Spend one token: ``(True, 0.0)`` or ``(False, retry_after)``."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self._tokens) / self.rate
+
+
+class RateLimiter:
+    """Token buckets keyed by principal.
+
+    ``rate=None`` disables limiting entirely (every check passes) —
+    the CLI maps ``--rate 0`` to that.  Buckets are created on first
+    sight of a principal; the population is bounded by the configured
+    token set (plus "anonymous"), so no eviction is needed.
+    """
+
+    def __init__(self, rate: Optional[float], burst: float = 10.0,
+                 clock=time.monotonic) -> None:
+        self.rate = rate if rate and rate > 0 else None
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate is not None
+
+    def check(self, principal: str) -> Tuple[bool, float]:
+        """One submission attempt by ``principal``."""
+        if self.rate is None:
+            return True, 0.0
+        with self._lock:
+            bucket = self._buckets.get(principal)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst,
+                                     clock=self._clock)
+                self._buckets[principal] = bucket
+            return bucket.acquire()

@@ -1,0 +1,186 @@
+"""The serializable request/response schema of the job server.
+
+One request document describes one verification run, faithfully
+mirroring the public API (``repro.verify(build_model(...), method,
+Options(...))``)::
+
+    {
+      "schema_version": 1,
+      "model": "fifo",                  # a registry name (repro.MODELS)
+      "params": {"depth": 4, "width": 8},
+      "bug": null,                      # model bug label, or null
+      "method": "xici",                 # one of repro.METHODS
+      "assisted": false,                # add assisting invariants
+      "options": { ... },              # Options.to_dict() subset
+      "priority": 0,                    # lower runs first; FIFO within
+      "label": "nightly-fifo"           # free-form, for humans
+    }
+
+Validation here is strict and *structured*: every problem raises a
+:class:`RequestError` carrying a machine-readable error code and the
+offending field, which the HTTP layer turns into a 400 JSON body —
+a malformed request must never surface as a traceback.  The canonical
+identity of a request is :meth:`VerifyRequest.request_hash`, the
+sha256 shared with the run ledger's request index (same hash in
+``POST /v1/jobs`` responses, job documents, and
+``<ledger>/requests/``), so "has this exact run been done before?"
+is one file probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from ..core import METHODS
+from ..core.options import Options, request_hash
+from ..models import MODELS
+
+__all__ = ["REQUEST_SCHEMA_VERSION", "RequestError", "VerifyRequest",
+           "parse_request"]
+
+#: Version of the request document shape; echoed in responses and
+#: checked (when present) on ingest.
+REQUEST_SCHEMA_VERSION = 1
+
+#: Top-level request keys the parser accepts.
+_REQUEST_KEYS = ("schema_version", "model", "params", "bug", "method",
+                 "assisted", "options", "priority", "label")
+
+
+class RequestError(ValueError):
+    """A malformed verification request (HTTP 400).
+
+    ``code`` is a stable machine-readable slug (``unknown_model``,
+    ``bad_options`` ...); ``field`` names the offending part of the
+    document when one can be singled out.
+    """
+
+    def __init__(self, code: str, message: str,
+                 field: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.field = field
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON error body the HTTP layer sends back."""
+        error: Dict[str, Any] = {"code": self.code, "message": str(self)}
+        if self.field is not None:
+            error["field"] = self.field
+        return error
+
+
+@dataclass
+class VerifyRequest:
+    """One parsed, validated verification request."""
+
+    model: str
+    method: str = "xici"
+    params: Dict[str, Any] = field(default_factory=dict)
+    bug: Optional[str] = None
+    assisted: bool = False
+    options: Options = field(default_factory=Options)
+    priority: int = 0
+    label: str = ""
+
+    def request_hash(self) -> str:
+        """The canonical request identity (ledger cache key)."""
+        return request_hash(self.model, self.method, params=self.params,
+                            bug=self.bug, assisted=self.assisted,
+                            options=self.options)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical wire form; ``parse_request`` round-trips it."""
+        return {
+            "schema_version": REQUEST_SCHEMA_VERSION,
+            "model": self.model,
+            "params": dict(self.params),
+            "bug": self.bug,
+            "method": self.method,
+            "assisted": self.assisted,
+            "options": self.options.to_dict(),
+            "priority": self.priority,
+            "label": self.label,
+        }
+
+
+def _require(condition: bool, code: str, message: str,
+             field_name: Optional[str] = None) -> None:
+    if not condition:
+        raise RequestError(code, message, field_name)
+
+
+def parse_request(data: Any) -> VerifyRequest:
+    """Validate one raw JSON document into a :class:`VerifyRequest`.
+
+    Raises :class:`RequestError` (never anything else) on any problem:
+    unknown top-level keys, unknown model/method, parameters the model
+    does not take, non-integer parameter values, and anything
+    :meth:`Options.from_dict` rejects.
+    """
+    _require(isinstance(data, Mapping), "bad_request",
+             f"request must be a JSON object, got "
+             f"{type(data).__name__}")
+    unknown = sorted(set(data) - set(_REQUEST_KEYS))
+    _require(not unknown, "unknown_field",
+             f"unknown request field(s) {unknown}; valid: "
+             f"{sorted(_REQUEST_KEYS)}", unknown[0] if unknown else None)
+    version = data.get("schema_version", REQUEST_SCHEMA_VERSION)
+    _require(version == REQUEST_SCHEMA_VERSION, "bad_schema_version",
+             f"request schema_version {version!r} != "
+             f"{REQUEST_SCHEMA_VERSION} (this server)", "schema_version")
+
+    model = data.get("model")
+    _require(isinstance(model, str) and bool(model), "bad_model",
+             "request needs a 'model' string", "model")
+    _require(model in MODELS, "unknown_model",
+             f"unknown model {model!r}; available: {sorted(MODELS)}",
+             "model")
+    spec = MODELS[model]
+
+    method = data.get("method", "xici")
+    _require(isinstance(method, str), "bad_method",
+             "'method' must be a string", "method")
+    _require(method in METHODS, "unknown_method",
+             f"unknown method {method!r}; available: {list(METHODS)}",
+             "method")
+
+    params = data.get("params") or {}
+    _require(isinstance(params, Mapping), "bad_params",
+             "'params' must be a JSON object", "params")
+    bad_params = sorted(set(params) - set(spec.params))
+    _require(not bad_params, "unknown_param",
+             f"model {model!r} takes no parameter(s) {bad_params}; "
+             f"valid: {sorted(spec.params)}",
+             bad_params[0] if bad_params else None)
+    for name, value in params.items():
+        _require(isinstance(value, int) and not isinstance(value, bool),
+                 "bad_param",
+                 f"parameter {name!r} must be an integer, got "
+                 f"{type(value).__name__}", name)
+
+    bug = data.get("bug")
+    _require(bug is None or isinstance(bug, str), "bad_bug",
+             "'bug' must be a string or null", "bug")
+
+    assisted = data.get("assisted", False)
+    _require(isinstance(assisted, bool), "bad_assisted",
+             "'assisted' must be a boolean", "assisted")
+
+    try:
+        options = Options.from_dict(data.get("options") or {})
+    except ValueError as error:
+        raise RequestError("bad_options", str(error), "options") from None
+
+    priority = data.get("priority", 0)
+    _require(isinstance(priority, int) and not isinstance(priority, bool),
+             "bad_priority", "'priority' must be an integer", "priority")
+
+    label = data.get("label", "")
+    _require(isinstance(label, str), "bad_label",
+             "'label' must be a string", "label")
+
+    return VerifyRequest(model=model, method=method,
+                         params=dict(params), bug=bug,
+                         assisted=assisted, options=options,
+                         priority=priority, label=label)

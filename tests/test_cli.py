@@ -132,3 +132,65 @@ class TestOtherCommands:
     def test_bad_model_rejected(self):
         with pytest.raises(SystemExit):
             main(["verify", "--model", "warp-core"])
+
+
+class TestLegacyAlias:
+    def test_bare_invocation_runs_verify_with_note(self, capsys):
+        code = main(["--model", "fifo", "--depth", "2", "--width", "4"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "verified" in captured.out
+        assert "deprecated" in captured.err
+        assert "repro verify" in captured.err
+
+    def test_subcommand_invocation_emits_no_note(self, capsys):
+        code = main(["verify", "--model", "fifo", "--depth", "2",
+                     "--width", "4"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "deprecated" not in captured.err
+
+    def test_help_is_not_aliased(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+
+
+class TestBenchReportCommand:
+    def _report(self, tmp_path, seconds=0.5, iterations=5):
+        from repro.obs import benchjson
+        report = benchjson.new_report("demo", scale="quick")
+        report["entries"].append(benchjson.make_entry(
+            "fifo", "xici", "default",
+            {"outcome": "verified", "iterations": iterations,
+             "peak_nodes": 100, "seconds": seconds}))
+        path = tmp_path / f"r{iterations}-{seconds}.json"
+        benchjson.write_report(report, path)
+        return str(path)
+
+    def test_render_table(self, tmp_path, capsys):
+        path = self._report(tmp_path)
+        assert main(["bench-report", path]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out and "fifo" in out and "verified" in out
+
+    def test_gate_passes_against_itself(self, tmp_path, capsys):
+        path = self._report(tmp_path)
+        assert main(["bench-report", path, "--against", path]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_gate_fails_on_regression(self, tmp_path, capsys):
+        baseline = self._report(tmp_path, iterations=5)
+        current = self._report(tmp_path, iterations=6)
+        code = main(["bench-report", current, "--against", baseline])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSION" in out and "FAIL" in out
+
+    def test_gate_json_verdict(self, tmp_path, capsys):
+        path = self._report(tmp_path)
+        assert main(["bench-report", path, "--against", path,
+                     "--json"]) == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["passed"] is True
+        assert verdict["benchmark"] == "demo"

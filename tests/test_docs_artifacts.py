@@ -64,3 +64,16 @@ class TestDocsMatchCode:
                        "decompose_conjunction"):
             assert symbol in text
             assert hasattr(repro.iclist, symbol)
+
+    def test_service_doc_covers_the_full_wire_schema(self):
+        text = read(os.path.join("docs", "SERVICE.md"))
+        from repro.core.options import Options
+        # Every serializable Options field appears in the request
+        # example, so the doc cannot silently fall behind the schema.
+        for name in Options.FIELD_TYPES:
+            assert f'"{name}"' in text, name
+        for endpoint in ("/v1/healthz", "/v1/models", "/v1/methods",
+                         "/v1/jobs"):
+            assert endpoint in text, endpoint
+        for code in ("400", "401", "404", "429"):
+            assert code in text, code

@@ -370,3 +370,85 @@ class TestClearCaches:
             evicted = manager.stats()["cache_evictions"] - before
             assert evicted == 3, kernel
             assert not manager._compose_caches
+
+
+class TestThreadSafeSelection:
+    """Kernel selection under concurrency (the job server's workers).
+
+    The process-wide default and the ``kernel_context`` overlay must
+    not race: two threads verifying on *different* kernels at the same
+    time each get the kernel they asked for, and both produce results
+    edge-identical to their single-threaded baselines.
+    """
+
+    def test_kernel_context_is_thread_local(self):
+        import threading
+
+        barrier = threading.Barrier(3)
+        seen = {}
+
+        def worker(name, kernel):
+            with kernel_context(kernel):
+                barrier.wait(timeout=10)   # all inside their contexts
+                seen[name] = default_kernel()
+            seen[name + "-after"] = default_kernel()
+
+        threads = [threading.Thread(target=worker, args=("a", "dict")),
+                   threading.Thread(target=worker, args=("b", "array"))]
+        for thread in threads:
+            thread.start()
+        barrier.wait(timeout=10)
+        main_during = default_kernel()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert seen["a"] == "dict"
+        assert seen["b"] == "array"
+        # The main thread and the exited workers see the process
+        # default, untouched by the concurrent contexts.
+        assert main_during == default_kernel()
+        assert seen["a-after"] == seen["b-after"] == default_kernel()
+
+    def test_concurrent_verifies_on_different_kernels_agree(self):
+        import threading
+
+        from repro.core import Options, verify
+        from repro.models import build_model
+
+        def run(kernel):
+            problem = build_model("fifo", depth=3, width=4, bug="1",
+                                  kernel=kernel)
+            assert problem.machine.manager.kernel == kernel
+            result = verify(problem, "xici", Options(kernel=kernel))
+            return result.to_dict(include_profiles=True)
+
+        baselines = {kernel: run(kernel) for kernel in KERNELS}
+
+        results = {}
+        errors = []
+        barrier = threading.Barrier(len(KERNELS))
+
+        def worker(kernel):
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(3):          # interleave repeatedly
+                    results[kernel] = run(kernel)
+            except Exception as error:      # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(kernel,))
+                   for kernel in KERNELS]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        for kernel in KERNELS:
+            concurrent = dict(results[kernel])
+            baseline = dict(baselines[kernel])
+            # Wall time and counter-bearing stats are schedule
+            # dependent; everything structural must be identical.
+            for volatile in ("elapsed_seconds", "time", "bdd_stats",
+                             "extra"):
+                concurrent.pop(volatile)
+                baseline.pop(volatile)
+            assert concurrent == baseline, kernel

@@ -249,3 +249,41 @@ class TestCliLedgerAndCompare:
         doc = json.loads(capsys.readouterr().out)
         assert code == 0
         assert doc["method"] == "XICI"
+
+
+class TestRequestIndex:
+    """The request-hash index (the job server's cache backing)."""
+
+    HASH = "a" * 64
+
+    def _archive_one(self, tmp_path):
+        result = _result()
+        return ledger.record_run(tmp_path, result,
+                                 config={"method": "xici"})
+
+    def test_record_and_lookup_round_trip(self, tmp_path):
+        run_id = self._archive_one(tmp_path)
+        ledger.record_request(tmp_path, self.HASH, run_id,
+                              request={"model": "movavg"})
+        assert ledger.lookup_request(tmp_path, self.HASH) == run_id
+        doc = ledger.load_request(tmp_path, self.HASH)
+        assert doc["run_id"] == run_id
+        assert doc["request"] == {"model": "movavg"}
+
+    def test_missing_hash_is_none(self, tmp_path):
+        assert ledger.lookup_request(tmp_path, self.HASH) is None
+
+    def test_dangling_run_reads_as_miss(self, tmp_path):
+        ledger.record_request(tmp_path, self.HASH, "deadbeef0000")
+        assert ledger.lookup_request(tmp_path, self.HASH) is None
+
+    def test_path_traversal_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ledger.record_request(tmp_path, "../../evil", "run")
+        with pytest.raises(ValueError):
+            ledger.lookup_request(tmp_path, "a/b")
+
+    def test_requests_dir_does_not_pollute_run_listing(self, tmp_path):
+        run_id = self._archive_one(tmp_path)
+        ledger.record_request(tmp_path, self.HASH, run_id)
+        assert [rid for rid, _ in ledger.list_runs(tmp_path)] == [run_id]

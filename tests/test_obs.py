@@ -9,7 +9,6 @@ attribute check.
 """
 
 import json
-import warnings
 
 import pytest
 
@@ -291,26 +290,12 @@ class TestGcObserverFanOut:
         manager.garbage_collect()
         assert len(calls) == 1
 
-    def test_legacy_slot_warns_and_still_fires(self):
+    def test_legacy_single_slot_attribute_is_gone(self):
+        # The gc_observer deprecation shim completed its cycle: the
+        # attribute no longer exists as an API (assignment would just
+        # create a dead instance attribute the fan-out ignores).
         manager = self._manager_with_garbage()
-        calls = []
-        with pytest.warns(DeprecationWarning):
-            manager.gc_observer = lambda f, l, e: calls.append(e)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert manager.gc_observer is not None
-        manager.garbage_collect()
-        assert len(calls) == 1
-
-    def test_legacy_reassignment_replaces_not_stacks(self):
-        manager = self._manager_with_garbage()
-        calls = []
-        with pytest.warns(DeprecationWarning):
-            manager.gc_observer = lambda f, l, e: calls.append("old")
-        with pytest.warns(DeprecationWarning):
-            manager.gc_observer = lambda f, l, e: calls.append("new")
-        manager.garbage_collect()
-        assert calls == ["new"]
+        assert not hasattr(type(manager), "gc_observer")
 
 
 class TestResourceSampler:
