@@ -62,6 +62,8 @@ from array import array
 from contextlib import contextmanager
 from typing import Iterable, Iterator, List, Optional, Sequence
 
+from .levelized import (MAX_PACK_NODES, LevelizedApply, SwitchToLevelized,
+                        default_apply)
 from .manager import BDD, BudgetExceededError, TERMINAL_LEVEL
 from .nodestore import MIX_A, MIX_B, MIX_C, NodeStore, OpCache, UniqueTable
 
@@ -107,6 +109,23 @@ class ArrayBDD(BDD):
         self._andex_cache = OpCache(4)
         self._restrict_cache = OpCache(3)
         self._constrain_cache = OpCache(3)
+        # Apply-path selection (see levelized.py).  The engine itself
+        # is built lazily on first dispatch; without numpy every mode
+        # degrades to the recursive path.
+        self.apply_mode = default_apply()
+        self._levelized: Optional[LevelizedApply] = None
+
+    def _engine(self) -> LevelizedApply:
+        engine = self._levelized
+        if engine is None:
+            engine = self._levelized = LevelizedApply(self)
+        return engine
+
+    def _opcache_evictions(self) -> int:
+        return (self._ite_cache.evictions + self._quant_cache.evictions
+                + self._andex_cache.evictions
+                + self._restrict_cache.evictions
+                + self._constrain_cache.evictions)
 
     # ------------------------------------------------------------------
     # Node construction
@@ -151,6 +170,112 @@ class ArrayBDD(BDD):
         if node + 1 > self._peak_nodes:
             self._peak_nodes = node + 1
         return node << 1
+
+    # ------------------------------------------------------------------
+    # Bulk node construction (the levelized reduce path)
+    # ------------------------------------------------------------------
+
+    def _mk_level(self, level: int, r1, r0):
+        """Vectorized ``_mk(level, r1, r0)`` over parallel edge arrays.
+
+        Redundant rows (``r1 == r0``) pass through; survivors are
+        complement-canonicalized, deduplicated with one sort-based
+        unique pass, and created/found via :meth:`_mk_batch`.  Returns
+        an int64 array of result edges.
+        """
+        out = r1.copy()
+        need = r1 != r0
+        if need.any():
+            hi = r1[need]
+            lo = r0[need]
+            neg = hi & 1
+            hi ^= neg
+            lo ^= neg
+            key = (hi << 32) | lo
+            uniq, idx, inv = _np.unique(key, return_index=True,
+                                        return_inverse=True)
+            res = self._mk_batch(level, hi[idx], lo[idx])
+            out[need] = res[inv.reshape(-1)] ^ neg
+        return out
+
+    def _mk_batch(self, level: int, hi, lo):
+        """Find-or-create a batch of *distinct* canonical nodes.
+
+        ``hi`` must be regular and ``hi != lo`` rowwise (the caller
+        canonicalizes).  Slots are claimed during the probe pass —
+        capacity is reserved up front so no rehash can invalidate them,
+        and a probe hitting a claimed-but-not-yet-appended node id
+        (``>= base_len``) cannot be a match because batch keys are
+        distinct.  Budget checks run after probing but before any row
+        is appended; on failure the claims are rolled back, leaving the
+        table exactly as it was (the recursive path's
+        consistency-under-abort contract).
+        """
+        count = hi.shape[0]
+        unique = self._unique
+        unique.reserve(count)
+        slots = unique.slots
+        mask = unique.mask
+        levels = self._level
+        highs = self._high
+        lows = self._low
+        base_len = len(levels)
+        homes = (((level * MIX_A) ^ (hi * MIX_B) ^ (lo * MIX_C))
+                 & mask).tolist()
+        hi_l = hi.tolist()
+        lo_l = lo.tolist()
+        out = [0] * count
+        fresh_hi = array("q")
+        fresh_lo = array("q")
+        claimed = []
+        node = base_len
+        for j in range(count):
+            h = hi_l[j]
+            l = lo_l[j]
+            i = homes[j]
+            while True:
+                s = slots[i]
+                if s == 0:
+                    slots[i] = node + 1
+                    claimed.append(i)
+                    out[j] = node << 1
+                    fresh_hi.append(h)
+                    fresh_lo.append(l)
+                    node += 1
+                    break
+                n = s - 1
+                if n < base_len and levels[n] == level \
+                        and highs[n] == h and lows[n] == l:
+                    out[j] = n << 1
+                    break
+                i = (i + 1) & mask
+        created = node - base_len
+        if created:
+            try:
+                if self.max_nodes is not None \
+                        and node - 1 > self.max_nodes:
+                    raise BudgetExceededError("node", self.max_nodes)
+                if self._deadline is not None:
+                    self._time_check_countdown -= created
+                    if self._time_check_countdown <= 0:
+                        self._time_check_countdown = 4096
+                        if time.monotonic() > self._deadline:
+                            raise BudgetExceededError(
+                                "time", self._deadline)
+            except BudgetExceededError:
+                for i in claimed:
+                    slots[i] = 0
+                raise
+            self._store.extend(
+                array("q", [level] * created).tobytes(),
+                fresh_hi.tobytes(), fresh_lo.tobytes())
+            unique.used += created
+            self._level_members[level].extend(
+                range(base_len, node))
+            self._nodes_created += created
+            if node > self._peak_nodes:
+                self._peak_nodes = node
+        return _np.array(out, dtype=_np.int64)
 
     # ------------------------------------------------------------------
     # Core operation: if-then-else
@@ -209,6 +334,19 @@ class ArrayBDD(BDD):
         if cdata[i4] == f and cdata[i4 + 1] == g and cdata[i4 + 2] == h:
             self._ite_hits += 1
             return cdata[i4 + 3] ^ root_negate
+        # Apply-path dispatch on the canonical miss (see levelized.py):
+        # "levelized" sweeps immediately; "auto" arms a miss budget so
+        # the recursive loop below bails out via SwitchToLevelized once
+        # the live request count proves the operation large.
+        budget = 0  # 0 = unlimited (plain recursive)
+        if self.apply_mode != "recursive" and _np is not None \
+                and len(self._level) < MAX_PACK_NODES:
+            if self.apply_mode == "levelized":
+                raw = self._engine().ite(f, g, h)
+                self._ite_cache.store3(f, g, h, raw)
+                return raw ^ root_negate
+            budget = self.apply_threshold
+        kf0, kg0, kh0 = f, g, h
         # Slow path: descend/unwind over tagged tuple frames.  The loop
         # re-resolves the now-canonical (f, g, h) — and recounts its
         # miss — so the root negate is re-applied at the very end.
@@ -267,6 +405,8 @@ class ArrayBDD(BDD):
                             res = cdata[i4 + 3] ^ negate
                         else:
                             misses += 1
+                            if misses == budget:
+                                raise SwitchToLevelized
                             nf = f >> 1
                             ng = g >> 1
                             nh = h >> 1
@@ -344,14 +484,33 @@ class ArrayBDD(BDD):
                                   & cmask) << 2
                             used = cache.used + (cdata[si] == 0)
                         cache.used = used
+                    elif cdata[si] != kf or cdata[si + 1] != kg \
+                            or cdata[si + 2] != kh:
+                        cache.evictions += 1
+                        cache.pressure += 1
+                        if cache.used + cache.pressure > cache.grow_at:
+                            cache.grow()
+                            cdata = cache.data
+                            cmask = cache.mask
+                            si = (((kf * A) ^ (kg * B) ^ (kh * C))
+                                  & cmask) << 2
+                            cache.used += cdata[si] == 0
                     cdata[si] = kf
                     cdata[si + 1] = kg
                     cdata[si + 2] = kh
                     cdata[si + 3] = raw
                     res = raw ^ negate
+        except SwitchToLevelized:
+            pass
         finally:
             self._ite_hits += hits
             self._ite_misses += misses
+        # Reached only via SwitchToLevelized: restart the operation on
+        # the breadth-first engine from the saved canonical arguments.
+        # The recursive prefix's nodes and cache entries all stand.
+        raw = self._engine().ite(kf0, kg0, kh0)
+        self._ite_cache.store3(kf0, kg0, kh0, raw)
+        return raw ^ root_negate
 
     # ------------------------------------------------------------------
     # Quantification
@@ -373,6 +532,16 @@ class ArrayBDD(BDD):
         if cdata[i3] == f and cdata[i3 + 1] == levels_key:
             self._quant_hits += 1
             return cdata[i3 + 2]
+        budget = 0  # 0 = unlimited (plain recursive)
+        if self.apply_mode != "recursive" and _np is not None \
+                and len(levels) < MAX_PACK_NODES:
+            if self.apply_mode == "levelized":
+                out = self._engine().exists(f, levelset, levels_key,
+                                            max_level)
+                cache.store2(f, levels_key, out)
+                return out
+            budget = self.apply_threshold
+        kf0 = f
         highs = self._high
         lows = self._low
         ite = self._ite
@@ -399,6 +568,8 @@ class ArrayBDD(BDD):
                         res = cdata[i3 + 2]
                     else:
                         misses += 1
+                        if misses == budget:
+                            raise SwitchToLevelized
                         node = f >> 1
                         sign = f & 1
                         top = levels[node]
@@ -460,13 +631,29 @@ class ArrayBDD(BDD):
                             si = (((kf * A) ^ (levels_key * B)) & cmask) * 3
                             used = cache.used + (cdata[si] == 0)
                         cache.used = used
+                    elif cdata[si] != kf or cdata[si + 1] != levels_key:
+                        cache.evictions += 1
+                        cache.pressure += 1
+                        if cache.used + cache.pressure > cache.grow_at:
+                            cache.grow()
+                            cdata = cache.data
+                            cmask = cache.mask
+                            si = (((kf * A) ^ (levels_key * B))
+                                  & cmask) * 3
+                            cache.used += cdata[si] == 0
                     cdata[si] = kf
                     cdata[si + 1] = levels_key
                     cdata[si + 2] = out
                     res = out
+        except SwitchToLevelized:
+            pass
         finally:
             self._quant_hits += hits
             self._quant_misses += misses
+        # Auto-switch: restart on the levelized engine from the root.
+        out = self._engine().exists(kf0, levelset, levels_key, max_level)
+        self._quant_cache.store2(kf0, levels_key, out)
+        return out
 
     # ------------------------------------------------------------------
     # Relational product
@@ -486,6 +673,38 @@ class ArrayBDD(BDD):
         cmask = cache.mask
         ite = self._ite
         exists = self._exists
+        # Root fast path — the loop's resolve step, hoisted so the
+        # apply dispatch (like _ite's) sees the canonical cache miss.
+        if f == 1 or g == 1:
+            return 1
+        if f == 0 or f == g:
+            return exists(g, levelset, levels_key, max_level)
+        if g == 0:
+            return exists(f, levelset, levels_key, max_level)
+        if f == (g ^ 1):
+            return 1
+        if f > g:
+            f, g = g, f
+        lf = levels[f >> 1]
+        lg = levels[g >> 1]
+        if (lf if lf < lg else lg) > max_level:
+            return ite(f, g, 1)  # _and(f, g)
+        i4 = (((f * MIX_A) ^ (g * MIX_B) ^ (levels_key * MIX_C))
+              & cmask) << 2
+        if cdata[i4] == f and cdata[i4 + 1] == g \
+                and cdata[i4 + 2] == levels_key:
+            self._andex_hits += 1
+            return cdata[i4 + 3]
+        budget = 0  # 0 = unlimited (plain recursive)
+        if self.apply_mode != "recursive" and _np is not None \
+                and len(levels) < MAX_PACK_NODES:
+            if self.apply_mode == "levelized":
+                out = self._engine().and_exists(f, g, levelset,
+                                                levels_key, max_level)
+                cache.store3(f, g, levels_key, out)
+                return out
+            budget = self.apply_threshold
+        kf0, kg0 = f, g
         unique = self._unique
         mk_raw = self._mk_raw
         A = MIX_A
@@ -526,6 +745,8 @@ class ArrayBDD(BDD):
                             res = cdata[i4 + 3]
                         else:
                             misses += 1
+                            if misses == budget:
+                                raise SwitchToLevelized
                             if lf == top:
                                 sign = f & 1
                                 f1 = highs[f >> 1] ^ sign
@@ -596,14 +817,32 @@ class ArrayBDD(BDD):
                                   & cmask) << 2
                             used = cache.used + (cdata[si] == 0)
                         cache.used = used
+                    elif cdata[si] != kf or cdata[si + 1] != kg \
+                            or cdata[si + 2] != levels_key:
+                        cache.evictions += 1
+                        cache.pressure += 1
+                        if cache.used + cache.pressure > cache.grow_at:
+                            cache.grow()
+                            cdata = cache.data
+                            cmask = cache.mask
+                            si = (((kf * A) ^ (kg * B) ^ (levels_key * C))
+                                  & cmask) << 2
+                            cache.used += cdata[si] == 0
                     cdata[si] = kf
                     cdata[si + 1] = kg
                     cdata[si + 2] = levels_key
                     cdata[si + 3] = out
                     res = out
+        except SwitchToLevelized:
+            pass
         finally:
             self._andex_hits += hits
             self._andex_misses += misses
+        # Auto-switch: restart on the levelized engine from the root.
+        out = self._engine().and_exists(kf0, kg0, levelset, levels_key,
+                                        max_level)
+        self._andex_cache.store3(kf0, kg0, levels_key, out)
+        return out
 
     # ------------------------------------------------------------------
     # Generalized cofactors
@@ -729,6 +968,15 @@ class ArrayBDD(BDD):
                             si = (((kf * A) ^ (kc * B)) & cmask) * 3
                             used = cache.used + (cdata[si] == 0)
                         cache.used = used
+                    elif cdata[si] != kf or cdata[si + 1] != kc:
+                        cache.evictions += 1
+                        cache.pressure += 1
+                        if cache.used + cache.pressure > cache.grow_at:
+                            cache.grow()
+                            cdata = cache.data
+                            cmask = cache.mask
+                            si = (((kf * A) ^ (kc * B)) & cmask) * 3
+                            cache.used += cdata[si] == 0
                     cdata[si] = kf
                     cdata[si + 1] = kc
                     cdata[si + 2] = out
@@ -850,6 +1098,15 @@ class ArrayBDD(BDD):
                             si = (((kf * A) ^ (kc * B)) & cmask) * 3
                             used = cache.used + (cdata[si] == 0)
                         cache.used = used
+                    elif cdata[si] != kf or cdata[si + 1] != kc:
+                        cache.evictions += 1
+                        cache.pressure += 1
+                        if cache.used + cache.pressure > cache.grow_at:
+                            cache.grow()
+                            cdata = cache.data
+                            cmask = cache.mask
+                            si = (((kf * A) ^ (kc * B)) & cmask) * 3
+                            cache.used += cdata[si] == 0
                     cdata[si] = kf
                     cdata[si + 1] = kc
                     cdata[si + 2] = out

@@ -1,0 +1,708 @@
+"""Levelized breadth-first apply/quantify engine for the array kernel.
+
+The recursive apply path resolves one ``(f, g, h)`` subproblem per
+Python iteration: hash the key, probe the computed cache, gather six
+child words, push a frame.  CPython dicts already run that loop near
+the floor, which is why the flat array kernel only *tied* on
+apply-dominated cells.  This module replaces the recursion with the
+level-by-level sweep of Sølvsten & van de Pol's Adiar line ("Efficient
+BDD Manipulation in External Memory", "Symbolic Model Checking in
+External Memory" — see PAPERS.md): operations become batches of
+*requests* processed one level at a time,
+
+* a **top-down sweep** expands each level's pending request batch into
+  child requests with numpy gathers on the NodeStore columns, dedups
+  the batch with one sort-based unique pass (the batch analogue of the
+  computed cache), resolves terminal rewrites vectorized, and buckets
+  surviving children by their top level;
+
+* a **bottom-up reduce** walks the recorded levels deepest-first,
+  bulk-``mk``-ing each level through :meth:`ArrayBDD._mk_batch`
+  (vectorized redundant-node elimination + sort-based unique + one
+  amortized column extend) and scattering results into the parent
+  batches' destination slots.
+
+Per-request Python cost drops to a few vector-lane operations; only
+genuinely *new* nodes pay a per-node unique-table probe.
+
+Quantification rides the same sweep with a richer request shape: a
+request **row** is a set of packed conjunction pairs ``(a << 32) | b``
+denoting ``exists_S(OR_i (a_i AND b_i))`` — ``a == 0`` packs the plain
+item ``b`` (``0`` is the True edge).  ``exists`` distributes over OR,
+so a *quantified* level unions the then/else cofactor rows into one
+child row instead of building a node; rows are kept canonical (sorted,
+deduplicated, complement pairs collapsed) so the sort-based unique
+merges equivalent requests.  Row width is capped; a row that outgrows
+the cap falls back to the recursive path for just that subproblem at
+reduce time.
+
+Mode selection lives here too (mirroring the kernel registry):
+``Options(apply=...)`` / CLI ``--apply`` / ``REPRO_APPLY`` pick
+``recursive`` | ``levelized`` | ``auto``; ``auto`` starts every
+operation on the cheap recursive path and restarts it levelized once
+the recursion has proven large (its cache-miss count — the live
+request count — crosses :data:`DEFAULT_AUTO_THRESHOLD`).  The work the
+recursive prefix did is not wasted: its nodes and cache entries stand.
+
+Results are **function-identical** to the recursive path (same
+canonical BDDs for the same operands) but not edge-identical: a
+breadth-first sweep allocates the same nodes in a different order, so
+integer edge values and allocation counters may differ between modes.
+The cross-*kernel* edge-identity contract is unchanged — both kernels
+under the same apply mode stay comparable via isomorphism
+(``tests/test_kernel_parity.py`` enforces this differentially).
+
+The engine requires numpy; without it every mode resolves to the
+recursive path (selection stays valid, nothing breaks).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .nodestore import MIX_A, MIX_B, MIX_C
+
+try:  # optional: the engine is numpy-only, selection never is
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised where numpy is absent
+    _np = None
+
+__all__ = ["APPLY_MODES", "DEFAULT_AUTO_THRESHOLD", "LevelizedApply",
+           "SwitchToLevelized", "default_apply", "set_default_apply",
+           "resolve_apply", "apply_context", "levelized_available"]
+
+#: The selectable apply modes (``auto`` = recursive until an op grows
+#: past the request threshold, then restart that op levelized).
+APPLY_MODES = ("recursive", "levelized", "auto")
+
+#: ``auto`` switches an operation to the levelized engine once its
+#: recursive descent has counted this many cache misses (= live
+#: requests).  Below it, sweep setup costs more than it saves; the
+#: crossover is measured honestly in ``benchmarks/bench_micro_bddops.py``
+#: and disclosed in BENCH_kernel.json.
+DEFAULT_AUTO_THRESHOLD = 2048
+
+#: A quantification row wider than this falls back to the recursive
+#: path for that subproblem (width doubles per quantified level in the
+#: worst case; real relprods stay narrow).
+MAX_ROW_WIDTH = 64
+
+#: Per-level computed-cache probing samples this many unique requests
+#: first and only probes the whole level if at least a quarter of the
+#: sample hit — cold sweeps pay O(sample) probes per level, warm
+#: resweeps get full subtree pruning.
+PROBE_SAMPLE = 64
+
+#: Reduce seeds the computed cache for every level this narrow (and for
+#: levels whose probe ran warm); wider cold levels would just cycle the
+#: direct-mapped cache without pruning anything next sweep.
+STORE_CAP = 4096
+
+#: Sentinel padding word for quantification rows; sorts after every
+#: real packed pair and never collides with one (edges stay < 2**32).
+_SENT = 1 << 62
+
+#: Node-id ceiling for the packed-pair representation; stores beyond it
+#: (would be >32 GiB of columns) use the recursive path.
+MAX_PACK_NODES = 1 << 30
+
+
+class SwitchToLevelized(Exception):
+    """Internal: a recursive descent crossed the auto threshold.
+
+    Raised from the miss site of the array kernel's recursive loops
+    (which keep no external state mid-descent, so unwinding is free)
+    and caught at the operation entry, which restarts the operation on
+    the levelized engine with its canonical arguments.
+    """
+
+
+def levelized_available() -> bool:
+    """Whether the levelized engine can run in this process."""
+    return _np is not None
+
+
+# ---------------------------------------------------------------------------
+# Apply-mode registry (mirrors the kernel registry in kernel.py)
+# ---------------------------------------------------------------------------
+
+def _initial_default() -> str:
+    """Start-of-process default: ``REPRO_APPLY`` env var or "recursive".
+
+    The env hook exists so an unmodified test suite can run wholesale
+    on a chosen apply path (CI's levelized leg sets
+    ``REPRO_APPLY=levelized REPRO_KERNEL=array``); inside a process,
+    prefer :func:`apply_context`.
+    """
+    name = os.environ.get("REPRO_APPLY")
+    if not name:
+        return "recursive"
+    if name not in APPLY_MODES:
+        raise ValueError(
+            f"REPRO_APPLY={name!r}: expected one of {APPLY_MODES}")
+    return name
+
+
+_process_default = _initial_default()
+_local = threading.local()
+
+
+def default_apply() -> str:
+    """The apply mode a fresh manager adopts right now, this thread."""
+    return getattr(_local, "apply", None) or _process_default
+
+
+def set_default_apply(name: str) -> str:
+    """Set the process-wide default apply mode; returns the previous.
+
+    Prefer :func:`apply_context` — it restores the previous default and
+    is scoped to the calling thread.
+    """
+    global _process_default
+    resolved = resolve_apply(name)
+    previous = _process_default
+    _process_default = resolved
+    return previous
+
+
+def resolve_apply(name: Optional[str]) -> str:
+    """Map an apply-mode request to a concrete mode name.
+
+    ``None`` means "whatever the current default is", so engines can
+    pass ``Options.apply`` straight through.
+    """
+    if name is None:
+        return default_apply()
+    if name not in APPLY_MODES:
+        raise ValueError(
+            f"unknown apply mode {name!r}; expected one of {APPLY_MODES}")
+    return name
+
+
+@contextmanager
+def apply_context(name: Optional[str]) -> Iterator[None]:
+    """Make ``name`` the default apply mode within the ``with`` block.
+
+    Thread-local, like :func:`~repro.bdd.kernel.kernel_context`:
+    concurrent contexts on different worker threads cannot clobber each
+    other.  ``None`` is a no-op pass-through.
+    """
+    if name is None:
+        yield
+        return
+    resolved = resolve_apply(name)
+    previous = getattr(_local, "apply", None)
+    _local.apply = resolved
+    try:
+        yield
+    finally:
+        _local.apply = previous
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+class LevelizedApply:
+    """Breadth-first apply/quantify sweeps over one :class:`ArrayBDD`.
+
+    Stateless between calls (every sweep builds its own batches), so
+    re-entrant nesting — a row-overflow fallback calling back into the
+    manager — is safe.  Constructed lazily by the kernel on first use.
+    """
+
+    def __init__(self, manager) -> None:
+        self.m = manager
+
+    # -- shared helpers ------------------------------------------------
+
+    def _views(self):
+        """Zero-copy column views.  Only valid while no node is created
+        (appending to an ``array('q')`` with exported buffers raises
+        BufferError) — the top-down sweeps allocate nothing, the reduce
+        phase never holds views across a ``_mk_batch``."""
+        m = self.m
+        levels = _np.frombuffer(m._level, dtype=_np.int64)
+        highs = _np.frombuffer(m._high, dtype=_np.int64)
+        lows = _np.frombuffer(m._low, dtype=_np.int64)
+        return levels, highs, lows
+
+    def _alloc(self, slots, fill, extra):
+        """Grow the result-slot arena to hold ``extra`` more entries."""
+        need = fill + extra
+        if need > slots.shape[0]:
+            grown = _np.zeros(max(need, 2 * slots.shape[0]),
+                              dtype=_np.int64)
+            grown[:fill] = slots[:fill]
+            return grown
+        return slots
+
+    # ==================================================================
+    # ITE sweep
+    # ==================================================================
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """Canonical ITE, breadth-first.
+
+        Arguments must already be canonicalized by the caller (f, g
+        regular, no terminal/rewrite case applicable) — exactly the
+        state at the recursive loop's cache-miss point, which is where
+        the kernel dispatches here.
+        """
+        m = self.m
+        m._levelized_calls += 1
+        levels, highs, lows = self._views()
+        cache = m._ite_cache
+        top = int(min(levels[f >> 1], levels[g >> 1], levels[h >> 1]))
+        slots = _np.zeros(1024, dtype=_np.int64)
+        fill = 1
+        one = _np.ones(1, dtype=_np.int64)
+        pend = {top: [(one * f, one * g, one * h,
+                       _np.zeros(1, dtype=_np.int64),
+                       _np.zeros(1, dtype=_np.int64))]}
+        records = []
+        requests = 0
+        hits = 0
+        misses = 0
+        while pend:
+            level = min(pend)
+            chunks = pend.pop(level)
+            F = _np.concatenate([c[0] for c in chunks])
+            G = _np.concatenate([c[1] for c in chunks])
+            H = _np.concatenate([c[2] for c in chunks])
+            NEG = _np.concatenate([c[3] for c in chunks])
+            DEST = _np.concatenate([c[4] for c in chunks])
+            requests += F.shape[0]
+            # Sort-based unique over the request triple — the batch
+            # analogue of the computed cache (duplicates collapse here
+            # instead of hitting a per-node hash probe).
+            order = _np.lexsort((H, G, F))
+            Fs, Gs, Hs = F[order], G[order], H[order]
+            new = _np.ones(Fs.shape[0], dtype=bool)
+            new[1:] = ((Fs[1:] != Fs[:-1]) | (Gs[1:] != Gs[:-1])
+                       | (Hs[1:] != Hs[:-1]))
+            uidx = _np.flatnonzero(new)
+            Fu, Gu, Hu = Fs[uidx], Gs[uidx], Hs[uidx]
+            n_u = Fu.shape[0]
+            inv = _np.empty(Fs.shape[0], dtype=_np.int64)
+            inv[order] = _np.cumsum(new) - 1
+            # Probe the computed cache per *unique* request — every hit
+            # prunes an entire subtree of child requests, which is what
+            # keeps repeated image/product computations from being
+            # recomputed sweep after sweep.  The probe is a Python loop
+            # (the cache is a plain list), so it is *adaptive*: sample
+            # the first few requests and only probe the rest of the
+            # level if the sample hit often enough.  Cold sweeps — the
+            # large single operations the engine exists for — pay a
+            # handful of probes per level; warm resweeps get full
+            # subtree pruning.
+            cdata = cache.data
+            cmask = cache.mask
+            fl, gl, hl = Fu.tolist(), Gu.tolist(), Hu.tolist()
+            # Hash indices come out of one vectorized pass: int64
+            # multiply wraps mod 2**64, whose low bits (all the mask
+            # keeps) match the arbitrary-precision arithmetic of the
+            # scalar probe sites exactly.
+            idxs = ((((Fu * MIX_A) ^ (Gu * MIX_B) ^ (Hu * MIX_C))
+                     & cmask) << 2).tolist()
+            hit_j = []
+            hit_v = []
+            sample = n_u if n_u <= PROBE_SAMPLE else PROBE_SAMPLE
+            for j in range(sample):
+                i4 = idxs[j]
+                if cdata[i4] == fl[j] and cdata[i4 + 1] == gl[j] \
+                        and cdata[i4 + 2] == hl[j]:
+                    hit_j.append(j)
+                    hit_v.append(cdata[i4 + 3])
+            warm = 4 * len(hit_j) >= sample
+            if warm and sample < n_u:
+                for j in range(sample, n_u):
+                    i4 = idxs[j]
+                    if cdata[i4] == fl[j] and cdata[i4 + 1] == gl[j] \
+                            and cdata[i4 + 2] == hl[j]:
+                        hit_j.append(j)
+                        hit_v.append(cdata[i4 + 3])
+            n_live = n_u - len(hit_j)
+            hits += len(hit_j)
+            misses += n_live
+            if not hit_j:
+                live = None
+                hitres = None
+            else:
+                hitres = _np.zeros(n_u, dtype=_np.int64)
+                hitres[hit_j] = _np.array(hit_v, dtype=_np.int64)
+                keep = _np.ones(n_u, dtype=bool)
+                keep[hit_j] = False
+                live = _np.flatnonzero(keep)
+                if n_live == 0:
+                    records.append((level, 0, 0, None, inv, NEG, DEST,
+                                    hitres, None, False))
+                    continue
+                Fu, Gu, Hu = Fu[live], Gu[live], Hu[live]
+            # Storing every deep level of a huge cold sweep would just
+            # cycle the direct-mapped cache; shallow levels (few, with
+            # the biggest subtrees behind them) are the valuable ones.
+            store_ok = warm or n_live <= STORE_CAP
+            base = fill
+            slots = self._alloc(slots, fill, 2 * n_live)
+            fill += 2 * n_live
+            # Cofactors at this level (f, g regular; h may be signed).
+            nf, ng, nh = Fu >> 1, Gu >> 1, Hu >> 1
+            at = levels[nf] == level
+            f1 = _np.where(at, highs[nf], Fu)
+            f0 = _np.where(at, lows[nf], Fu)
+            at = levels[ng] == level
+            g1 = _np.where(at, highs[ng], Gu)
+            g0 = _np.where(at, lows[ng], Gu)
+            at = levels[nh] == level
+            sign = Hu & 1
+            h1 = _np.where(at, highs[nh] ^ sign, Hu)
+            h0 = _np.where(at, lows[nh] ^ sign, Hu)
+            dest1 = base + 2 * _np.arange(n_live, dtype=_np.int64)
+            self._route_ite(levels, slots, f1, g1, h1, dest1, pend)
+            self._route_ite(levels, slots, f0, g0, h0, dest1 + 1, pend)
+            records.append((level, base, n_live, live, inv, NEG, DEST,
+                            hitres, (Fu, Gu, Hu), store_ok))
+        del levels, highs, lows
+        m._levelized_requests += requests
+        m._ite_hits += hits
+        m._ite_misses += misses
+        for (level, base, n_live, live, inv, NEG, DEST, hitres,
+             keys, store_ok) in reversed(records):
+            if n_live:
+                r1 = slots[base:base + 2 * n_live:2]
+                r0 = slots[base + 1:base + 2 * n_live:2]
+                solved = m._mk_level(level, r1, r0)
+                if store_ok:
+                    # Seed the computed cache so the next sweep (and
+                    # the recursive path) can reuse the results.  Bulk
+                    # inline store: indices vectorized, accounting
+                    # batched, the grow trigger checked once per level
+                    # (a grow drops this level's stores — they are
+                    # hints, same policy as OpCache.grow()).
+                    Fu, Gu, Hu = keys
+                    fl, gl, hl = Fu.tolist(), Gu.tolist(), Hu.tolist()
+                    sl = solved.tolist()
+                    cdata = cache.data
+                    cmask = cache.mask
+                    sidx = ((((Fu * MIX_A) ^ (Gu * MIX_B)
+                              ^ (Hu * MIX_C)) & cmask) << 2).tolist()
+                    used = cache.used
+                    pressure = cache.pressure
+                    evictions = cache.evictions
+                    for j in range(n_live):
+                        i4 = sidx[j]
+                        fj, gj, hj = fl[j], gl[j], hl[j]
+                        if cdata[i4] == 0:
+                            used += 1
+                        elif cdata[i4] != fj or cdata[i4 + 1] != gj \
+                                or cdata[i4 + 2] != hj:
+                            evictions += 1
+                            pressure += 1
+                        cdata[i4] = fj
+                        cdata[i4 + 1] = gj
+                        cdata[i4 + 2] = hj
+                        cdata[i4 + 3] = sl[j]
+                    cache.used = used
+                    cache.pressure = pressure
+                    cache.evictions = evictions
+                    if used + pressure > cache.grow_at:
+                        cache.grow()
+                if live is None:
+                    out = solved
+                else:
+                    out = hitres
+                    out[live] = solved
+            else:
+                out = hitres
+            slots[DEST] = out[inv] ^ NEG
+        return int(slots[0])
+
+    def _route_ite(self, levels, slots, f, g, h, dest, pend) -> None:
+        """Vectorized terminal/rewrite/canonicalize for one child batch.
+
+        Resolved children scatter straight into their destination
+        slots; survivors are canonicalized (f regular via the swap
+        rule, g regular via negation extraction) and bucketed by top
+        level.  The rule chain and its order are the recursive loop's,
+        vectorized — each ``_set`` claims rows exactly once, in
+        priority order.
+        """
+        n = f.shape[0]
+        res = _np.zeros(n, dtype=_np.int64)
+        done = _np.zeros(n, dtype=bool)
+
+        def _set(mask, value):
+            claim = mask & ~done
+            if claim.any():
+                res[claim] = value[claim] if hasattr(value, "shape") \
+                    else value
+                done[claim] = True
+
+        _set(f == 0, g)
+        _set(f == 1, h)
+        # Operand rewrites (safe sequentially: a rewritten 0/1 can
+        # never equal f or f^1, which are >= 2 on undone rows).
+        g = _np.where(g == f, 0, g)
+        g = _np.where(g == (f ^ 1), 1, g)
+        h = _np.where(h == f, 1, h)
+        h = _np.where(h == (f ^ 1), 0, h)
+        _set(g == h, g)
+        _set((g == 0) & (h == 1), f)
+        _set((g == 1) & (h == 0), f ^ 1)
+        if done.all():
+            slots[dest] = res
+            return
+        live = ~done
+        if done.any():
+            slots[dest[done]] = res[done]
+            f, g, h, dest = f[live], g[live], h[live], dest[live]
+        # Canonicalize: regular f (swap branches under ~f), then
+        # regular g (extract the result negation).
+        swap = (f & 1).astype(bool)
+        f = _np.where(swap, f ^ 1, f)
+        g2 = _np.where(swap, h, g)
+        h2 = _np.where(swap, g, h)
+        neg = g2 & 1
+        g2 ^= neg
+        h2 ^= neg
+        tops = _np.minimum(_np.minimum(levels[f >> 1], levels[g2 >> 1]),
+                           levels[h2 >> 1])
+        for level in _np.unique(tops):
+            sel = tops == level
+            pend.setdefault(int(level), []).append(
+                (f[sel], g2[sel], h2[sel], neg[sel], dest[sel]))
+
+    # ==================================================================
+    # Quantification sweep (exists / and_exists unified)
+    # ==================================================================
+
+    def exists(self, f: int, levelset: frozenset, levels_key: int,
+               max_level: int) -> int:
+        """``exists_S f`` for a non-terminal f with top level in range."""
+        row = _np.array([f], dtype=_np.int64)
+        return self._quantify(row, levelset, levels_key, max_level,
+                              "quant")
+
+    def and_exists(self, f: int, g: int, levelset: frozenset,
+                   levels_key: int, max_level: int) -> int:
+        """``exists_S (f AND g)`` past the recursive special cases."""
+        if f > g:
+            f, g = g, f
+        row = _np.array([(f << 32) | g], dtype=_np.int64)
+        return self._quantify(row, levelset, levels_key, max_level,
+                              "andex")
+
+    def _quantify(self, seed_row, levelset, levels_key, max_level,
+                  kind) -> int:
+        m = self.m
+        m._levelized_calls += 1
+        levels, highs, lows = self._views()
+        slots = _np.zeros(1024, dtype=_np.int64)
+        fill = 1
+        pend = {}
+        overflow = []
+        records = []
+        requests = 0
+        row, resv, tops = self._normalize(levels, seed_row[None, :],
+                                          max_level)
+        if resv[0] >= 0:
+            return int(resv[0])
+        pend[int(tops[0])] = [(row, _np.zeros(1, dtype=_np.int64))]
+        while pend:
+            level = min(pend)
+            chunks = pend.pop(level)
+            width = max(c[0].shape[1] for c in chunks)
+            R = _np.concatenate([
+                _np.pad(c[0], ((0, 0), (0, width - c[0].shape[1])),
+                        constant_values=_SENT)
+                if c[0].shape[1] < width else c[0] for c in chunks])
+            DEST = _np.concatenate([c[1] for c in chunks])
+            requests += R.shape[0]
+            Ru, inv = _np.unique(R, axis=0, return_inverse=True)
+            inv = inv.reshape(-1).astype(_np.int64)
+            n_u = Ru.shape[0]
+            valid = Ru != _SENT
+            a = _np.where(valid, Ru >> 32, 0)
+            b = _np.where(valid, Ru & 0xFFFFFFFF, 0)
+            a1, a0 = self._cofactor(levels, highs, lows, a, level)
+            b1, b0 = self._cofactor(levels, highs, lows, b, level)
+            T = self._pack_pairs(a1, b1, valid)
+            E = self._pack_pairs(a0, b0, valid)
+            quantified = level in levelset
+            if quantified:
+                base = fill
+                slots = self._alloc(slots, fill, n_u)
+                fill += n_u
+                C = _np.concatenate((T, E), axis=1)
+                dests = base + _np.arange(n_u, dtype=_np.int64)
+                self._route_rows(levels, slots, C, dests, pend,
+                                 overflow, max_level)
+                records.append(("pass", level, base, n_u, inv, DEST))
+            else:
+                base = fill
+                slots = self._alloc(slots, fill, 2 * n_u)
+                fill += 2 * n_u
+                dest1 = base + 2 * _np.arange(n_u, dtype=_np.int64)
+                self._route_rows(levels, slots, T, dest1, pend,
+                                 overflow, max_level)
+                self._route_rows(levels, slots, E, dest1 + 1, pend,
+                                 overflow, max_level)
+                records.append(("mk", level, base, n_u, inv, DEST))
+        del levels, highs, lows
+        m._levelized_requests += requests
+        # Every unique surviving row is a live subproblem the sweep had
+        # to solve — the batch analogue of a computed-cache miss.
+        solved = sum(r[3] for r in records)
+        if kind == "quant":
+            m._quant_misses += solved
+        else:
+            m._andex_misses += solved
+        # Row-width overflows resolve recursively, before the reduce
+        # touches their destination slots (and after every view above
+        # is gone — these calls create nodes).
+        for dest, items in overflow:
+            slots[dest] = self._scalar_row(items, levelset, levels_key,
+                                           max_level)
+        for kind, level, base, n_u, inv, DEST in reversed(records):
+            if kind == "pass":
+                out = slots[base:base + n_u]
+            else:
+                r1 = slots[base:base + 2 * n_u:2]
+                r0 = slots[base + 1:base + 2 * n_u:2]
+                out = m._mk_level(level, r1, r0)
+            slots[DEST] = out[inv]
+        return int(slots[0])
+
+    def _cofactor(self, levels, highs, lows, x, level):
+        """Per-item then/else cofactors at ``level`` (matrix-shaped)."""
+        node = x >> 1
+        at = levels[node] == level
+        sign = x & 1
+        x1 = _np.where(at, highs[node] ^ sign, x)
+        x0 = _np.where(at, lows[node] ^ sign, x)
+        return x1, x0
+
+    def _pack_pairs(self, a, b, valid):
+        """Vectorized conjunction-pair rewrite + repack.
+
+        ``(a AND b)`` with constants folded: either side False kills
+        the pair (-> _SENT), either side True drops out of the
+        conjunction, ``a == b`` collapses, ``a == NOT b`` kills.  The
+        survivor is packed ``(min << 32) | max``; a plain item packs as
+        itself (``a == 0`` is the True edge).
+        """
+        lo = _np.minimum(a, b)
+        hi = _np.maximum(a, b)
+        p = (lo << 32) | hi
+        p = _np.where(lo == hi, lo, p)              # a AND a = a
+        p = _np.where(lo == (hi ^ 1), _SENT, p)     # a AND ~a = False
+        p = _np.where(lo == 0, hi, p)               # True AND b = b
+        p = _np.where((lo == 1) | (hi == 1), _SENT, p)  # False AND *
+        return _np.where(valid, p, _SENT)
+
+    def _normalize(self, levels, M, max_level):
+        """Canonicalize rows of packed pairs to fixpoint.
+
+        Sort, drop duplicates, collapse complement-adjacent pairs
+        ``(a,b),(a,~b) -> a`` (for plain items this folds ``t, ~t`` to
+        the True pair 0).  Returns ``(rows, resolved, tops)`` where
+        ``resolved[i] >= 0`` is a final edge, ``-2`` flags a row-width
+        overflow, and ``-1`` means the row is a live request whose top
+        level is ``tops[i]``.
+        """
+        M = _np.sort(M, axis=1)
+        while True:
+            changed = False
+            if M.shape[1] > 1:
+                dup = (M[:, 1:] == M[:, :-1]) & (M[:, 1:] != _SENT)
+                if dup.any():
+                    M[:, 1:][dup] = _SENT
+                    M = _np.sort(M, axis=1)
+                    changed = True
+                coll = ((M[:, 1:] == (M[:, :-1] ^ 1))
+                        & (M[:, :-1] != _SENT) & ((M[:, :-1] & 1) == 0))
+                if coll.any():
+                    rows, cols = _np.nonzero(coll)
+                    M[rows, cols] = M[rows, cols] >> 32
+                    M[rows, cols + 1] = _SENT
+                    M = _np.sort(M, axis=1)
+                    changed = True
+            if not changed:
+                break
+        live = M != _SENT
+        count = live.sum(axis=1)
+        resolved = _np.full(M.shape[0], -1, dtype=_np.int64)
+        resolved[count == 0] = 1                      # empty OR = False
+        resolved[(M == 0).any(axis=1)] = 0            # True pair
+        first = M[:, 0]
+        single_item = (count == 1) & (first < (1 << 32)) & (first >= 2)
+        if single_item.any():
+            below = _np.zeros(M.shape[0], dtype=bool)
+            below[single_item] = (levels[first[single_item] >> 1]
+                                  > max_level)
+            sel = single_item & below & (resolved == -1)
+            resolved[sel] = first[sel]
+        if M.shape[1] > MAX_ROW_WIDTH:
+            resolved[(resolved == -1)
+                     & (count > MAX_ROW_WIDTH)] = -2
+        # Top level per live row: min over item tops (a-part and
+        # b-part); SENT and constants land on the terminal level.
+        x = _np.where(live, M, 0)
+        atop = levels[_np.where(x >= (1 << 32), x >> 32, 0) >> 1]
+        btop = levels[(x & 0xFFFFFFFF) >> 1]
+        item_top = _np.minimum(atop, btop)
+        item_top[~live] = levels[0]
+        tops = item_top.min(axis=1)
+        width = int(count.max()) if M.shape[0] else 0
+        M = M[:, :max(width, 1)]
+        return M, resolved, tops
+
+    def _route_rows(self, levels, slots, M, dests, pend, overflow,
+                    max_level) -> None:
+        """Normalize child rows, scatter resolutions, bucket the rest."""
+        M, resolved, tops = self._normalize(levels, M, max_level)
+        done = resolved >= 0
+        if done.any():
+            slots[dests[done]] = resolved[done]
+        over = resolved == -2
+        for i in _np.flatnonzero(over):
+            items = tuple(int(p) for p in M[i] if p != _SENT)
+            overflow.append((int(dests[i]), items))
+        liverow = ~done & ~over
+        if not liverow.any():
+            return
+        M, dests, tops = M[liverow], dests[liverow], tops[liverow]
+        for level in _np.unique(tops):
+            sel = tops == level
+            pend.setdefault(int(level), []).append((M[sel], dests[sel]))
+
+    def _scalar_row(self, items, levelset, levels_key, max_level) -> int:
+        """Recursive fallback for one overflowed row.
+
+        ``exists`` distributes over OR, so the row is the OR of one
+        recursive ``and_exists``/``exists`` per packed pair.  Runs at
+        reduce time (no column views are live, so node creation is
+        safe).  The manager's mode is pinned to ``recursive`` for the
+        duration so the fallback cannot re-enter the engine.
+        """
+        m = self.m
+        saved = m.apply_mode
+        m.apply_mode = "recursive"
+        try:
+            out = 1
+            for p in items:
+                if p >= (1 << 32):
+                    r = m._and_exists(p >> 32, p & 0xFFFFFFFF, levelset,
+                                      levels_key, max_level)
+                else:
+                    r = m._exists(p, levelset, levels_key, max_level)
+                out = m._ite(r, 0, out)
+                if out == 0:
+                    return 0
+            return out
+        finally:
+            m.apply_mode = saved

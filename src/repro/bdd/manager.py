@@ -228,6 +228,18 @@ class BDD:
         self._reorder_time_ms = 0
         self._reorder_nodes_before = 0
         self._reorder_nodes_after = 0
+        self._levelized_calls = 0
+        self._levelized_requests = 0
+        #: Apply-path selection (``recursive`` | ``levelized`` |
+        #: ``auto``).  Only the array kernel dispatches on it — the
+        #: dict manager has no levelized engine and the attribute is
+        #: inert here — but it lives on the base class so
+        #: ``Options(apply=...)`` can arm any manager uniformly.
+        self.apply_mode = "recursive"
+        #: ``auto`` mode's switch point: recursive cache misses (live
+        #: requests) before an operation restarts levelized.
+        from .levelized import DEFAULT_AUTO_THRESHOLD
+        self.apply_threshold = DEFAULT_AUTO_THRESHOLD
 
     # ------------------------------------------------------------------
     # Constants and variables
@@ -322,6 +334,11 @@ class BDD:
         self._constrain_cache.clear()
         self._compose_caches.clear()
 
+    def _opcache_evictions(self) -> int:
+        """Direct-map collision evictions (array kernel only; the dict
+        kernel's unbounded memo dicts never evict)."""
+        return 0
+
     def stats(self) -> Dict[str, int]:
         """Snapshot of the manager-wide operation statistics.
 
@@ -344,6 +361,9 @@ class BDD:
             "constrain_misses": self._constrain_misses,
             "cache_evictions": self._cache_evictions,
             "cache_flushes": self._cache_flushes,
+            "opcache_evictions": self._opcache_evictions(),
+            "levelized_calls": self._levelized_calls,
+            "levelized_requests": self._levelized_requests,
             "nodes_created": self._nodes_created,
             "nodes_current": len(self._level),
             "nodes_peak": self._peak_nodes,

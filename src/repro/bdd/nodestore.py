@@ -102,6 +102,20 @@ class NodeStore:
     def __len__(self) -> int:
         return len(self.level)
 
+    def extend(self, level_bytes: bytes, high_bytes: bytes,
+               low_bytes: bytes) -> None:
+        """Bulk-append rows from packed int64 column bytes.
+
+        One C-level ``frombytes`` per column — the amortized-growth
+        path the levelized reduce phase uses to materialize a whole
+        level of new nodes at once.  The arrays are mutated in place,
+        so every alias (the kernel's ``_level``/``_high``/``_low``,
+        the unique table's key columns) sees the new rows.
+        """
+        self.level.frombytes(level_bytes)
+        self.high.frombytes(high_bytes)
+        self.low.frombytes(low_bytes)
+
 
 class UniqueTable:
     """Open-addressed linear-probe index over a node store.
@@ -182,6 +196,16 @@ class UniqueTable:
         self.slots = slots
         self.mask = mask
         self.limit = (size * 2) // 3
+
+    def reserve(self, extra: int) -> None:
+        """Grow until ``extra`` more inserts cannot trigger a rehash.
+
+        Batch inserters (``ArrayBDD._mk_batch``) claim slots before the
+        node rows exist; a mid-batch rehash would invalidate every
+        claimed index, so capacity is secured up front.
+        """
+        while self.used + extra > self.limit:
+            self.grow()
 
     # -- mapping protocol (cold paths: swap, deref, sampler, tests) ----
 
@@ -268,7 +292,8 @@ class OpCache:
     (``len(cache)`` = live entries).
     """
 
-    __slots__ = ("data", "mask", "width", "used", "grow_at", "max_slots")
+    __slots__ = ("data", "mask", "width", "used", "grow_at", "max_slots",
+                 "evictions", "pressure")
 
     def __init__(self, width: int, slots: int = 1 << 10,
                  max_slots: int = 1 << 20) -> None:
@@ -282,6 +307,17 @@ class OpCache:
         self.used = 0
         self.max_slots = max_slots
         self.grow_at = self._grow_threshold(slots)
+        #: Lifetime count of direct-map collisions that overwrote a
+        #: *different* key (same-key refreshes and clear()/grow() drops
+        #: are not evictions).  Monotone; surfaced via ``BDD.stats()``.
+        self.evictions = 0
+        #: Evictions since the last grow()/clear().  Counted toward the
+        #: grow trigger alongside ``used``: a thrashing cache overwrites
+        #: occupied slots instead of filling empty ones, so ``used``
+        #: alone stalls below the threshold and the cache would stay
+        #: small forever while the recursion recomputes evicted
+        #: subresults exponentially.
+        self.pressure = 0
 
     def _grow_threshold(self, slots: int) -> int:
         # Grow at half load while growth is still allowed; once at the
@@ -296,6 +332,7 @@ class OpCache:
     def clear(self) -> None:
         self.data = [0] * ((self.mask + 1) * self.width)
         self.used = 0
+        self.pressure = 0
 
     def grow(self) -> None:
         """Double capacity, dropping current entries (they are hints).
@@ -310,10 +347,14 @@ class OpCache:
         """
         slots = (self.mask + 1) << 1
         if slots > self.max_slots:
+            # At the cap: disarm the trigger so eviction pressure does
+            # not call back in here on every store.
+            self.grow_at = 1 << 62
             return
         self.data = [0] * (slots * self.width)
         self.mask = slots - 1
         self.used = 0
+        self.pressure = 0
         self.grow_at = self._grow_threshold(slots)
 
     # Cold-path probe/store for two-key caches (restrict/constrain use
@@ -331,11 +372,14 @@ class OpCache:
         data = self.data
         if data[i] == 0:
             self.used += 1
-            if self.used > self.grow_at:
-                self.grow()
-                i = (mix2(a, b) & self.mask) * self.width
-                data = self.data
-                self.used += data[i] == 0
+        elif data[i] != a or data[i + 1] != b:
+            self.evictions += 1
+            self.pressure += 1
+        if self.used + self.pressure > self.grow_at:
+            self.grow()
+            i = (mix2(a, b) & self.mask) * self.width
+            data = self.data
+            self.used += data[i] == 0
         data[i] = a
         data[i + 1] = b
         data[i + 2] = result
@@ -352,11 +396,14 @@ class OpCache:
         data = self.data
         if data[i] == 0:
             self.used += 1
-            if self.used > self.grow_at:
-                self.grow()
-                i = (mix3(a, b, c) & self.mask) * self.width
-                data = self.data
-                self.used += data[i] == 0
+        elif data[i] != a or data[i + 1] != b or data[i + 2] != c:
+            self.evictions += 1
+            self.pressure += 1
+        if self.used + self.pressure > self.grow_at:
+            self.grow()
+            i = (mix3(a, b, c) & self.mask) * self.width
+            data = self.data
+            self.used += data[i] == 0
         data[i] = a
         data[i + 1] = b
         data[i + 2] = c

@@ -274,6 +274,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rate=args.rate, burst=args.burst, workers=args.workers,
         queue_limit=args.queue_limit, ledger_dir=args.ledger,
         cache=not args.no_cache, job_heartbeat=args.job_heartbeat,
+        job_ttl=args.job_ttl, max_finished_jobs=args.max_finished_jobs,
         log_requests=not args.quiet)
     server = VerificationServer(config)
     print(f"repro serve: listening on {server.url} "
@@ -366,6 +367,16 @@ def _add_verify_parser(subparsers) -> None:
                              "array kernel (array; what auto picks) or "
                              "the reference dict manager (dict) — "
                              "edge-identical results either way")
+    parser.add_argument("--apply", default=None,
+                        choices=["recursive", "levelized", "auto"],
+                        help="apply path for the array kernel: "
+                             "depth-first recursion (recursive), "
+                             "breadth-first vectorized level sweeps "
+                             "(levelized), or recursive with an "
+                             "automatic switch once an operation "
+                             "proves large (auto); default inherits "
+                             "$REPRO_APPLY or recursive — results are "
+                             "function-identical either way")
     parser.add_argument("--max-nodes", type=int, default=None)
     parser.add_argument("--time-limit", type=float, default=None)
     parser.add_argument("--grow-threshold", type=float,
@@ -497,6 +508,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                        metavar="SECS",
                        help="heartbeat cadence injected into jobs "
                             "that do not set one (default 1.0)")
+    serve.add_argument("--job-ttl", type=float, default=None,
+                       metavar="SECS",
+                       help="retire finished jobs SECS seconds after "
+                            "completion (default: keep until "
+                            "--max-finished-jobs evicts them)")
+    serve.add_argument("--max-finished-jobs", type=int, default=1024,
+                       metavar="N",
+                       help="retain at most N finished jobs, oldest "
+                            "retired first (default 1024; 0 retains "
+                            "none once read)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request access-log lines")
     serve.set_defaults(func=_cmd_serve)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, fields
 from typing import Any, Dict, Mapping, Optional, Union
 
 from ..bdd.kernel import KERNELS
+from ..bdd.levelized import APPLY_MODES
 from ..iclist.evaluate import GROW_THRESHOLD
 from ..iclist.tautology import VAR_CHOICES
 from ..obs.registry import MetricsRegistry
@@ -54,6 +55,14 @@ class Options:
     #: (resolve to the fast kernel).  Both kernels are edge-identical;
     #: this knob trades nothing but speed.
     kernel: str = "auto"
+    #: Apply-path for the array kernel: "recursive" (depth-first over
+    #: the computed cache), "levelized" (breadth-first vectorized
+    #: sweeps, see :mod:`repro.bdd.levelized`), or "auto" (recursive
+    #: until an operation proves large, then restart it levelized).
+    #: None inherits the process default (``REPRO_APPLY`` or
+    #: "recursive").  Results are function-identical across modes; the
+    #: dict kernel ignores this knob.
+    apply: Optional[str] = None
 
     # -- dynamic variable reordering -----------------------------------------
     #: "none" keeps the build-time order; "sift" runs one Rudell
@@ -157,6 +166,7 @@ class Options:
         "monotone": "exploit_monotonicity",
         "auto_decompose": "auto_decompose",
         "kernel": "kernel",
+        "apply": "apply",
         "reorder": "reorder",
         "reorder_trigger": "reorder_trigger",
         "heartbeat": "heartbeat",
@@ -206,6 +216,7 @@ class Options:
         "want_trace": (bool,),
         "gc_min_nodes": (int, type(None)),
         "kernel": (str,),
+        "apply": (str, type(None)),
         "reorder": (str,),
         "reorder_trigger": (int, float),
         "cluster_limit": (int,),
@@ -327,6 +338,7 @@ class Options:
                 "exploit_monotonicity": self.exploit_monotonicity,
                 "auto_decompose": self.auto_decompose,
                 "kernel": self.kernel,
+                "apply": self.apply,
                 "reorder": self.reorder,
                 "reorder_trigger": self.reorder_trigger}
 
@@ -352,6 +364,8 @@ class Options:
             raise ValueError("pair_cache_capacity must be positive")
         if self.kernel not in ("auto",) + KERNELS:
             raise ValueError(f"unknown BDD kernel {self.kernel!r}")
+        if self.apply is not None and self.apply not in APPLY_MODES:
+            raise ValueError(f"unknown apply mode {self.apply!r}")
         if self.reorder not in ("none", "sift", "auto"):
             raise ValueError(f"unknown reorder mode {self.reorder!r}")
         if self.reorder_trigger <= 1.0:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..bdd.levelized import resolve_apply
 from .options import Options
 from .problem import Problem
 from .result import VerificationResult
@@ -63,4 +64,14 @@ def verify(problem: Problem, method: str,
     result.model = problem.name
     result.extra["assisted"] = assisted
     result.extra["kernel"] = kernel
+    # The apply path the run actually used: the explicit option when
+    # set, else the mode the manager inherited from the process
+    # default.  The dict kernel has no levelized engine — its runs are
+    # always recursive regardless of the requested mode.
+    if kernel == "dict":
+        result.extra["apply"] = "recursive"
+    elif options is not None and options.apply is not None:
+        result.extra["apply"] = resolve_apply(options.apply)
+    else:
+        result.extra["apply"] = problem.machine.manager.apply_mode
     return result

@@ -26,7 +26,7 @@ from .api import ServerConfig, ServiceError, VerificationServer, \
     VerificationService
 from .auth import ANONYMOUS, Authenticator, TOKENS_ENV, tokens_from_env
 from .jobs import Job, JobEventLog, JobQueue, JobState, QueueFullError, \
-    WorkerPool
+    RetentionPolicy, WorkerPool
 from .pipeline import VerificationPipeline
 from .rate_limiter import RateLimiter, TokenBucket
 from .schema import REQUEST_SCHEMA_VERSION, RequestError, VerifyRequest, \
@@ -46,6 +46,7 @@ __all__ = [
     "JobQueue",
     "JobState",
     "QueueFullError",
+    "RetentionPolicy",
     "WorkerPool",
     "VerificationPipeline",
     "RateLimiter",

@@ -47,7 +47,8 @@ from urllib.parse import parse_qs, urlparse
 from ..core import METHODS
 from ..models import MODELS
 from .auth import Authenticator
-from .jobs import Job, JobQueue, JobState, QueueFullError, WorkerPool
+from .jobs import Job, JobQueue, JobState, QueueFullError, \
+    RetentionPolicy, WorkerPool
 from .pipeline import VerificationPipeline
 from .rate_limiter import RateLimiter
 from .schema import REQUEST_SCHEMA_VERSION, RequestError, parse_request
@@ -84,8 +85,12 @@ class ServerConfig:
     job_heartbeat: Optional[float] = 1.0
     #: Print one access-log line per request to stderr.
     log_requests: bool = False
-    #: Retire terminal jobs beyond this many (oldest first).
-    max_finished_jobs: int = 1024
+    #: Retire terminal jobs beyond this many, oldest first
+    #: (None = unbounded by count).
+    max_finished_jobs: Optional[int] = 1024
+    #: Retire terminal jobs this many seconds after they finish
+    #: (None = keep until the count bound evicts them).
+    job_ttl: Optional[float] = None
 
 
 class ServiceError(Exception):
@@ -120,6 +125,9 @@ class VerificationService:
             job_heartbeat=config.job_heartbeat)
         self.pool = WorkerPool(self.queue, self.pipeline.run_job,
                                workers=config.workers)
+        self.retention = RetentionPolicy(
+            max_finished=config.max_finished_jobs,
+            ttl=config.job_ttl)
         self._jobs: Dict[str, Job] = {}
         self._jobs_order: List[str] = []
         self._lock = threading.Lock()
@@ -197,11 +205,13 @@ class VerificationService:
         return doc
 
     def list_jobs(self) -> List[Dict[str, Any]]:
+        self._retire_finished()
         with self._lock:
             jobs = [self._jobs[job_id] for job_id in self._jobs_order]
         return [job.snapshot(include_result=False) for job in jobs]
 
     def stats(self) -> Dict[str, Any]:
+        self._retire_finished()
         with self._lock:
             states: Dict[str, int] = {}
             for job in self._jobs.values():
@@ -217,20 +227,29 @@ class VerificationService:
             "cache_enabled": self.pipeline.use_cache,
             "ledger_dir": self.pipeline.ledger_dir,
             "jobs_by_state": states,
+            "retention": {
+                "max_finished_jobs": self.retention.max_finished,
+                "job_ttl": self.retention.ttl,
+            },
             "schema_version": REQUEST_SCHEMA_VERSION,
         }
         stats.update(self.pipeline.stats())
         return stats
 
     def _retire_finished(self) -> None:
-        """Drop the oldest terminal jobs past the retention bound."""
-        keep = self.config.max_finished_jobs
+        """Apply the retention policy (TTL + count bound).
+
+        Runs at submit time (where growth happens) and on list/stats
+        reads (so TTL expiry is visible on an otherwise idle server).
+        Direct ``GET /v1/jobs/{id}`` polls deliberately do not GC —
+        a client polling a just-finished job should not race its own
+        retention.
+        """
         with self._lock:
-            terminal = [job_id for job_id in self._jobs_order
-                        if self._jobs[job_id].terminal]
-            for job_id in terminal[:max(0, len(terminal) - keep)]:
-                self._jobs.pop(job_id, None)
-                self._jobs_order.remove(job_id)
+            jobs = [self._jobs[job_id] for job_id in self._jobs_order]
+            for job in self.retention.retire(jobs):
+                self._jobs.pop(job.id, None)
+                self._jobs_order.remove(job.id)
 
 
 def _make_handler(service: VerificationService):

@@ -42,7 +42,8 @@ from typing import Any, Callable, Dict, List, Optional
 from ..trace import Tracer
 
 __all__ = ["JobState", "Job", "JobEventLog", "JobEventTracer",
-           "QueueFullError", "JobQueue", "WorkerPool", "MAX_EVENTS"]
+           "QueueFullError", "JobQueue", "WorkerPool", "MAX_EVENTS",
+           "RetentionPolicy"]
 
 #: Per-job event-log bound; beyond it the middle is dropped (the head
 #: keeps the submit/start context, the tail keeps the ending).
@@ -257,6 +258,59 @@ class Job:
     @property
     def terminal(self) -> bool:
         return self.state in JobState.TERMINAL
+
+
+class RetentionPolicy:
+    """Which terminal jobs a long-running server should forget.
+
+    Two independent bounds, both optional:
+
+    * ``max_finished`` — keep at most this many terminal jobs;
+      the oldest (by arrival) are retired first.  ``None`` disables
+      the count bound.
+    * ``ttl`` — retire a terminal job once ``now - finished_at``
+      reaches this many seconds.  ``None`` disables the age bound.
+
+    Queued and running jobs are never retired — retention trims
+    completed history, it is not admission control (the bounded queue
+    is).  The policy is a pure decision function over a job list, so
+    the owner (the service) keeps locking and storage to itself.
+    """
+
+    def __init__(self, max_finished: Optional[int] = 1024,
+                 ttl: Optional[float] = None) -> None:
+        if max_finished is not None and max_finished < 0:
+            raise ValueError("max_finished must be >= 0 (or None)")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None)")
+        self.max_finished = max_finished
+        self.ttl = ttl
+
+    def retire(self, jobs: List[Job],
+               now: Optional[float] = None) -> List[Job]:
+        """The jobs (given in arrival order) that should be dropped.
+
+        TTL expiry is applied first, then the count bound on the
+        survivors — so a tight TTL can keep a server well under
+        ``max_finished``, and a burst of fresh finishes still trims
+        to the count bound even when nothing has aged out yet.
+        """
+        if now is None:
+            now = time.time()
+        aged: List[Job] = []
+        kept: List[Job] = []
+        for job in jobs:
+            if not job.terminal:
+                continue
+            if (self.ttl is not None and job.finished_at is not None
+                    and now - job.finished_at >= self.ttl):
+                aged.append(job)
+            else:
+                kept.append(job)
+        if self.max_finished is not None \
+                and len(kept) > self.max_finished:
+            aged.extend(kept[:len(kept) - self.max_finished])
+        return aged
 
 
 class QueueFullError(Exception):

@@ -14,9 +14,25 @@ import random
 import pytest
 
 from repro.bdd import BDD, ArrayBDD, KERNELS, default_kernel, \
-    kernel_context, make_manager, resolve_kernel, set_default_kernel, sift
+    kernel_context, make_manager, resolve_kernel, sat_count, \
+    set_default_kernel, sift
+from repro.bdd.levelized import apply_context, levelized_available
 from repro.bdd.manager import TERMINAL_LEVEL
 from repro.bdd.nodestore import NodeStore, OpCache, UniqueTable
+
+
+@pytest.fixture(autouse=True)
+def _pin_recursive_apply():
+    """Edge identity is a per-apply-mode contract.
+
+    The dict kernel has no levelized engine, so under an ambient
+    ``REPRO_APPLY=levelized`` the two kernels would allocate nodes in
+    different orders and edge values would (legitimately) diverge.
+    Pin the ambient mode; the levelized-vs-recursive comparisons below
+    opt in explicitly per manager.
+    """
+    with apply_context("recursive"):
+        yield
 
 NAMES = [f"v{i}" for i in range(10)]
 
@@ -24,11 +40,18 @@ OPS = ("and", "or", "xor", "not", "ite", "exists", "forall",
        "restrict", "constrain", "compose")
 
 
-def _replay_script(manager, rng, steps=250):
-    """Drive one randomized operation script; returns the handle pool."""
+def _replay_script(manager, rng, steps=250, gc_every=None):
+    """Drive one randomized operation script; returns the handle pool.
+
+    ``gc_every=N`` interleaves a full garbage collection every N steps
+    (the pool keeps every result live, so GC reclaims operation
+    temporaries and flushes the caches mid-sequence).
+    """
     variables = [manager.new_var(name) for name in NAMES]
     pool = list(variables) + [manager.true, manager.false]
-    for _ in range(steps):
+    for step in range(steps):
+        if gc_every and step and step % gc_every == 0:
+            manager.garbage_collect()
         op = rng.choice(OPS)
         a = rng.choice(pool)
         b = rng.choice(pool)
@@ -148,6 +171,149 @@ class TestRandomizedParity:
         # may differ (the flat caches are lossy).
         for key in ("nodes_current", "nodes_peak", "nodes_created"):
             assert dict_mgr.stats()[key] == array_mgr.stats()[key]
+
+
+def _fingerprints(pool):
+    """Canonical function fingerprints: (size, satcount) per handle.
+
+    Node *sizes* and satisfying counts are properties of the function
+    under a fixed variable order, so they are identical across apply
+    modes and kernels even where edge values legitimately differ.
+    """
+    return [(f.size(), sat_count(f)) for f in pool]
+
+
+@pytest.mark.skipif(not levelized_available(),
+                    reason="levelized engine needs numpy")
+class TestLevelizedParity:
+    """Levelized vs recursive apply: function identity, not edge identity.
+
+    The levelized engine allocates nodes in level-sweep order, so edge
+    values diverge from the recursive path by design; what must hold is
+    that every operation produces the *same canonical function*.  These
+    tests replay the randomized scripts under both modes (and against
+    the dict oracle, which is always recursive) and compare canonical
+    fingerprints plus spot semantic evaluations.
+    """
+
+    def _pool(self, mode, seed, steps=250, kernel="array",
+              gc_every=None):
+        with apply_context(mode):
+            manager = BDD(kernel=kernel)
+        assert manager.kernel != "array" or manager.apply_mode == mode
+        pool = _replay_script(manager, random.Random(seed), steps,
+                              gc_every=gc_every)
+        return manager, pool
+
+    def _assert_same_functions(self, pool_a, pool_b, seed):
+        assert _fingerprints(pool_a) == _fingerprints(pool_b)
+        rng = random.Random(seed)
+        for index in rng.sample(range(len(pool_a)), 25):
+            assignment = {name: rng.random() < 0.5 for name in NAMES}
+            assert pool_a[index].evaluate(assignment) \
+                == pool_b[index].evaluate(assignment), index
+
+    @pytest.mark.parametrize("seed", [7, 99, 2024])
+    def test_scripts_are_function_identical(self, seed):
+        _rec_mgr, rec = self._pool("recursive", seed)
+        lev_mgr, lev = self._pool("levelized", seed)
+        # The script must actually have exercised the engine.
+        assert lev_mgr.stats()["levelized_calls"] > 0
+        self._assert_same_functions(rec, lev, seed)
+
+    @pytest.mark.parametrize("seed", [7, 2024])
+    def test_levelized_matches_the_dict_oracle(self, seed):
+        _dict_mgr, oracle = self._pool("recursive", seed, kernel="dict")
+        _lev_mgr, lev = self._pool("levelized", seed)
+        self._assert_same_functions(oracle, lev, seed)
+
+    @pytest.mark.parametrize("seed", [13, 501])
+    def test_gc_mid_sequence_function_parity(self, seed):
+        _rec_mgr, rec = self._pool("recursive", seed, gc_every=60)
+        lev_mgr, lev = self._pool("levelized", seed, gc_every=60)
+        assert lev_mgr.stats()["gc_runs"] > 0
+        self._assert_same_functions(rec, lev, seed)
+
+    def test_quantifier_stress_function_parity(self):
+        # Wider quantification/and_exists mix: the levelized sweep's
+        # dedicated exists/and_exists paths against the recursive ones.
+        def run(mode):
+            with apply_context(mode):
+                manager = BDD(kernel="array")
+            rng = random.Random(5)
+            variables = [manager.new_var(f"q{i}") for i in range(12)]
+            names = [f"q{i}" for i in range(12)]
+            acc = manager.false
+            for _ in range(25):
+                f = manager.true
+                for _ in range(8):
+                    v = rng.choice(variables)
+                    f = (f & (v if rng.random() < 0.5 else ~v)) \
+                        | (rng.choice(variables)
+                           ^ rng.choice(variables))
+                acc = acc | f.exists(rng.sample(names, 3))
+                acc = acc & ~f.forall(rng.sample(names, 2))
+                acc = acc.and_exists(f, rng.sample(names, 2))
+            return manager, acc
+
+        rec_mgr, acc_r = run("recursive")
+        lev_mgr, acc_l = run("levelized")
+        assert lev_mgr.stats()["quantify_misses"] > 0
+        assert (acc_r.size(), sat_count(acc_r)) \
+            == (acc_l.size(), sat_count(acc_l))
+
+    def test_sift_interaction_after_gc(self):
+        # Post-GC the live structures are canonical, so sifting makes
+        # identical swap decisions under either apply mode.
+        rec_mgr, rec = self._pool("recursive", 21, steps=150)
+        lev_mgr, lev = self._pool("levelized", 21, steps=150)
+        for manager in (rec_mgr, lev_mgr):
+            manager.garbage_collect()
+        res_r = sift(rec_mgr)
+        res_l = sift(lev_mgr)
+        assert rec_mgr.var_names == lev_mgr.var_names
+        assert res_r.swaps == res_l.swaps
+        assert res_r.nodes_after == res_l.nodes_after
+        self._assert_same_functions(rec, lev, 21)
+
+    def test_auto_threshold_boundary(self):
+        # An impossible budget keeps auto on the recursive path; a
+        # one-miss budget makes the very next big apply restart into
+        # the levelized engine.  Results are identical either way.
+        def build(manager):
+            vs = [manager.new_var(f"a{i}") for i in range(24)]
+            f = manager.false
+            rng = random.Random(9)
+            for _ in range(60):
+                cube = manager.true
+                for i in rng.sample(range(24), 8):
+                    v = vs[i]
+                    cube = cube & (v if rng.random() < 0.5 else ~v)
+                f = f | cube
+            g = manager.false
+            for _ in range(60):
+                cube = manager.true
+                for i in rng.sample(range(24), 8):
+                    v = vs[i]
+                    cube = cube & (v if rng.random() < 0.5 else ~v)
+                g = g | cube
+            return f, g
+
+        with apply_context("auto"):
+            above = BDD(kernel="array")
+        above.apply_threshold = 1 << 60
+        f, g = build(above)
+        product_above = f & g
+        assert above.stats()["levelized_calls"] == 0
+
+        with apply_context("auto"):
+            below = BDD(kernel="array")
+        below.apply_threshold = 1
+        f2, g2 = build(below)
+        product_below = f2 & g2
+        assert below.stats()["levelized_calls"] > 0
+        assert (product_above.size(), sat_count(product_above)) \
+            == (product_below.size(), sat_count(product_below))
 
 
 class TestEvaluateBatch:

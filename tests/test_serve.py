@@ -23,9 +23,9 @@ from repro.client import ServiceClient, ServiceClientError
 from repro.obs import ledger
 from repro.serve import (
     Authenticator, Job, JobEventLog, JobQueue, JobState, QueueFullError,
-    RateLimiter, RequestError, ServerConfig, ServiceError, TokenBucket,
-    VerificationServer, VerificationService, parse_request,
-    tokens_from_env,
+    RateLimiter, RequestError, RetentionPolicy, ServerConfig,
+    ServiceError, TokenBucket, VerificationServer, VerificationService,
+    parse_request, tokens_from_env,
 )
 
 
@@ -108,6 +108,89 @@ class TestRateLimiter:
 
 def _job(priority=0):
     return Job(parse_request({"model": "fifo"}), priority=priority)
+
+
+def _finished(state=JobState.DONE, at=None):
+    job = _job()
+    job.finish(state, **{})
+    if at is not None:
+        job.finished_at = at
+    return job
+
+
+class TestRetentionPolicy:
+    def test_count_bound_retires_oldest_first(self):
+        jobs = [_finished() for _ in range(5)]
+        policy = RetentionPolicy(max_finished=3, ttl=None)
+        assert policy.retire(jobs) == jobs[:2]
+
+    def test_ttl_retires_only_aged_jobs(self):
+        now = 1000.0
+        fresh = _finished(at=now - 1.0)
+        stale = _finished(at=now - 60.0)
+        policy = RetentionPolicy(max_finished=None, ttl=30.0)
+        assert policy.retire([stale, fresh], now=now) == [stale]
+
+    def test_live_jobs_are_never_retired(self):
+        queued = _job()
+        running = _job()
+        running.mark_running()
+        done = _finished(at=0.0)
+        policy = RetentionPolicy(max_finished=0, ttl=1.0)
+        retired = policy.retire([queued, running, done], now=1e9)
+        assert retired == [done]
+
+    def test_ttl_then_count_compose(self):
+        now = 1000.0
+        stale = _finished(at=now - 60.0)
+        kept = [_finished(at=now - 1.0) for _ in range(3)]
+        policy = RetentionPolicy(max_finished=2, ttl=30.0)
+        # TTL takes the stale one; the count bound trims the oldest
+        # survivor.
+        assert policy.retire([stale] + kept, now=now) \
+            == [stale, kept[0]]
+
+    def test_disabled_policy_retires_nothing(self):
+        policy = RetentionPolicy(max_finished=None, ttl=None)
+        assert policy.retire([_finished(at=0.0)], now=1e9) == []
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_finished": -1}, {"ttl": 0.0}, {"ttl": -5.0},
+    ])
+    def test_invalid_bounds_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetentionPolicy(**kwargs)
+
+    def test_service_retires_on_list_and_reports_in_stats(self):
+        service = VerificationService(ServerConfig(
+            queue_limit=8, max_finished_jobs=1, job_ttl=None))
+        # Never start the pool: drain the queue by hand and finish the
+        # jobs so retention sees terminal history without running
+        # engines.
+        jobs = [service.submit({"model": "fifo"}, "anonymous")
+                for _ in range(3)]
+        for job in jobs:
+            service.queue.get(timeout=1.0)
+            job.finish(JobState.DONE)
+        listed = service.list_jobs()
+        assert [doc["id"] for doc in listed] == [jobs[-1].id]
+        stats = service.stats()
+        assert stats["retention"] == {"max_finished_jobs": 1,
+                                      "job_ttl": None}
+        assert stats["jobs_by_state"] == {"done": 1}
+
+    def test_service_ttl_expiry_visible_on_idle_reads(self):
+        service = VerificationService(ServerConfig(
+            queue_limit=8, max_finished_jobs=None, job_ttl=10.0))
+        job = service.submit({"model": "fifo"}, "anonymous")
+        service.queue.get(timeout=1.0)
+        job.finish(JobState.DONE)
+        assert len(service.list_jobs()) == 1  # fresh: retained
+        job.finished_at = time.time() - 60.0  # age it past the TTL
+        assert service.list_jobs() == []
+        with pytest.raises(ServiceError) as excinfo:
+            service.job(job.id)
+        assert excinfo.value.status == 404
 
 
 class TestJobQueue:
