@@ -275,7 +275,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit, ledger_dir=args.ledger,
         cache=not args.no_cache, job_heartbeat=args.job_heartbeat,
         job_ttl=args.job_ttl, max_finished_jobs=args.max_finished_jobs,
-        log_requests=not args.quiet)
+        log_requests=not args.quiet, access_log=args.access_log,
+        metrics=not args.no_metrics)
     server = VerificationServer(config)
     print(f"repro serve: listening on {server.url} "
           f"(auth {'on' if server.service.auth.enabled else 'OPEN'}, "
@@ -285,6 +286,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.serve_forever()
     except KeyboardInterrupt:
         print("repro serve: shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve_report(args: argparse.Namespace) -> int:
+    from .obs.exporters import parse_prometheus, read_jsonl
+    from .serve.telemetry import render_service_report
+    if args.url:
+        from .client import ServiceClient
+        client = ServiceClient(args.url, token=args.token)
+        data = parse_prometheus(client.metrics())
+        source = args.url + "/v1/metrics"
+    elif args.source:
+        source = args.source
+        if args.source.endswith((".jsonl", ".json")):
+            data = read_jsonl(args.source).get("summary") or {}
+        else:
+            with open(args.source, "r", encoding="utf-8") as handle:
+                data = parse_prometheus(handle.read())
+    else:
+        print("serve-report: give a SOURCE file (.prom scrape or "
+              "metrics .jsonl) or --url", file=sys.stderr)
+        return 2
+    print(render_service_report(data, source=source))
     return 0
 
 
@@ -518,9 +542,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="retain at most N finished jobs, oldest "
                             "retired first (default 1024; 0 retains "
                             "none once read)")
+    serve.add_argument("--access-log", metavar="FILE", default=None,
+                       help="append structured JSONL access-log "
+                            "records to FILE (default: stderr unless "
+                            "--quiet)")
+    serve.add_argument("--no-metrics", action="store_true",
+                       help="disable server-lifetime metrics "
+                            "(/v1/metrics answers 404)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request access-log lines")
     serve.set_defaults(func=_cmd_serve)
+
+    serve_report = subparsers.add_parser(
+        "serve-report",
+        help="render a markdown ops summary from job-server metrics "
+             "(a saved /v1/metrics scrape, a metrics JSONL file, or "
+             "a live server via --url)")
+    serve_report.add_argument("source", nargs="?", default=None,
+                              help="metrics source file: a Prometheus "
+                                   "textfile (.prom) or metrics JSONL")
+    serve_report.add_argument("--url", default=None, metavar="URL",
+                              help="scrape a live server's /v1/metrics "
+                                   "instead of reading a file")
+    serve_report.add_argument("--token", default=None,
+                              help="bearer token for --url")
+    serve_report.set_defaults(func=_cmd_serve_report)
 
     bench_report = subparsers.add_parser(
         "bench-report",

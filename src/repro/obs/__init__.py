@@ -30,8 +30,9 @@ Surfaces:
 """
 
 from . import benchjson, ledger
-from .exporters import METRICS_SCHEMA_VERSION, read_jsonl, render_report, \
-    to_prometheus, write_jsonl, write_prometheus
+from .exporters import METRICS_SCHEMA_VERSION, PROM_CONTENT_TYPE, \
+    parse_prometheus, read_jsonl, render_report, to_prometheus, \
+    write_jsonl, write_prometheus
 from .registry import Histogram, MetricsRegistry, NullRegistry, \
     NULL_REGISTRY, RATIO_BUCKETS, SIZE_BUCKETS, TIME_BUCKETS_S
 from .sampler import ResourceSampler, read_rss_kb
@@ -42,7 +43,8 @@ __all__ = ["MetricsRegistry", "NullRegistry", "NULL_REGISTRY",
            "Histogram", "ResourceSampler", "read_rss_kb",
            "TIME_BUCKETS_S", "SIZE_BUCKETS", "RATIO_BUCKETS",
            "write_jsonl", "read_jsonl", "to_prometheus",
-           "write_prometheus", "render_report",
-           "METRICS_SCHEMA_VERSION", "benchjson", "ledger",
+           "write_prometheus", "parse_prometheus", "render_report",
+           "METRICS_SCHEMA_VERSION", "PROM_CONTENT_TYPE",
+           "benchjson", "ledger",
            "SpanProfiler", "NullSpanSink", "NULL_SPANS",
            "render_rollup", "Watchdog"]

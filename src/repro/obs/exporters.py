@@ -23,10 +23,15 @@ from typing import Any, Dict, List, Optional
 from .registry import MetricsRegistry
 
 __all__ = ["write_jsonl", "to_prometheus", "write_prometheus",
-           "render_report", "read_jsonl", "METRICS_SCHEMA_VERSION"]
+           "parse_prometheus", "render_report", "read_jsonl",
+           "METRICS_SCHEMA_VERSION", "PROM_CONTENT_TYPE"]
 
 #: Version stamp of the JSONL timeline format (meta line).
 METRICS_SCHEMA_VERSION = 1
+
+#: The Content-Type the Prometheus text exposition format is served
+#: under (``GET /v1/metrics`` and any other scrape endpoint).
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4"
 
 
 def write_jsonl(registry: MetricsRegistry, path: str,
@@ -127,6 +132,88 @@ def to_prometheus(registry: MetricsRegistry,
         lines.append(f"{metric}_sum {repr(hist.total)}")
         lines.append(f"{metric}_count {hist.count}")
     return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str,
+                     prefix: str = "repro_") -> Dict[str, Any]:
+    """Parse :func:`to_prometheus` output back into snapshot shape.
+
+    The inverse of the exporter for our own textfiles (one bare sample
+    per line, ``le`` the only label): returns the same
+    ``{"counters", "gauges", "histograms"}`` dict a registry
+    :meth:`~repro.obs.registry.MetricsRegistry.snapshot` yields, with
+    the ``prefix`` stripped, ``_total`` removed from counter names, and
+    histogram buckets de-cumulated (min/max are not recoverable from a
+    scrape and come back as None).  This is what lets ``repro
+    serve-report`` run off a saved ``/v1/metrics`` scrape.
+    """
+    types: Dict[str, str] = {}
+    values: Dict[str, float] = {}
+    buckets: Dict[str, List[Any]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        name_part, value_part = line.rsplit(" ", 1)
+        value = float(value_part)
+        if "{" in name_part:
+            name, label_part = name_part.split("{", 1)
+            label_part = label_part.rstrip("}")
+            if name.endswith("_bucket") and label_part.startswith('le="'):
+                le = label_part[4:-1]
+                edge = float("inf") if le == "+Inf" else float(le)
+                buckets.setdefault(name[:-len("_bucket")], []).append(
+                    (edge, int(value)))
+            continue
+        values[name_part] = value
+
+    def strip(name: str) -> str:
+        return name[len(prefix):] if name.startswith(prefix) else name
+
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    hist_names = {name for name, kind in types.items()
+                  if kind == "histogram"}
+    for name, value in values.items():
+        kind = types.get(name)
+        if kind == "counter":
+            short = strip(name)
+            if short.endswith("_total"):
+                short = short[:-len("_total")]
+            counters[short] = int(value)
+        elif kind == "gauge":
+            gauges[strip(name)] = value
+    for name in hist_names:
+        series = sorted(buckets.get(name, []))
+        if not series:
+            continue
+        edges = [edge for edge, _ in series if edge != float("inf")]
+        cumulative = [count for edge, count in series
+                      if edge != float("inf")]
+        count = int(values.get(f"{name}_count",
+                               series[-1][1] if series else 0))
+        non_cumulative: List[int] = []
+        previous = 0
+        for running in cumulative:
+            non_cumulative.append(running - previous)
+            previous = running
+        non_cumulative.append(count - previous)
+        histograms[strip(name)] = {
+            "edges": edges,
+            "bucket_counts": non_cumulative,
+            "count": count,
+            "sum": float(values.get(f"{name}_sum", 0.0)),
+            "min": None,
+            "max": None,
+        }
+    return {"counters": counters, "gauges": gauges,
+            "histograms": histograms}
 
 
 def write_prometheus(registry: MetricsRegistry, path: str,

@@ -38,7 +38,8 @@ __all__ = ["LEDGER_SCHEMA_VERSION", "Tolerance", "DEFAULT_TOLERANCES",
            "diff_metrics", "diff_reports", "run_document", "run_id_of",
            "record_run", "load_run", "list_runs", "run_metrics",
            "run_tolerances", "diff_runs", "render_run_diff",
-           "record_request", "lookup_request", "load_request"]
+           "record_request", "lookup_request", "load_request",
+           "record_service", "load_service"]
 
 #: Bump on any incompatible change to the run-document shape.
 LEDGER_SCHEMA_VERSION = 1
@@ -50,6 +51,12 @@ RUN_FILENAME = "run.json"
 #: :func:`record_request`).  Run ids are 12 hex chars, so the name can
 #: never collide with a run directory.
 REQUEST_INDEX_DIR = "requests"
+
+#: Sidecar filename for service-side telemetry about one archived run
+#: (see :func:`record_service`).  Kept *outside* ``run.json`` on
+#: purpose: request ids and wall-clock phase timings vary between
+#: identical runs, and the run document must stay content-addressed.
+SERVICE_FILENAME = "service.json"
 
 
 # ----------------------------------------------------------------------
@@ -314,13 +321,15 @@ def _request_path(ledger_dir: Union[str, Path], request_hash: str) -> Path:
 
 def record_request(ledger_dir: Union[str, Path], request_hash: str,
                    run_id: str,
-                   request: Optional[Dict[str, Any]] = None) -> Path:
+                   request: Optional[Dict[str, Any]] = None,
+                   request_id: Optional[str] = None) -> Path:
     """Index one archived run under its canonical request hash.
 
     Writes ``<ledger_dir>/requests/<request_hash>.json`` pointing at
     ``run_id`` (which must already be recorded via
     :func:`record_run`), optionally keeping the original request
-    document for auditability.  Re-recording the same hash overwrites
+    document and the service ``request_id`` that first produced the
+    run for auditability.  Re-recording the same hash overwrites
     — the engines are deterministic, so any run reached from the same
     request is interchangeable.  Returns the index path.
     """
@@ -334,9 +343,53 @@ def record_request(ledger_dir: Union[str, Path], request_hash: str,
     }
     if request is not None:
         entry["request"] = request
+    if request_id is not None:
+        entry["request_id"] = request_id
     path.write_text(json.dumps(entry, indent=2, sort_keys=True,
                                default=str) + "\n", encoding="utf-8")
     return path
+
+
+def record_service(ledger_dir: Union[str, Path], run_id: str,
+                   document: Dict[str, Any]) -> Path:
+    """Attach service telemetry to one archived run as a sidecar.
+
+    Writes ``<ledger_dir>/<run_id>/service.json`` with the job server's
+    per-run context — ``request_id``, ``job_id``, ``request_hash``, and
+    the phase rollup (queue wait, build, run, archive).  The sidecar is
+    deliberately *not* part of the content-addressed ``run.json``
+    (identical runs must collide regardless of when or for whom they
+    executed); like ``trace.json`` it rides alongside.  The run must
+    already be recorded.  Returns the sidecar path.
+    """
+    run_dir = Path(ledger_dir) / run_id
+    if not (run_dir / RUN_FILENAME).is_file():
+        raise FileNotFoundError(
+            f"no run {run_id!r} in ledger {ledger_dir} "
+            f"(record_run first)")
+    doc = {"schema_version": LEDGER_SCHEMA_VERSION,
+           "kind": "service",
+           "run_id": run_id}
+    doc.update(document)
+    path = run_dir / SERVICE_FILENAME
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True,
+                               default=str) + "\n", encoding="utf-8")
+    return path
+
+
+def load_service(ledger_dir: Union[str, Path], run_id: str
+                 ) -> Optional[Dict[str, Any]]:
+    """The service sidecar for one run, or None when never recorded."""
+    path = Path(ledger_dir) / run_id / SERVICE_FILENAME
+    if not path.is_file():
+        return None
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    version = doc.get("schema_version")
+    if version != LEDGER_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r} != "
+            f"{LEDGER_SCHEMA_VERSION} (re-record the run)")
+    return doc
 
 
 def load_request(ledger_dir: Union[str, Path], request_hash: str

@@ -87,7 +87,9 @@ class Histogram:
         """Bucket-resolution quantile (upper edge of the q-th bucket).
 
         Exact enough for reports; the overflow bucket answers with the
-        observed maximum.
+        observed maximum when known (a histogram rebuilt from a
+        Prometheus scrape has no exact max — the last finite edge is
+        the honest lower bound then).
         """
         if self.count == 0:
             return 0.0
@@ -98,8 +100,23 @@ class Histogram:
             if running >= target:
                 if index < len(self.edges):
                     return self.edges[index]
-                return self.max if self.max is not None else 0.0
-        return self.max if self.max is not None else 0.0
+                break
+        return self.max if self.max is not None else self.edges[-1]
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        """Rebuild a histogram from :meth:`as_dict` output (or from a
+        parsed Prometheus scrape, where min/max are unknown)."""
+        hist = cls(data["edges"])
+        counts = [int(c) for c in data.get("bucket_counts", [])]
+        if len(counts) != len(hist.bucket_counts):
+            raise ValueError("bucket_counts does not match edges")
+        hist.bucket_counts = counts
+        hist.count = int(data.get("count", sum(counts)))
+        hist.total = float(data.get("sum", 0.0))
+        hist.min = None if data.get("min") is None else float(data["min"])
+        hist.max = None if data.get("max") is None else float(data["max"])
+        return hist
 
     def as_dict(self) -> Dict[str, Any]:
         return {"edges": list(self.edges),

@@ -8,6 +8,8 @@ The package mirrors a production service's layering:
 * :mod:`repro.serve.jobs` — job lifecycle, bounded priority queue,
   worker pool, event logs.
 * :mod:`repro.serve.pipeline` — cache probe -> build -> run -> ledger.
+* :mod:`repro.serve.telemetry` — server-lifetime metrics, structured
+  access log, and the ``repro serve-report`` ops summary.
 * :mod:`repro.serve.api` — the stdlib HTTP transport.
 
 Start one from Python::
@@ -30,7 +32,9 @@ from .jobs import Job, JobEventLog, JobQueue, JobState, QueueFullError, \
 from .pipeline import VerificationPipeline
 from .rate_limiter import RateLimiter, TokenBucket
 from .schema import REQUEST_SCHEMA_VERSION, RequestError, VerifyRequest, \
-    parse_request
+    parse_request, valid_request_id
+from .telemetry import AccessLog, ServiceMetrics, render_service_report, \
+    route_key
 
 __all__ = [
     "ServerConfig",
@@ -55,4 +59,9 @@ __all__ = [
     "RequestError",
     "VerifyRequest",
     "parse_request",
+    "valid_request_id",
+    "AccessLog",
+    "ServiceMetrics",
+    "render_service_report",
+    "route_key",
 ]

@@ -13,10 +13,13 @@ production detection services):
   the service, with ``start()``/``stop()`` for embedding (tests bind
   port 0) and :meth:`serve_forever` for the CLI.
 
-Endpoints (all JSON; auth = ``Authorization: Bearer <token>`` when
-tokens are configured)::
+Endpoints (all JSON unless noted; auth = ``Authorization: Bearer
+<token>`` when tokens are configured)::
 
     GET    /v1/healthz            liveness + queue/worker/cache stats
+    GET    /v1/stats              healthz document + metrics snapshot
+    GET    /v1/metrics            Prometheus textfile of the server's
+                                  MetricsRegistry (text/plain; 0.0.4)
     GET    /v1/models             model registry (params, help)
     GET    /v1/methods            verification methods
     POST   /v1/jobs               submit a request  -> 202 job document
@@ -27,6 +30,17 @@ tokens are configured)::
                                   the job finishes
     DELETE /v1/jobs/{id}          cooperative cancel
 
+Telemetry contract: every request is assigned a **request id** —
+the inbound ``X-Request-Id`` header when present and well-formed,
+else server-generated — echoed in the ``X-Request-Id`` response
+header, stamped on every NDJSON event line of a job it submits,
+written to the structured JSONL access log, and archived with the
+run's ledger record.  Request accounting (one counter increment +
+one latency observation per request, keyed by
+:func:`~repro.serve.telemetry.route_key`) happens *after* the
+response is written, so a ``/v1/metrics`` scrape never includes
+itself — a scrape after N requests reflects exactly N observations.
+
 Backpressure contract: a full queue or a drained rate-limit bucket
 answers **429 with a Retry-After header** — the server never buffers
 unbounded work and never silently drops a request.
@@ -36,22 +50,28 @@ from __future__ import annotations
 
 import json
 import math
-import sys
 import threading
 import time
-from dataclasses import dataclass, field
+import uuid
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ..bdd.kernel import default_kernel
+from ..bdd.levelized import default_apply
 from ..core import METHODS
+from ..core.options import OPTIONS_SCHEMA_VERSION
 from ..models import MODELS
+from ..obs.exporters import PROM_CONTENT_TYPE
 from .auth import Authenticator
 from .jobs import Job, JobQueue, JobState, QueueFullError, \
     RetentionPolicy, WorkerPool
 from .pipeline import VerificationPipeline
 from .rate_limiter import RateLimiter
-from .schema import REQUEST_SCHEMA_VERSION, RequestError, parse_request
+from .schema import REQUEST_SCHEMA_VERSION, RequestError, parse_request, \
+    valid_request_id
+from .telemetry import AccessLog, ServiceMetrics, route_key
 
 __all__ = ["ServerConfig", "ServiceError", "VerificationService",
            "VerificationServer"]
@@ -83,8 +103,13 @@ class ServerConfig:
     cache: bool = True
     #: Default heartbeat cadence injected into jobs (seconds).
     job_heartbeat: Optional[float] = 1.0
-    #: Print one access-log line per request to stderr.
+    #: Write the structured access log to stderr (the CLI default;
+    #: ``access_log`` takes precedence when both are set).
     log_requests: bool = False
+    #: Append structured JSONL access-log records to this file.
+    access_log: Optional[str] = None
+    #: Collect server-lifetime metrics (/v1/metrics, /v1/stats).
+    metrics: bool = True
     #: Retire terminal jobs beyond this many, oldest first
     #: (None = unbounded by count).
     max_finished_jobs: Optional[int] = 1024
@@ -116,15 +141,21 @@ class VerificationService:
 
     def __init__(self, config: ServerConfig) -> None:
         self.config = config
+        self.telemetry = ServiceMetrics(enabled=config.metrics)
+        self.access_log = AccessLog.open(config.access_log,
+                                         to_stderr=config.log_requests)
         self.auth = Authenticator(config.tokens)
-        self.limiter = RateLimiter(config.rate, config.burst)
+        self.limiter = RateLimiter(config.rate, config.burst,
+                                   metrics=self.telemetry)
         self.queue = JobQueue(config.queue_limit)
         self.pipeline = VerificationPipeline(
             ledger_dir=config.ledger_dir,
             use_cache=config.cache,
-            job_heartbeat=config.job_heartbeat)
+            job_heartbeat=config.job_heartbeat,
+            metrics=self.telemetry)
         self.pool = WorkerPool(self.queue, self.pipeline.run_job,
-                               workers=config.workers)
+                               workers=config.workers,
+                               on_failure=self.pipeline.note_failure)
         self.retention = RetentionPolicy(
             max_finished=config.max_finished_jobs,
             ttl=config.job_ttl)
@@ -140,20 +171,28 @@ class VerificationService:
 
     def stop(self) -> None:
         self.pool.stop()
+        self.access_log.close()
 
     # -- request handling -----------------------------------------------
 
     def authenticate(self, authorization: Optional[str]) -> str:
         principal = self.auth.authenticate(authorization)
         if principal is None:
+            self.telemetry.inc("auth_failures")
             raise ServiceError(
                 401, "unauthorized",
                 "missing or invalid bearer token",
                 headers={"WWW-Authenticate": "Bearer"})
         return principal
 
-    def submit(self, raw: Any, principal: str) -> Job:
-        """Parse, admission-control, and enqueue one request."""
+    def submit(self, raw: Any, principal: str,
+               request_id: Optional[str] = None) -> Job:
+        """Parse, admission-control, and enqueue one request.
+
+        ``request_id`` is the transport-level correlation id (inbound
+        ``X-Request-Id`` or generated); an explicit ``request_id``
+        field inside the document wins over it.
+        """
         allowed, retry_after = self.limiter.check(principal)
         if not allowed:
             raise ServiceError(
@@ -169,7 +208,8 @@ class VerificationService:
             raise ServiceError(400, error.code, str(error),
                                **({"field": error.field}
                                   if error.field else {})) from None
-        job = Job(request, priority=request.priority)
+        job = Job(request, priority=request.priority,
+                  request_id=request.request_id or request_id)
         job.events.append("submitted",
                           authenticated=self.auth.enabled,
                           request_hash=job.request_hash)
@@ -182,6 +222,7 @@ class VerificationService:
             with self._lock:
                 self._jobs.pop(job.id, None)
                 self._jobs_order.remove(job.id)
+            self.telemetry.inc("queue_full_rejections")
             raise ServiceError(
                 429, "queue_full",
                 f"{error} — backpressure: retry later",
@@ -199,6 +240,7 @@ class VerificationService:
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         job = self.job(job_id)
+        self.telemetry.inc("cancel_requests")
         newly = job.cancel()
         doc = job.snapshot(include_result=False)
         doc["cancelled"] = newly or job.state == JobState.CANCELLED
@@ -212,6 +254,7 @@ class VerificationService:
 
     def stats(self) -> Dict[str, Any]:
         self._retire_finished()
+        self.refresh_gauges()
         with self._lock:
             states: Dict[str, int] = {}
             for job in self._jobs.values():
@@ -220,21 +263,60 @@ class VerificationService:
             "status": "ok",
             "uptime_seconds": round(time.time() - self._started, 3),
             "workers": self.pool.alive,
+            "workers_busy": self.pool.busy,
             "queue_depth": len(self.queue),
             "queue_limit": self.queue.limit,
             "auth_enabled": self.auth.enabled,
             "rate_limit_enabled": self.limiter.enabled,
             "cache_enabled": self.pipeline.use_cache,
+            "metrics_enabled": self.telemetry.enabled,
             "ledger_dir": self.pipeline.ledger_dir,
+            "kernel": default_kernel(),
+            "apply": default_apply(),
             "jobs_by_state": states,
             "retention": {
                 "max_finished_jobs": self.retention.max_finished,
                 "job_ttl": self.retention.ttl,
             },
             "schema_version": REQUEST_SCHEMA_VERSION,
+            "request_schema_version": REQUEST_SCHEMA_VERSION,
+            "options_schema_version": OPTIONS_SCHEMA_VERSION,
         }
         stats.update(self.pipeline.stats())
         return stats
+
+    def stats_with_metrics(self) -> Dict[str, Any]:
+        """The healthz document plus the metrics snapshot
+        (``GET /v1/stats``)."""
+        doc = self.stats()
+        doc["metrics"] = self.telemetry.snapshot()
+        return doc
+
+    def refresh_gauges(self) -> None:
+        """Update the point-in-time saturation gauges (called before
+        every scrape/stats read — gauges describe *now*)."""
+        if not self.telemetry.enabled:
+            return
+        now = time.time()
+        self.telemetry.gauge("uptime_seconds",
+                             round(now - self._started, 3))
+        self.telemetry.gauge("queue_depth", float(len(self.queue)))
+        self.telemetry.gauge("queue_limit", float(self.queue.limit))
+        self.telemetry.gauge("workers_alive", float(self.pool.alive))
+        self.telemetry.gauge("workers_busy", float(self.pool.busy))
+        oldest = self.queue.oldest_created_at()
+        self.telemetry.gauge(
+            "queue_oldest_age_seconds",
+            round(now - oldest, 3) if oldest is not None else 0.0)
+
+    def metrics_prometheus(self) -> str:
+        """The Prometheus textfile body, or 404 when metrics are off."""
+        if not self.telemetry.enabled:
+            raise ServiceError(404, "metrics_disabled",
+                               "server started without metrics "
+                               "(drop --no-metrics to enable)")
+        self.refresh_gauges()
+        return self.telemetry.to_prometheus()
 
     def _retire_finished(self) -> None:
         """Apply the retention policy (TTL + count bound).
@@ -261,19 +343,30 @@ def _make_handler(service: VerificationService):
         # -- plumbing ---------------------------------------------------
 
         def log_message(self, fmt: str, *args: Any) -> None:
-            if service.config.log_requests:
-                sys.stderr.write("[repro:serve] %s - %s\n"
-                                 % (self.address_string(), fmt % args))
+            """Silenced: the structured access log replaces it."""
 
         def _send_json(self, status: int, payload: Any,
                        headers: Optional[Dict[str, str]] = None) -> None:
             body = (json.dumps(payload, indent=2, default=str)
                     + "\n").encode("utf-8")
+            self._status = status
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            self.send_header("X-Request-Id", self._request_id)
             for name, value in (headers or {}).items():
                 self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_text(self, status: int, text: str,
+                       content_type: str) -> None:
+            body = text.encode("utf-8")
+            self._status = status
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("X-Request-Id", self._request_id)
             self.end_headers()
             self.wfile.write(body)
 
@@ -302,63 +395,118 @@ def _make_handler(service: VerificationService):
             return service.authenticate(
                 self.headers.get("Authorization"))
 
+        def _inbound_request_id(self) -> str:
+            """The request's correlation id: a well-formed inbound
+            ``X-Request-Id``, else freshly generated (a malformed one
+            is ignored, not an error — correlation must never break a
+            request)."""
+            supplied = self.headers.get("X-Request-Id")
+            if supplied and valid_request_id(supplied):
+                return supplied
+            return uuid.uuid4().hex[:12]
+
         # -- verbs ------------------------------------------------------
 
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
-            try:
-                path, query = self._route()
-                if path == "/v1/healthz":
-                    self._send_json(200, service.stats())
-                    return
-                self._principal()
-                if path == "/v1/models":
-                    self._send_json(200, {
-                        name: {"help": spec.help,
-                               "params": sorted(spec.params),
-                               "bug_kind": spec.bug_kind}
-                        for name, spec in MODELS.items()})
-                elif path == "/v1/methods":
-                    self._send_json(200, {"methods": list(METHODS)})
-                elif path == "/v1/jobs":
-                    self._send_json(200, {"jobs": service.list_jobs()})
-                elif path.startswith("/v1/jobs/") \
-                        and path.endswith("/events"):
-                    job_id = path[len("/v1/jobs/"):-len("/events")]
-                    self._stream_events(service.job(job_id), query)
-                elif path.startswith("/v1/jobs/"):
-                    job = service.job(path[len("/v1/jobs/"):])
-                    self._send_json(200, job.snapshot())
-                else:
-                    raise ServiceError(404, "unknown_endpoint",
-                                       f"no endpoint {path!r}")
-            except ServiceError as error:
-                self._send_error_doc(error)
+            self._handle("GET")
 
         def do_POST(self) -> None:  # noqa: N802
+            self._handle("POST")
+
+        def do_DELETE(self) -> None:  # noqa: N802
+            self._handle("DELETE")
+
+        def _handle(self, verb: str) -> None:
+            """One request: dispatch, then account and access-log it.
+
+            The telemetry write happens after the response bytes are
+            out, so a metrics scrape reflects every *prior* request
+            and never itself.
+            """
+            started = time.perf_counter()
+            path, query = self._route()
+            self._request_id = self._inbound_request_id()
+            self._status = 500
+            self._log_extra: Dict[str, Any] = {}
             try:
-                path, _query = self._route()
+                try:
+                    self._dispatch(verb, path, query)
+                except ServiceError as error:
+                    self._send_error_doc(error)
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client went away mid-response
+            finally:
+                seconds = time.perf_counter() - started
+                route = route_key(verb, path)
+                service.telemetry.observe_request(route, self._status,
+                                                  seconds)
+                record = {"ts": round(time.time(), 3),
+                          "request_id": self._request_id,
+                          "remote": self.address_string(),
+                          "method": verb,
+                          "path": path,
+                          "route": route,
+                          "status": self._status,
+                          "seconds": round(seconds, 6)}
+                record.update(self._log_extra)
+                service.access_log.log(record)
+
+        def _dispatch(self, verb: str, path: str,
+                      query: Dict[str, List[str]]) -> None:
+            if verb == "POST":
                 principal = self._principal()
                 if path != "/v1/jobs":
                     raise ServiceError(404, "unknown_endpoint",
                                        f"no POST endpoint {path!r}")
-                job = service.submit(self._read_json(), principal)
+                job = service.submit(self._read_json(), principal,
+                                     request_id=self._request_id)
+                self._log_extra["job_id"] = job.id
                 self._send_json(202, job.snapshot(include_result=False),
                                 headers={"Location":
                                          f"/v1/jobs/{job.id}"})
-            except ServiceError as error:
-                self._send_error_doc(error)
-
-        def do_DELETE(self) -> None:  # noqa: N802
-            try:
-                path, _query = self._route()
+                return
+            if verb == "DELETE":
                 self._principal()
                 if not path.startswith("/v1/jobs/"):
                     raise ServiceError(404, "unknown_endpoint",
                                        f"no DELETE endpoint {path!r}")
-                self._send_json(200,
-                                service.cancel(path[len("/v1/jobs/"):]))
-            except ServiceError as error:
-                self._send_error_doc(error)
+                doc = service.cancel(path[len("/v1/jobs/"):])
+                self._log_extra["job_id"] = doc.get("id")
+                self._send_json(200, doc)
+                return
+            # GET
+            if path == "/v1/healthz":
+                self._send_json(200, service.stats())
+                return
+            self._principal()
+            if path == "/v1/metrics":
+                self._send_text(200, service.metrics_prometheus(),
+                                PROM_CONTENT_TYPE)
+            elif path == "/v1/stats":
+                self._send_json(200, service.stats_with_metrics())
+            elif path == "/v1/models":
+                self._send_json(200, {
+                    name: {"help": spec.help,
+                           "params": sorted(spec.params),
+                           "bug_kind": spec.bug_kind}
+                    for name, spec in MODELS.items()})
+            elif path == "/v1/methods":
+                self._send_json(200, {"methods": list(METHODS)})
+            elif path == "/v1/jobs":
+                self._send_json(200, {"jobs": service.list_jobs()})
+            elif path.startswith("/v1/jobs/") \
+                    and path.endswith("/events"):
+                job_id = path[len("/v1/jobs/"):-len("/events")]
+                job = service.job(job_id)
+                self._log_extra["job_id"] = job.id
+                self._stream_events(job, query)
+            elif path.startswith("/v1/jobs/"):
+                job = service.job(path[len("/v1/jobs/"):])
+                self._log_extra["job_id"] = job.id
+                self._send_json(200, job.snapshot())
+            else:
+                raise ServiceError(404, "unknown_endpoint",
+                                   f"no endpoint {path!r}")
 
         # -- event streaming -------------------------------------------
 
@@ -370,13 +518,27 @@ def _make_handler(service: VerificationService):
                 raise ServiceError(400, "bad_since",
                                    "'since' must be an integer") from None
             follow = query.get("follow", ["0"])[0] in ("1", "true")
+            self._status = 200
             self.send_response(200)
             self.send_header("Content-Type", "application/x-ndjson")
             self.send_header("X-Job-State", job.state)
+            self.send_header("X-Request-Id", self._request_id)
             self.end_headers()
             seq = since
+            dropped = 0
             try:
                 while True:
+                    current = job.events.dropped
+                    if current != dropped:
+                        # Surface buffer truncation inline so a tailing
+                        # client knows the log is not gapless.
+                        line = json.dumps(
+                            {"kind": "events_dropped",
+                             "dropped": current,
+                             "request_id": job.request_id},
+                            default=str) + "\n"
+                        self.wfile.write(line.encode("utf-8"))
+                        dropped = current
                     batch = job.events.snapshot(seq)
                     if batch:
                         for event in batch:

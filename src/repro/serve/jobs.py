@@ -70,19 +70,25 @@ class JobEventLog:
     lines written to it become ``{"kind": "heartbeat", ...}`` events.
     """
 
-    def __init__(self, max_events: int = MAX_EVENTS) -> None:
+    def __init__(self, max_events: int = MAX_EVENTS,
+                 request_id: Optional[str] = None) -> None:
         self._events: List[Dict[str, Any]] = []
         self._dropped = 0
         self._max = max_events
         self._lock = threading.Lock()
         self._seq = 0
         self._pending_line = ""
+        #: Stamped onto every event so a single NDJSON line is enough
+        #: to correlate with the access log and the ledger sidecar.
+        self.request_id = request_id
 
     def append(self, kind: str, **fields: Any) -> None:
         """Record one event (stamped with a sequence number and time)."""
         with self._lock:
             event = {"seq": self._seq, "ts": round(time.time(), 3),
                      "kind": kind}
+            if self.request_id is not None:
+                event["request_id"] = self.request_id
             event.update(fields)
             self._seq += 1
             self._events.append(event)
@@ -144,13 +150,22 @@ class JobEventTracer(Tracer):
 class Job:
     """One queued/running/finished verification request."""
 
-    def __init__(self, request: Any, priority: int = 0) -> None:
+    def __init__(self, request: Any, priority: int = 0,
+                 request_id: Optional[str] = None) -> None:
         self.id = uuid.uuid4().hex[:12]
         self.request = request
         self.request_hash = request.request_hash()
         self.priority = priority
         self.state = JobState.QUEUED
-        self.events = JobEventLog()
+        #: The correlation id of the submitting HTTP request (inbound
+        #: ``X-Request-Id`` or server-generated); stamped on every
+        #: event line and archived with the run.
+        self.request_id = request_id or uuid.uuid4().hex[:12]
+        self.events = JobEventLog(request_id=self.request_id)
+        #: Phase rollup written by the pipeline (queue_wait / build /
+        #: run / archive seconds) — service wall-clock, never part of
+        #: the content-addressed run document.
+        self.phases: Dict[str, float] = {}
         self.created_at = time.time()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -196,6 +211,11 @@ class Job:
         with self._lock:
             self._manager = None
 
+    def record_phase(self, name: str, seconds: float) -> None:
+        """Record one service-side phase duration (pipeline-set)."""
+        with self._lock:
+            self.phases[name] = round(float(seconds), 6)
+
     # -- cancellation (HTTP side) ---------------------------------------
 
     @property
@@ -233,6 +253,7 @@ class Job:
             doc: Dict[str, Any] = {
                 "id": self.id,
                 "state": self.state,
+                "request_id": self.request_id,
                 "request_hash": self.request_hash,
                 "priority": self.priority,
                 "label": self.request.label,
@@ -243,12 +264,20 @@ class Job:
                                if self.started_at else None),
                 "finished_at": (round(self.finished_at, 3)
                                 if self.finished_at else None),
+                "queue_wait_seconds": (
+                    round(self.started_at - self.created_at, 6)
+                    if self.started_at else None),
+                "run_seconds": (
+                    round(self.finished_at - self.started_at, 6)
+                    if self.started_at and self.finished_at else None),
                 "cached": self.cached,
                 "run_id": self.run_id,
                 "cancel_requested": self._cancel_requested,
                 "events": self.events.next_seq,
                 "events_dropped": self.events.dropped,
             }
+            if self.phases:
+                doc["phases"] = dict(self.phases)
             if self.error is not None:
                 doc["error"] = dict(self.error)
             if include_result and self.result is not None:
@@ -366,6 +395,13 @@ class JobQueue:
         with self._lock:
             return len(self._heap)
 
+    def oldest_created_at(self) -> Optional[float]:
+        """Arrival time of the longest-queued job (the age gauge)."""
+        with self._lock:
+            if not self._heap:
+                return None
+            return min(entry[2].created_at for entry in self._heap)
+
 
 class WorkerPool:
     """N daemon threads draining the queue through one executor.
@@ -379,11 +415,18 @@ class WorkerPool:
 
     def __init__(self, queue: JobQueue,
                  executor: Callable[[Job], None],
-                 workers: int = 2) -> None:
+                 workers: int = 2,
+                 on_failure: Optional[Callable[[Job], None]] = None
+                 ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
         self._queue = queue
         self._executor = executor
+        #: Called (outside any pool lock) after a job the executor let
+        #: escape is marked failed — the service counts these.
+        self._on_failure = on_failure
+        self._busy = 0
+        self._busy_lock = threading.Lock()
         self._threads = [
             threading.Thread(target=self._loop,
                              name=f"repro-serve-worker-{index}",
@@ -409,6 +452,12 @@ class WorkerPool:
         """Number of worker threads currently alive."""
         return sum(thread.is_alive() for thread in self._threads)
 
+    @property
+    def busy(self) -> int:
+        """Number of workers currently inside the executor."""
+        with self._busy_lock:
+            return self._busy
+
     def _loop(self) -> None:
         while True:
             job = self._queue.get()
@@ -417,6 +466,8 @@ class WorkerPool:
             if job.cancel_requested:
                 job.finish(JobState.CANCELLED, where="queued")
                 continue
+            with self._busy_lock:
+                self._busy += 1
             try:
                 self._executor(job)
             except Exception as error:  # noqa: BLE001 - worker survives
@@ -424,3 +475,8 @@ class WorkerPool:
                              "message": str(error),
                              "traceback": traceback.format_exc()}
                 job.finish(JobState.FAILED, error=str(error))
+                if self._on_failure is not None:
+                    self._on_failure(job)
+            finally:
+                with self._busy_lock:
+                    self._busy -= 1

@@ -61,10 +61,13 @@ class RateLimiter:
     """
 
     def __init__(self, rate: Optional[float], burst: float = 10.0,
-                 clock=time.monotonic) -> None:
+                 clock=time.monotonic, metrics=None) -> None:
         self.rate = rate if rate and rate > 0 else None
         self.burst = float(burst)
         self._clock = clock
+        #: Optional :class:`~repro.serve.telemetry.ServiceMetrics`
+        #: counting allowed/rejected decisions.
+        self._metrics = metrics
         self._buckets: Dict[str, TokenBucket] = {}
         self._lock = threading.Lock()
 
@@ -82,4 +85,8 @@ class RateLimiter:
                 bucket = TokenBucket(self.rate, self.burst,
                                      clock=self._clock)
                 self._buckets[principal] = bucket
-            return bucket.acquire()
+            allowed, retry_after = bucket.acquire()
+        if self._metrics is not None:
+            self._metrics.inc("rate_limit_allowed" if allowed
+                              else "rate_limit_rejected")
+        return allowed, retry_after

@@ -37,7 +37,7 @@ from ..core.options import Options, request_hash
 from ..models import MODELS
 
 __all__ = ["REQUEST_SCHEMA_VERSION", "RequestError", "VerifyRequest",
-           "parse_request"]
+           "parse_request", "valid_request_id", "MAX_REQUEST_ID_LEN"]
 
 #: Version of the request document shape; echoed in responses and
 #: checked (when present) on ingest.
@@ -45,7 +45,23 @@ REQUEST_SCHEMA_VERSION = 1
 
 #: Top-level request keys the parser accepts.
 _REQUEST_KEYS = ("schema_version", "model", "params", "bug", "method",
-                 "assisted", "options", "priority", "label")
+                 "assisted", "options", "priority", "label",
+                 "request_id")
+
+#: Characters allowed in a client-supplied request id (header or body);
+#: anything else is rejected rather than laundered into logs/filenames.
+_REQUEST_ID_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+#: Longest accepted client-supplied request id.
+MAX_REQUEST_ID_LEN = 128
+
+
+def valid_request_id(value: Any) -> bool:
+    """True when ``value`` is a usable correlation id (non-empty str,
+    bounded length, safe charset)."""
+    return (isinstance(value, str) and 0 < len(value) <= MAX_REQUEST_ID_LEN
+            and set(value) <= _REQUEST_ID_CHARS)
 
 
 class RequestError(ValueError):
@@ -82,6 +98,10 @@ class VerifyRequest:
     options: Options = field(default_factory=Options)
     priority: int = 0
     label: str = ""
+    #: Optional client-chosen correlation id; excluded from
+    #: :meth:`request_hash` (two identical runs with different ids
+    #: must still collide in the cache).
+    request_id: Optional[str] = None
 
     def request_hash(self) -> str:
         """The canonical request identity (ledger cache key)."""
@@ -91,7 +111,7 @@ class VerifyRequest:
 
     def to_dict(self) -> Dict[str, Any]:
         """The canonical wire form; ``parse_request`` round-trips it."""
-        return {
+        doc = {
             "schema_version": REQUEST_SCHEMA_VERSION,
             "model": self.model,
             "params": dict(self.params),
@@ -102,6 +122,9 @@ class VerifyRequest:
             "priority": self.priority,
             "label": self.label,
         }
+        if self.request_id is not None:
+            doc["request_id"] = self.request_id
+        return doc
 
 
 def _require(condition: bool, code: str, message: str,
@@ -180,7 +203,15 @@ def parse_request(data: Any) -> VerifyRequest:
     _require(isinstance(label, str), "bad_label",
              "'label' must be a string", "label")
 
+    request_id = data.get("request_id")
+    _require(request_id is None or valid_request_id(request_id),
+             "bad_request_id",
+             f"'request_id' must be a non-empty string of at most "
+             f"{MAX_REQUEST_ID_LEN} characters from [A-Za-z0-9._-]",
+             "request_id")
+
     return VerifyRequest(model=model, method=method,
                          params=dict(params), bug=bug,
                          assisted=assisted, options=options,
-                         priority=priority, label=label)
+                         priority=priority, label=label,
+                         request_id=request_id)

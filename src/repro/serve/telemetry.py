@@ -1,0 +1,306 @@
+"""Service-layer telemetry: request metrics, access log, ops report.
+
+The job server reuses the :mod:`repro.obs` stack instead of inventing a
+parallel one — one server-lifetime
+:class:`~repro.obs.registry.MetricsRegistry` collects everything the
+transport and the pipeline emit, and the existing Prometheus exporter
+(:func:`repro.obs.exporters.to_prometheus`) renders ``GET /v1/metrics``.
+This module is the thin service-specific layer on top:
+
+* :class:`ServiceMetrics` — a thread-safe facade over one registry.
+  The engine-side registry is deliberately lock-free (one run, one
+  thread); the server is many HTTP handler threads plus the worker
+  pool, so every mutation here goes through one lock.  Disabled
+  (``repro serve --no-metrics``) it is all no-ops, mirroring the
+  :class:`~repro.obs.registry.NullRegistry` contract — an unmetered
+  server is byte-identical in every job-visible document.
+* :func:`route_key` — the fixed route vocabulary (``submit``,
+  ``get_job``, ``events`` ...) that keys the per-endpoint request
+  counters (``http_requests_<route>``) and latency histograms
+  (``http_request_seconds_<route>``, on the shared
+  :data:`~repro.obs.registry.TIME_BUCKETS_S` edges so two servers —
+  or two commits — are always bucket-compatible).
+* :class:`AccessLog` — the structured JSONL access log
+  (``--access-log FILE``), one JSON object per request with the
+  propagated ``request_id``; replaces the old unstructured
+  ``log_message`` stderr line.
+* :func:`render_service_report` — the ``repro serve-report`` markdown
+  ops summary (throughput, per-endpoint p50/p95/p99, cache hit rate,
+  saturation) over a scraped ``/v1/metrics`` textfile or a metrics
+  JSONL summary.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from typing import Any, Dict, List, Optional, TextIO
+
+from ..obs.exporters import to_prometheus
+from ..obs.registry import Histogram, MetricsRegistry
+
+__all__ = ["ServiceMetrics", "AccessLog", "route_key", "ROUTE_KEYS",
+           "render_service_report"]
+
+#: The fixed route vocabulary; every request maps onto exactly one key
+#: (unknown paths land in ``other``), so per-endpoint series never grow
+#: unboundedly with client-controlled strings.
+ROUTE_KEYS = ("submit", "list_jobs", "get_job", "events", "cancel",
+              "healthz", "stats", "metrics", "models", "methods",
+              "other")
+
+
+def route_key(method: str, path: str) -> str:
+    """Map one (HTTP verb, normalized path) onto the route vocabulary."""
+    if path == "/v1/jobs":
+        return "submit" if method == "POST" else "list_jobs"
+    if path.startswith("/v1/jobs/"):
+        if path.endswith("/events"):
+            return "events"
+        return "cancel" if method == "DELETE" else "get_job"
+    fixed = {"/v1/healthz": "healthz", "/v1/stats": "stats",
+             "/v1/metrics": "metrics", "/v1/models": "models",
+             "/v1/methods": "methods"}
+    return fixed.get(path, "other")
+
+
+class ServiceMetrics:
+    """Thread-safe server-lifetime metrics facade.
+
+    Wraps one :class:`MetricsRegistry` behind a lock (HTTP handler
+    threads, worker threads, and scrapes all mutate concurrently).
+    Disabled instances keep the full interface as no-ops so call sites
+    never branch — the same null-object discipline as the engine-side
+    :data:`~repro.obs.registry.NULL_REGISTRY`.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self.registry: Optional[MetricsRegistry] = \
+            MetricsRegistry() if self.enabled else None
+        self._lock = threading.Lock()
+
+    # -- mutators (all no-ops when disabled) ----------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self.registry.inc(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self.registry.gauge(name, value)
+
+    def observe_time(self, name: str, seconds: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self.registry.observe_time(name, seconds)
+
+    def observe_request(self, route: str, status: int,
+                        seconds: float) -> None:
+        """Account one finished HTTP request: counter + latency."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self.registry.inc(f"http_requests_{route}")
+            self.registry.inc(f"http_status_{status // 100}xx")
+            self.registry.observe_time(f"http_request_seconds_{route}",
+                                       seconds)
+
+    # -- views ----------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of one counter (0 when unseen or disabled)."""
+        if not self.enabled:
+            return 0
+        with self._lock:
+            return self.registry.counters.get(name, 0)
+
+    def snapshot(self) -> Optional[Dict[str, Any]]:
+        """The registry snapshot dict, or None when disabled."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            return self.registry.snapshot()
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition of the registry."""
+        if not self.enabled:
+            return ""
+        with self._lock:
+            return to_prometheus(self.registry)
+
+
+class AccessLog:
+    """Structured JSONL access log: one JSON object per request.
+
+    Each record carries at least ``ts``, ``request_id``, ``method``,
+    ``path``, ``route``, ``status``, and ``seconds``; the handler adds
+    context like ``job_id`` on submits.  Lines are written atomically
+    under a lock and flushed per record, so a tailing collector never
+    sees a torn line.  A disabled log (no sink) is all no-ops.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 close_stream: bool = False) -> None:
+        self._stream = stream
+        self._close_stream = close_stream
+        self._lock = threading.Lock()
+
+    @classmethod
+    def open(cls, path: Optional[str] = None,
+             to_stderr: bool = False) -> "AccessLog":
+        """The configured sink: FILE (append) > stderr > disabled."""
+        if path:
+            return cls(open(path, "a", encoding="utf-8"),
+                       close_stream=True)
+        if to_stderr:
+            return cls(sys.stderr)
+        return cls(None)
+
+    @property
+    def enabled(self) -> bool:
+        return self._stream is not None
+
+    def log(self, record: Dict[str, Any]) -> None:
+        if self._stream is None:
+            return
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            try:
+                self._stream.write(line)
+                self._stream.flush()
+            except ValueError:
+                pass  # sink closed mid-shutdown; drop the line
+
+    def close(self) -> None:
+        if self._close_stream and self._stream is not None:
+            self._stream.close()
+        self._stream = None
+
+
+# ----------------------------------------------------------------------
+# The ops report (``repro serve-report``)
+# ----------------------------------------------------------------------
+
+def _hist(histograms: Dict[str, Any], name: str) -> Optional[Histogram]:
+    data = histograms.get(name)
+    if not data:
+        return None
+    return Histogram.from_dict(data)
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    return f"{value * 1e3:.1f}ms"
+
+
+def _pct(part: float, whole: float) -> str:
+    if whole <= 0:
+        return "-"
+    return f"{100.0 * part / whole:.1f}%"
+
+
+def render_service_report(data: Dict[str, Any],
+                          source: str = "") -> str:
+    """Markdown ops summary of one scraped server metrics dict.
+
+    ``data`` is the common counters/gauges/histograms shape produced by
+    :meth:`ServiceMetrics.snapshot`,
+    :func:`repro.obs.exporters.parse_prometheus` (a ``/v1/metrics``
+    scrape), or the summary line of a metrics JSONL file — throughput,
+    per-endpoint latency quantiles, cache effectiveness, saturation.
+    """
+    counters = data.get("counters") or {}
+    gauges = data.get("gauges") or {}
+    histograms = data.get("histograms") or {}
+
+    lines: List[str] = ["# repro serve report"]
+    if source:
+        lines.append(f"*source: {source}*")
+    lines.append("")
+
+    requests = {route: counters[f"http_requests_{route}"]
+                for route in ROUTE_KEYS
+                if f"http_requests_{route}" in counters}
+    total = sum(requests.values())
+    uptime = gauges.get("uptime_seconds")
+    throughput = (f"{total / uptime:.2f} req/s"
+                  if uptime else "- req/s")
+    lines.append(f"- **requests**: {total} total, {throughput} "
+                 f"(uptime {_fmt_seconds(uptime)})")
+
+    hits = counters.get("ledger_cache_hits", 0)
+    misses = counters.get("ledger_cache_misses", 0)
+    lines.append(f"- **cache**: {hits} hits / {misses} misses "
+                 f"(hit rate {_pct(hits, hits + misses)})")
+
+    executed = counters.get("jobs_executed", 0)
+    failed = counters.get("jobs_failed", 0)
+    cancelled = counters.get("jobs_cancelled", 0)
+    lines.append(f"- **jobs**: {executed} executed, {failed} failed, "
+                 f"{cancelled} cancelled")
+
+    refused = (f"{counters.get('rate_limit_rejected', 0)} rate-limited, "
+               f"{counters.get('queue_full_rejections', 0)} queue-full, "
+               f"{counters.get('auth_failures', 0)} auth failures")
+    lines.append(f"- **refusals**: {refused}")
+
+    depth = gauges.get("queue_depth")
+    limit = gauges.get("queue_limit")
+    busy = gauges.get("workers_busy")
+    workers = gauges.get("workers_alive")
+    oldest = gauges.get("queue_oldest_age_seconds")
+    if depth is not None or busy is not None:
+        queue_part = (f"queue {int(depth or 0)}/{int(limit or 0)} "
+                      f"({_pct(depth or 0, limit or 0)})")
+        worker_part = f"workers {int(busy or 0)}/{int(workers or 0)} busy"
+        age_part = f"oldest queued {_fmt_seconds(oldest)}"
+        lines.append(f"- **saturation**: {queue_part}, {worker_part}, "
+                     f"{age_part}")
+
+    if requests:
+        lines.append("")
+        lines.append("## endpoints")
+        lines.append("")
+        lines.append("| endpoint | requests | p50 | p95 | p99 | mean |")
+        lines.append("|---|---:|---:|---:|---:|---:|")
+        for route in ROUTE_KEYS:
+            if route not in requests:
+                continue
+            hist = _hist(histograms, f"http_request_seconds_{route}")
+            if hist is not None and hist.count:
+                p50 = _fmt_seconds(hist.quantile(0.5))
+                p95 = _fmt_seconds(hist.quantile(0.95))
+                p99 = _fmt_seconds(hist.quantile(0.99))
+                mean = _fmt_seconds(hist.mean)
+            else:
+                p50 = p95 = p99 = mean = "-"
+            lines.append(f"| {route} | {requests[route]} | {p50} "
+                         f"| {p95} | {p99} | {mean} |")
+
+    queue_wait = _hist(histograms, "job_queue_wait_seconds")
+    run = _hist(histograms, "job_run_seconds")
+    if queue_wait is not None or run is not None:
+        lines.append("")
+        lines.append("## job phases")
+        lines.append("")
+        lines.append("| phase | jobs | p50 | p95 | mean |")
+        lines.append("|---|---:|---:|---:|---:|")
+        for label, hist in (("queue wait", queue_wait), ("run", run)):
+            if hist is None or not hist.count:
+                continue
+            lines.append(
+                f"| {label} | {hist.count} "
+                f"| {_fmt_seconds(hist.quantile(0.5))} "
+                f"| {_fmt_seconds(hist.quantile(0.95))} "
+                f"| {_fmt_seconds(hist.mean)} |")
+    return "\n".join(lines)
