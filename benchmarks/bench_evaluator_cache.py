@@ -51,22 +51,32 @@ def _models(scale: str) -> Dict[str, Callable]:
 
 
 def run_config(factory: Callable, use_cache: bool,
-               rounds: int) -> Dict[str, object]:
-    """Best-of-``rounds`` wall time plus exact operation counts."""
+               rounds: int) -> "tuple[Dict[str, object], list]":
+    """Best-of-``rounds`` wall time plus exact operation counts.
+
+    Returns the best-round metrics record *and* the raw per-round
+    samples (schema 2) so the report keeps the variance, not just the
+    winner.
+    """
     best_seconds = None
     record: Dict[str, object] = {}
+    samples: list = []
     for _ in range(rounds):
         problem = factory()  # fresh manager per round
         options = Options(use_pair_cache=use_cache,
                           max_nodes=4_000_000, time_limit=300.0)
+        cpu0 = time.process_time()
         start = time.perf_counter()
         result = verify(problem, "xici", options)
         elapsed = time.perf_counter() - start
+        cpu = time.process_time() - cpu0
         if not result.verified:
             raise SystemExit(
                 f"benchmark model did not verify: {problem.name} "
                 f"(cache={'on' if use_cache else 'off'}): "
                 f"{result.outcome}")
+        samples.append(benchjson.make_sample(elapsed, cpu_seconds=cpu,
+                                             result=result))
         if best_seconds is None or elapsed < best_seconds:
             best_seconds = elapsed
             eval_stats = result.extra["evaluation_stats"]
@@ -82,7 +92,7 @@ def run_config(factory: Callable, use_cache: bool,
             if cache_stats is not None:
                 record["product_hits"] = cache_stats["product_hits"]
                 record["product_misses"] = cache_stats["product_misses"]
-    return record
+    return record, samples
 
 
 def build_report(scale: str = "quick", rounds: int = 3) -> Dict[str, object]:
@@ -91,10 +101,14 @@ def build_report(scale: str = "quick", rounds: int = 3) -> Dict[str, object]:
                                   rounds=rounds)
     derived = report["derived"]
     for name, factory in _models(scale).items():
-        on = run_config(factory, use_cache=True, rounds=rounds)
-        off = run_config(factory, use_cache=False, rounds=rounds)
-        benchjson.add_entry(report, name, "xici", "cache_on", on)
-        benchjson.add_entry(report, name, "xici", "cache_off", off)
+        on, on_samples = run_config(factory, use_cache=True,
+                                    rounds=rounds)
+        off, off_samples = run_config(factory, use_cache=False,
+                                      rounds=rounds)
+        benchjson.add_entry(report, name, "xici", "cache_on", on,
+                            samples=on_samples)
+        benchjson.add_entry(report, name, "xici", "cache_off", off,
+                            samples=off_samples)
         derived[name] = {
             "pairs_built_saved": off["pairs_built"] - on["pairs_built"],
             "speedup": round(off["seconds"] / max(on["seconds"], 1e-9), 3),

@@ -392,6 +392,7 @@ def _apply_sweep(report: Dict[str, object], scale: str,
         # best[component][label] / checksums[component][label]
         best: Dict[str, Dict[str, float]] = {}
         checksums: Dict[str, Dict[str, str]] = {}
+        rounds_seen: Dict[str, Dict[str, List[float]]] = {}
         for label, kernel, mode in variants:
             for _ in range(rounds):
                 for part, (seconds, checksum) in \
@@ -406,6 +407,8 @@ def _apply_sweep(report: Dict[str, object], scale: str,
                     times = best.setdefault(part, {})
                     if label not in times or seconds < times[label]:
                         times[label] = seconds
+                    rounds_seen.setdefault(part, {}) \
+                        .setdefault(label, []).append(seconds)
         for part, sums in checksums.items():
             if len(set(sums.values())) != 1:
                 raise SystemExit(f"apply_{part}_{n}: variants disagree "
@@ -416,7 +419,11 @@ def _apply_sweep(report: Dict[str, object], scale: str,
                                         "outcome": f"ok:{sums[label]}",
                                         "seconds":
                                             round(best[part][label], 4),
-                                    })
+                                    },
+                                    samples=[
+                                        benchjson.make_sample(s)
+                                        for s in
+                                        rounds_seen[part][label]])
         cold = best["cold"]
         line = (f"apply_cold_{n:<5} dict {cold['dict']:>8.4f}s  "
                 f"arr-rec {cold['array-recursive']:>8.4f}s")
@@ -476,6 +483,7 @@ def build_report(scale: str = "quick", rounds: int = 3) -> Dict[str, object]:
     for name, workload, kind in WORKLOADS:
         best: Dict[str, float] = {}
         checksums: Dict[str, str] = {}
+        rounds_seen: Dict[str, List[float]] = {}
         for kernel in KERNELS:
             for _ in range(rounds):
                 seconds, checksum = workload(kernel, scale)
@@ -486,6 +494,7 @@ def build_report(scale: str = "quick", rounds: int = 3) -> Dict[str, object]:
                 checksums[kernel] = checksum
                 if kernel not in best or seconds < best[kernel]:
                     best[kernel] = seconds
+                rounds_seen.setdefault(kernel, []).append(seconds)
         if len(set(checksums.values())) != 1:
             raise SystemExit(
                 f"{name}: kernels disagree structurally: {checksums}")
@@ -493,7 +502,8 @@ def build_report(scale: str = "quick", rounds: int = 3) -> Dict[str, object]:
             benchjson.add_entry(report, name, "micro", kernel, {
                 "outcome": f"ok:{checksums[kernel]}",
                 "seconds": round(best[kernel], 4),
-            })
+            }, samples=[benchjson.make_sample(s)
+                        for s in rounds_seen[kernel]])
         speedup = best["dict"] / best["array"]
         speedups[name] = round(speedup, 3)
         if kind == "bulk":

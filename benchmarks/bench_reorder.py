@@ -66,22 +66,32 @@ def _models(scale: str) -> Dict[str, Callable]:
 
 
 def run_config(factory: Callable, mode: str,
-               rounds: int) -> Dict[str, object]:
-    """Best-of-``rounds`` wall time plus the run's reordering record."""
+               rounds: int) -> "tuple[Dict[str, object], list]":
+    """Best-of-``rounds`` wall time plus the run's reordering record.
+
+    Returns the best-round metrics record *and* the raw per-round
+    samples (schema 2) so the report keeps the variance, not just the
+    winner.
+    """
     best_seconds = None
     record: Dict[str, object] = {}
+    samples: list = []
     for _ in range(rounds):
         problem = factory()  # fresh manager (and order) per round
         options = Options(reorder=mode, reorder_trigger=AUTO_TRIGGER,
                           gc_min_nodes=2_000,
                           max_nodes=4_000_000, time_limit=300.0)
+        cpu0 = time.process_time()
         start = time.perf_counter()
         result = verify(problem, "fwd", options)
         elapsed = time.perf_counter() - start
+        cpu = time.process_time() - cpu0
         if not result.verified:
             raise SystemExit(
                 f"benchmark model did not verify: {problem.name} "
                 f"(reorder={mode}): {result.outcome}")
+        samples.append(benchjson.make_sample(elapsed, cpu_seconds=cpu,
+                                             result=result))
         if best_seconds is None or elapsed < best_seconds:
             best_seconds = elapsed
             record = benchjson.result_metrics(result, seconds=elapsed)
@@ -91,7 +101,7 @@ def run_config(factory: Callable, mode: str,
                 "sift_nodes_saved": result.reorder_stats["nodes_saved"],
                 "sift_seconds": round(result.reorder_stats["seconds"], 4),
             })
-    return record
+    return record, samples
 
 
 def build_report(scale: str = "quick", rounds: int = 3) -> Dict[str, object]:
@@ -102,9 +112,10 @@ def build_report(scale: str = "quick", rounds: int = 3) -> Dict[str, object]:
     for name, factory in _models(scale).items():
         rows: Dict[str, Dict[str, object]] = {}
         for mode in MODES:
-            row = run_config(factory, mode, rounds=rounds)
+            row, row_samples = run_config(factory, mode, rounds=rounds)
             rows[mode] = row
-            benchjson.add_entry(report, name, "fwd", mode, row)
+            benchjson.add_entry(report, name, "fwd", mode, row,
+                                samples=row_samples)
             print(f"{name:<8} {mode:<5} {row['seconds']:>8.3f}s  "
                   f"peak={row['peak_nodes']:<8} "
                   f"max_iterate={row['max_iterate_nodes']:<7} "

@@ -38,8 +38,14 @@ def run_cell(benchmark, make_row: Callable[[], ReportRow],
     info = result.to_dict(include_profiles=False,
                           include_counterexample=False)
     metrics = benchjson.result_metrics(result)
+    # Schema 2: keep the (single-round) raw sample alongside the
+    # aggregates so downstream perf tooling sees a uniform shape.
+    samples = [benchjson.make_sample(result.elapsed_seconds,
+                                     result=result)]
+    metrics.update(benchjson.summarize_samples(samples))
     benchmark.extra_info["result"] = info
     benchmark.extra_info["metrics"] = metrics
+    benchmark.extra_info["samples"] = samples
     benchmark.extra_info["schema_version"] = benchjson.SCHEMA_VERSION
     benchmark.extra_info["outcome"] = metrics["outcome"]
     benchmark.extra_info["iterations"] = metrics["iterations"]

@@ -29,12 +29,23 @@ Anything absent from the baseline (new cell, new metric) passes with a
 note; a cell present in the baseline but missing from the current run
 fails — silently dropping coverage must not read as green.
 
+**Noise-aware mode** (``--history LEDGER``): instead of the blunt 5x
+wall-time bound, each cell with enough recorded trajectory in the perf
+history store (``<ledger>/perf/history.jsonl``) gates ``seconds``
+against its own bootstrap confidence interval via
+:func:`repro.obs.perf.seconds_tolerances_from_history` — the gate
+tightens as evidence accumulates.  ``--record`` appends the fresh
+reports to the same store, so a scheduled CI job both feeds and
+consumes the trajectory.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/regress.py            # full rounds
     PYTHONPATH=src python benchmarks/regress.py --quick    # 1 round, CI
     PYTHONPATH=src python benchmarks/regress.py --update-baselines
     PYTHONPATH=src python benchmarks/regress.py --json verdict.json
+    PYTHONPATH=src python benchmarks/regress.py --quick \\
+        --history perf-ledger --record
 """
 
 from __future__ import annotations
@@ -49,7 +60,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.obs import benchjson  # noqa: E402
+from repro.obs import benchjson, perf  # noqa: E402
 from repro.obs.ledger import DEFAULT_TOLERANCES, Tolerance, \
     diff_reports  # noqa: E402
 
@@ -101,9 +112,26 @@ def main(argv=None) -> int:
                         help="also write the machine-readable verdict "
                              "(per-cell pass/fail with metric deltas) "
                              "as JSON")
+    parser.add_argument("--history", type=Path, default=None,
+                        metavar="LEDGER",
+                        help="noise-aware mode: gate seconds against "
+                             "each cell's bootstrap CI from the perf "
+                             "history store under LEDGER/perf/ "
+                             "(cells with thin history keep the "
+                             "default bound)")
+    parser.add_argument("--record", action="store_true",
+                        help="append the fresh reports to the perf "
+                             "history store (requires --history)")
+    parser.add_argument("--min-history", type=int, default=5,
+                        help="observations before the noise-aware gate "
+                             "engages for a cell")
     args = parser.parse_args(argv)
     rounds = args.rounds if args.rounds is not None \
         else (1 if args.quick else 3)
+    if args.record and args.history is None:
+        parser.error("--record requires --history LEDGER")
+    history = perf.load_history(args.history) \
+        if args.history is not None else []
 
     all_violations: List[str] = []
     verdicts: List[Dict[str, Any]] = []
@@ -111,6 +139,11 @@ def main(argv=None) -> int:
         baseline_path = args.baseline_dir / filename
         print(f"== {filename} (rounds={rounds}) ==")
         report = module.build_report(scale="quick", rounds=rounds)
+        if args.record:
+            index, _point = perf.record_report_point(args.history,
+                                                     report)
+            print(f"  recorded history point #{index} in "
+                  f"{perf.history_path(args.history)}")
         if args.update_baselines:
             benchjson.write_report(report, baseline_path)
             print(f"updated {baseline_path}")
@@ -124,7 +157,16 @@ def main(argv=None) -> int:
                              "passed": False})
             continue
         baseline = benchjson.load_report(baseline_path)
-        diff = diff_reports(baseline, report)
+        cell_tolerances = None
+        if history:
+            cell_tolerances = perf.seconds_tolerances_from_history(
+                history, report.get("benchmark", "?"),
+                min_points=args.min_history)
+            if cell_tolerances:
+                print(f"  noise-aware gate armed for "
+                      f"{len(cell_tolerances)} cell(s)")
+        diff = diff_reports(baseline, report,
+                            cell_tolerances=cell_tolerances)
         verdicts.append(diff)
         for note in diff["notes"]:
             print(f"  note: {note}")

@@ -265,6 +265,7 @@ class LevelizedApply:
                        _np.zeros(1, dtype=_np.int64))]}
         records = []
         requests = 0
+        peak_width = 0
         hits = 0
         misses = 0
         while pend:
@@ -276,6 +277,8 @@ class LevelizedApply:
             NEG = _np.concatenate([c[3] for c in chunks])
             DEST = _np.concatenate([c[4] for c in chunks])
             requests += F.shape[0]
+            if F.shape[0] > peak_width:
+                peak_width = F.shape[0]
             # Sort-based unique over the request triple — the batch
             # analogue of the computed cache (duplicates collapse here
             # instead of hitting a per-node hash probe).
@@ -368,6 +371,8 @@ class LevelizedApply:
                             hitres, (Fu, Gu, Hu), store_ok))
         del levels, highs, lows
         m._levelized_requests += requests
+        if peak_width > m._levelized_peak_width:
+            m._levelized_peak_width = peak_width
         m._ite_hits += hits
         m._ite_misses += misses
         for (level, base, n_live, live, inv, NEG, DEST, hitres,
@@ -507,6 +512,7 @@ class LevelizedApply:
         overflow = []
         records = []
         requests = 0
+        peak_width = 0
         row, resv, tops = self._normalize(levels, seed_row[None, :],
                                           max_level)
         if resv[0] >= 0:
@@ -522,6 +528,8 @@ class LevelizedApply:
                 if c[0].shape[1] < width else c[0] for c in chunks])
             DEST = _np.concatenate([c[1] for c in chunks])
             requests += R.shape[0]
+            if R.shape[0] > peak_width:
+                peak_width = R.shape[0]
             Ru, inv = _np.unique(R, axis=0, return_inverse=True)
             inv = inv.reshape(-1).astype(_np.int64)
             n_u = Ru.shape[0]
@@ -554,6 +562,8 @@ class LevelizedApply:
                 records.append(("mk", level, base, n_u, inv, DEST))
         del levels, highs, lows
         m._levelized_requests += requests
+        if peak_width > m._levelized_peak_width:
+            m._levelized_peak_width = peak_width
         # Every unique surviving row is a live subproblem the sweep had
         # to solve — the batch analogue of a computed-cache miss.
         solved = sum(r[3] for r in records)

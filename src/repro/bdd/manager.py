@@ -230,6 +230,12 @@ class BDD:
         self._reorder_nodes_after = 0
         self._levelized_calls = 0
         self._levelized_requests = 0
+        # High-water mark of the per-level request-queue width inside
+        # one levelized breadth-first sweep — the figure that sizes
+        # disk-backed level queues for the out-of-core path.  Lives on
+        # the base class (zero under recursive apply) so both kernels
+        # expose an identical stats() shape.
+        self._levelized_peak_width = 0
         #: Apply-path selection (``recursive`` | ``levelized`` |
         #: ``auto``).  Only the array kernel dispatches on it — the
         #: dict manager has no levelized engine and the attribute is
@@ -364,6 +370,7 @@ class BDD:
             "opcache_evictions": self._opcache_evictions(),
             "levelized_calls": self._levelized_calls,
             "levelized_requests": self._levelized_requests,
+            "levelized_peak_width": self._levelized_peak_width,
             "nodes_created": self._nodes_created,
             "nodes_current": len(self._level),
             "nodes_peak": self._peak_nodes,
@@ -379,7 +386,10 @@ class BDD:
         }
 
     #: stats() keys that are point-in-time gauges, not monotone counters.
-    STAT_GAUGES = frozenset({"nodes_current", "nodes_peak"})
+    #: ``levelized_peak_width`` is a high-water mark like ``nodes_peak``:
+    #: deltas would be meaningless, so it reports its current value.
+    STAT_GAUGES = frozenset({"nodes_current", "nodes_peak",
+                             "levelized_peak_width"})
 
     @classmethod
     def stats_delta(cls, before: Dict[str, int],

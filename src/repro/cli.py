@@ -22,6 +22,17 @@ Subcommands:
 
 * ``bench-report`` — render a ``BENCH_*.json`` benchmark report, or
   gate one against a baseline (``--against``; exit 1 on regressions).
+  The baseline may be a report file or ``perf:<n>`` — a recorded perf
+  history point (``perf:-1`` = latest).
+
+* ``perf`` — the perf trajectory observatory
+  (docs/OBSERVABILITY.md, "Perf trajectory")::
+
+      python -m repro perf record BENCH_evaluator.json --ledger runs/
+      python -m repro perf trend --ledger runs/
+      python -m repro perf attribute "run:fifo-8/XICI/<hash>" \\
+          --ledger runs/
+      python -m repro perf report --ledger runs/ --output report.md
 
 * ``models`` — list available models and their parameters.
 
@@ -49,6 +60,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from .bdd import kernel_context
@@ -57,7 +69,7 @@ from .iclist.evaluate import GROW_THRESHOLD
 from .models import MODELS
 from .obs import MetricsRegistry, SpanProfiler, ledger, render_report, \
     render_rollup, write_jsonl, write_prometheus
-from .obs import benchjson
+from .obs import benchjson, perf, trend
 from .trace import JsonlTracer, RecordingTracer, Tracer
 from .bench.tables import table1_fifo, table1_movavg, table1_network, \
     table2_movavg_unassisted, table3_pipeline
@@ -144,6 +156,24 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         run_id = ledger.record_run(args.ledger, result,
                                    config=options.summary(), spans=spans)
         print(f"ledger: {run_id}", file=sys.stderr)
+        # Every archived CLI run also contributes one trajectory point
+        # to the perf history store, keyed by the same canonical
+        # request hash the job server uses.  Best-effort: a broken
+        # history file must not fail the verification.
+        try:
+            from .core.options import request_hash
+            spec = MODELS[args.model]
+            params = {name: getattr(args, name) for name in spec.params}
+            req_hash = request_hash(args.model, args.method,
+                                    params=params, bug=args.bug,
+                                    assisted=args.assisted,
+                                    options=options)
+            perf.record_run_point(
+                args.ledger,
+                ledger.run_document(result, config=options.summary()),
+                run_id=run_id, request_hash=req_hash, source="cli")
+        except OSError:
+            pass
     if args.json:
         print(result.to_json(indent=2))
     else:
@@ -312,10 +342,39 @@ def _cmd_serve_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_report_baseline(args: argparse.Namespace,
+                           report: Dict[str, object]):
+    """Resolve ``--against``: a report file, or ``perf:<n>`` — the
+    n-th history point for this report's benchmark (negatives count
+    from the latest, so ``perf:-1`` is the most recent)."""
+    if not args.against.startswith("perf:"):
+        return benchjson.load_report(args.against)
+    spec = args.against[len("perf:"):]
+    try:
+        index = int(spec)
+    except ValueError:
+        raise SystemExit(f"bench-report: malformed history point "
+                         f"{args.against!r} (expected perf:<n>)")
+    bench = report.get("benchmark", "?")
+    points = [point for point in perf.load_history(args.ledger)
+              if (point.get("benchmark") or perf.RUN_BENCHMARK) == bench]
+    if not points:
+        raise SystemExit(
+            f"bench-report: no history points for benchmark "
+            f"{bench!r} under {perf.history_path(args.ledger)}")
+    try:
+        point = points[index]
+    except IndexError:
+        raise SystemExit(
+            f"bench-report: history point {index} out of range "
+            f"({len(points)} point(s) for {bench!r})")
+    return perf.point_as_report(point)
+
+
 def _cmd_bench_report(args: argparse.Namespace) -> int:
     report = benchjson.load_report(args.report)
     if args.against:
-        baseline = benchjson.load_report(args.against)
+        baseline = _bench_report_baseline(args, report)
         diff = ledger.diff_reports(baseline, report)
         if args.json:
             print(json.dumps(diff, indent=2, sort_keys=True))
@@ -354,6 +413,94 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
         print("derived:")
         for key in sorted(report["derived"]):
             print(f"  {key}: {report['derived'][key]}")
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    cp_kwargs = {"min_points": args.min_points}
+    if args.action == "record":
+        if not args.targets:
+            print("perf record: give at least one benchjson report "
+                  "file or run:<ledger run id>", file=sys.stderr)
+            return 2
+        for target in args.targets:
+            if target.startswith("run:"):
+                run_id, doc = ledger.load_run(args.ledger,
+                                              target[len("run:"):])
+                entry = None
+                for request in \
+                        (Path(args.ledger) / "requests").glob("*.json") \
+                        if (Path(args.ledger) / "requests").is_dir() \
+                        else []:
+                    candidate = json.loads(
+                        request.read_text(encoding="utf-8"))
+                    if candidate.get("run_id") == run_id:
+                        entry = candidate
+                        break
+                req_hash = (entry or {}).get("request_hash")
+                if req_hash is None:
+                    # CLI-verified runs have no request-index entry;
+                    # an earlier point for the same run still knows it.
+                    for prior in perf.load_history(args.ledger):
+                        if prior.get("run_id") == run_id \
+                                and prior.get("request_hash"):
+                            req_hash = prior["request_hash"]
+                            break
+                index, _point = perf.record_run_point(
+                    args.ledger, doc, run_id=run_id,
+                    request_hash=req_hash, source="cli")
+            else:
+                report = benchjson.load_report(target)
+                index, _point = perf.record_report_point(
+                    args.ledger, report, source=args.source)
+            print(f"recorded history point #{index} from {target}")
+        return 0
+    points = perf.load_history(args.ledger)
+    if args.action == "attribute":
+        if len(args.targets) != 1:
+            print("perf attribute: give exactly one cell label "
+                  "(benchmark:model/method/config)", file=sys.stderr)
+            return 2
+        key = perf.parse_cell_label(args.targets[0])
+        result = perf.attribute(points, key, metric=args.metric,
+                                before=args.before, after=args.after,
+                                **cp_kwargs)
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True,
+                             default=str))
+        else:
+            print(perf.render_attribution(result))
+        return 0
+    if args.action == "report":
+        text = perf.render_report(points, metric=args.metric,
+                                  **cp_kwargs)
+        if args.output:
+            Path(args.output).write_text(text, encoding="utf-8")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
+        if args.fail_on_changepoint:
+            rows = perf.trend_rows(points, metric=args.metric,
+                                   **cp_kwargs)
+            flagged = [row["label"] for row in rows
+                       if row["status"] == "changepoint"]
+            if flagged:
+                print(f"changepoint(s) confirmed: "
+                      f"{', '.join(flagged)}", file=sys.stderr)
+                return 1
+        return 0
+    # trend
+    rows = perf.trend_rows(points, metric=args.metric,
+                           benchmark=args.benchmark, **cp_kwargs)
+    if args.json:
+        slim = [{k: v for k, v in row.items() if k != "series"}
+                for row in rows]
+        print(json.dumps(slim, indent=2, sort_keys=True, default=str))
+    else:
+        print(perf.render_trend(rows, metric=args.metric))
+    if args.fail_on_changepoint \
+            and any(row["status"] == "changepoint" for row in rows):
+        return 1
     return 0
 
 
@@ -575,12 +722,72 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench_report.add_argument("report", help="benchjson report file")
     bench_report.add_argument("--against", metavar="BASELINE",
                               default=None,
-                              help="baseline report to diff against "
-                                   "(exit 1 on regressions)")
+                              help="baseline to diff against (exit 1 "
+                                   "on regressions): a report file, or "
+                                   "perf:<n> — the n-th perf-history "
+                                   "point for this benchmark "
+                                   "(perf:-1 = latest)")
+    bench_report.add_argument("--ledger", metavar="DIR",
+                              default="repro-ledger",
+                              help="ledger directory holding the perf "
+                                   "history for --against perf:<n> "
+                                   "(default: repro-ledger)")
     bench_report.add_argument("--json", action="store_true",
                               help="print the structured report/"
                                    "verdict instead of the table")
     bench_report.set_defaults(func=_cmd_bench_report)
+
+    perf_parser = subparsers.add_parser(
+        "perf",
+        help="perf trajectory observatory: record history points, "
+             "render trend tables, attribute regressions "
+             "(see docs/OBSERVABILITY.md)")
+    perf_parser.add_argument("action",
+                             choices=["record", "trend", "attribute",
+                                      "report"])
+    perf_parser.add_argument("targets", nargs="*",
+                             help="record: benchjson report files or "
+                                  "run:<ledger run id>; attribute: one "
+                                  "cell label "
+                                  "(benchmark:model/method/config)")
+    perf_parser.add_argument("--ledger", metavar="DIR",
+                             default="repro-ledger",
+                             help="ledger directory; the history store "
+                                  "lives at DIR/perf/history.jsonl "
+                                  "(default: repro-ledger)")
+    perf_parser.add_argument("--metric", default="seconds",
+                             help="cell metric to trend (default: "
+                                  "seconds)")
+    perf_parser.add_argument("--benchmark", default=None,
+                             help="trend: restrict to one benchmark "
+                                  "group")
+    perf_parser.add_argument("--source", default="bench",
+                             help="record: source tag for recorded "
+                                  "points (default: bench)")
+    perf_parser.add_argument("--before", type=int, default=None,
+                             help="attribute: explicit series index of "
+                                  "the baseline observation (default: "
+                                  "last point before the changepoint)")
+    perf_parser.add_argument("--after", type=int, default=None,
+                             help="attribute: explicit series index of "
+                                  "the regressed observation (default: "
+                                  "first point after the changepoint)")
+    perf_parser.add_argument("--min-points", type=int,
+                             default=trend.MIN_TREND_POINTS,
+                             help="observations before changepoint "
+                                  "detection commits to a verdict "
+                                  f"(default {trend.MIN_TREND_POINTS})")
+    perf_parser.add_argument("--output", metavar="FILE", default=None,
+                             help="report: write the markdown to FILE "
+                                  "instead of stdout")
+    perf_parser.add_argument("--fail-on-changepoint",
+                             action="store_true",
+                             help="trend/report: exit 1 when any cell "
+                                  "has a confirmed changepoint")
+    perf_parser.add_argument("--json", action="store_true",
+                             help="print structured verdicts instead "
+                                  "of markdown")
+    perf_parser.set_defaults(func=_cmd_perf)
 
     ledger_parser = subparsers.add_parser(
         "ledger", help="list or show archived runs (see verify --ledger)")

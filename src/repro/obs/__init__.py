@@ -27,9 +27,13 @@ Surfaces:
   the diff engine ``benchmarks/regress.py`` gates with.
 * :mod:`repro.obs.watchdog` is the opt-in heartbeat thread behind
   ``Options(heartbeat=SECS)`` / ``verify --heartbeat SECS``.
+* :mod:`repro.obs.trend` holds the shared robust statistics (median /
+  MAD / bootstrap CI, changepoint detection, sparklines) and
+  :mod:`repro.obs.perf` the append-only perf history store, trend
+  tables, and regression attribution behind ``repro perf``.
 """
 
-from . import benchjson, ledger
+from . import benchjson, ledger, perf, trend
 from .exporters import METRICS_SCHEMA_VERSION, PROM_CONTENT_TYPE, \
     parse_prometheus, read_jsonl, render_report, to_prometheus, \
     write_jsonl, write_prometheus
@@ -45,6 +49,6 @@ __all__ = ["MetricsRegistry", "NullRegistry", "NULL_REGISTRY",
            "write_jsonl", "read_jsonl", "to_prometheus",
            "write_prometheus", "parse_prometheus", "render_report",
            "METRICS_SCHEMA_VERSION", "PROM_CONTENT_TYPE",
-           "benchjson", "ledger",
+           "benchjson", "ledger", "perf", "trend",
            "SpanProfiler", "NullSpanSink", "NULL_SPANS",
            "render_rollup", "Watchdog"]

@@ -8,19 +8,27 @@ scripts *and* ``benchmarks/conftest.py``'s ``benchmark.extra_info`` —
 goes through this serializer, and ``benchmarks/regress.py`` compares
 any two reports of the same benchmark without knowing which one it is.
 
-Report shape (``schema_version`` 1)::
+Report shape (``schema_version`` 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "benchmark": "reorder",          # emitter name
       "scale": "quick",
-      "rounds": 1,
+      "rounds": 3,
       "params": {...},                 # emitter-specific knobs
       "entries": [
         {"model": "fifo", "method": "fwd", "config": "auto",
          "metrics": {"outcome": "verified", "iterations": 5,
                      "peak_nodes": 4126, "max_iterate_nodes": 144,
-                     "seconds": 0.28, ...}},
+                     "seconds": 0.28,
+                     "seconds_median": 0.29, "seconds_mad": 0.01,
+                     "seconds_ci_low": 0.28, "seconds_ci_high": 0.31,
+                     ...},
+         "samples": [                  # one dict per measured round
+            {"wall_seconds": 0.29, "cpu_seconds": 0.28,
+             "peak_nodes": 4126, "cache_hit_rate": 0.41},
+            ...
+         ]},
         ...
       ],
       "derived": {...}                 # cross-entry conclusions
@@ -30,6 +38,16 @@ Report shape (``schema_version`` 1)::
 cell, each with one ``metrics`` block, so a regression gate is a join
 on the entry key plus per-metric tolerance checks — no schema-specific
 traversal.
+
+Schema history:
+
+* **1** — aggregates only; one ``metrics`` block per entry.
+* **2** — entries may carry ``samples``: the raw per-round measurements
+  (wall/CPU seconds, peak nodes, op-cache hit rate) the aggregates were
+  computed from, with robust summary stats (median/MAD/bootstrap CI via
+  :mod:`repro.obs.trend`) folded into ``metrics``.  Version-1 reports
+  (the committed ``BENCH_*.json`` baselines) still load — the additions
+  are strictly optional, so every v1 report is a valid v2 report.
 """
 
 from __future__ import annotations
@@ -38,12 +56,19 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-__all__ = ["SCHEMA_VERSION", "new_report", "add_entry", "make_entry",
-           "result_metrics", "entry_key", "entry_index", "write_report",
-           "load_report"]
+from . import trend
+
+__all__ = ["SCHEMA_VERSION", "SUPPORTED_VERSIONS", "new_report",
+           "add_entry", "make_entry", "result_metrics", "make_sample",
+           "attach_samples", "summarize_samples", "entry_key",
+           "entry_index", "write_report", "load_report"]
 
 #: Bump on any incompatible change to the report shape above.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions :func:`load_report` accepts.  Version 1 stays readable so the
+#: committed ``BENCH_*.json`` baselines keep gating without regeneration.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def new_report(benchmark: str, scale: str = "quick", rounds: int = 1,
@@ -61,17 +86,87 @@ def new_report(benchmark: str, scale: str = "quick", rounds: int = 1,
 
 
 def make_entry(model: str, method: str, config: str,
-               metrics: Dict[str, Any]) -> Dict[str, Any]:
-    """One (model, method, config) cell with its metrics block."""
-    return {"model": model, "method": method, "config": config,
-            "metrics": dict(metrics)}
+               metrics: Dict[str, Any],
+               samples: Optional[List[Dict[str, Any]]] = None
+               ) -> Dict[str, Any]:
+    """One (model, method, config) cell with its metrics block.
+
+    ``samples`` (schema 2) keeps the raw per-round measurements the
+    aggregates were computed from; when given, robust summary stats are
+    folded into the metrics block via :func:`summarize_samples`.
+    """
+    entry = {"model": model, "method": method, "config": config,
+             "metrics": dict(metrics)}
+    if samples is not None:
+        attach_samples(entry, samples)
+    return entry
 
 
 def add_entry(report: Dict[str, Any], model: str, method: str,
-              config: str, metrics: Dict[str, Any]) -> Dict[str, Any]:
+              config: str, metrics: Dict[str, Any],
+              samples: Optional[List[Dict[str, Any]]] = None
+              ) -> Dict[str, Any]:
     """Append a cell to ``report`` and return it."""
-    entry = make_entry(model, method, config, metrics)
+    entry = make_entry(model, method, config, metrics, samples=samples)
     report["entries"].append(entry)
+    return entry
+
+
+def make_sample(wall_seconds: float,
+                cpu_seconds: Optional[float] = None,
+                result: Any = None) -> Dict[str, Any]:
+    """One per-round raw measurement.
+
+    Always carries ``wall_seconds``; ``cpu_seconds`` when the emitter
+    measured process time; and, when a :class:`VerificationResult` with
+    a ``bdd_stats`` snapshot is given, the round's ``peak_nodes`` and
+    the aggregate op-cache hit rate across every ``*_hits``/``*_misses``
+    counter pair in :meth:`BDD.stats`.
+    """
+    sample: Dict[str, Any] = {"wall_seconds": round(float(wall_seconds), 6)}
+    if cpu_seconds is not None:
+        sample["cpu_seconds"] = round(float(cpu_seconds), 6)
+    if result is not None:
+        peak = getattr(result, "peak_nodes", None)
+        if peak is not None:
+            sample["peak_nodes"] = peak
+        stats = getattr(result, "bdd_stats", None) or {}
+        hits = sum(v for k, v in stats.items() if k.endswith("_hits"))
+        misses = sum(v for k, v in stats.items() if k.endswith("_misses"))
+        if hits + misses:
+            sample["cache_hit_rate"] = round(hits / (hits + misses), 4)
+    return sample
+
+
+def summarize_samples(samples: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Robust aggregate stats over the wall-clock samples of one cell.
+
+    Returns the ``seconds_median`` / ``seconds_mad`` / ``seconds_ci_low``
+    / ``seconds_ci_high`` additions for the metrics block (empty when no
+    sample carries ``wall_seconds``).  The gated ``seconds`` metric
+    itself is untouched — emitters keep their best-of-rounds convention.
+    """
+    walls = [s["wall_seconds"] for s in samples if "wall_seconds" in s]
+    if not walls:
+        return {}
+    summary = trend.summarize(walls)
+    return {
+        "seconds_median": round(summary["median"], 6),
+        "seconds_mad": round(summary["mad"], 6),
+        "seconds_ci_low": round(summary["ci_low"], 6),
+        "seconds_ci_high": round(summary["ci_high"], 6),
+    }
+
+
+def attach_samples(entry: Dict[str, Any],
+                   samples: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Attach raw per-round samples to ``entry`` (schema 2).
+
+    Stores the sample list and folds the robust summary into the
+    entry's metrics block.  Returns the entry.
+    """
+    entry["samples"] = [dict(s) for s in samples]
+    entry["metrics"].update(summarize_samples(entry["samples"]))
     return entry
 
 
@@ -113,12 +208,18 @@ def write_report(report: Dict[str, Any],
 
 
 def load_report(path: Union[str, Path]) -> Dict[str, Any]:
-    """Read and validate one report; raises on schema mismatch."""
+    """Read and validate one report; raises on schema mismatch.
+
+    Accepts every version in :data:`SUPPORTED_VERSIONS` — version-1
+    reports (committed baselines) load unchanged, they simply carry no
+    per-round samples.
+    """
     report = json.loads(Path(path).read_text(encoding="utf-8"))
     version = report.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(
-            f"{path}: schema_version {version!r} != {SCHEMA_VERSION} "
+            f"{path}: schema_version {version!r} not in "
+            f"{SUPPORTED_VERSIONS} "
             "(regenerate the artifact with the matching emitter)")
     for field in ("benchmark", "entries"):
         if field not in report:
@@ -128,4 +229,8 @@ def load_report(path: Union[str, Path]) -> Dict[str, Any]:
             if field not in entry:
                 raise ValueError(
                     f"{path}: entry {entry!r} missing {field!r}")
+        for sample in entry.get("samples") or []:
+            if "wall_seconds" not in sample:
+                raise ValueError(
+                    f"{path}: sample {sample!r} missing 'wall_seconds'")
     return report

@@ -150,7 +150,10 @@ def diff_metrics(base: Dict[str, Any], current: Dict[str, Any],
 
 
 def diff_reports(baseline: Dict[str, Any], current: Dict[str, Any],
-                 tolerances: Optional[Dict[str, Tolerance]] = None
+                 tolerances: Optional[Dict[str, Tolerance]] = None,
+                 cell_tolerances: Optional[
+                     Dict[Tuple[str, str, str],
+                          Dict[str, Tolerance]]] = None
                  ) -> Dict[str, Any]:
     """Diff two benchjson reports cell by cell (the perf gate's core).
 
@@ -158,6 +161,12 @@ def diff_reports(baseline: Dict[str, Any], current: Dict[str, Any],
     each with its metric checks from :func:`diff_metrics`, plus the
     flat ``violations`` / ``notes`` string lists the human gate prints
     and a ``passed`` boolean.
+
+    ``cell_tolerances`` maps entry keys (model, method, config) to
+    per-metric overrides merged over the shared ``tolerances`` for that
+    cell only — the hook ``repro.obs.perf`` uses to gate wall time
+    against each cell's own history confidence interval instead of the
+    blunt global bound.
     """
     if tolerances is None:
         tolerances = DEFAULT_TOLERANCES
@@ -174,8 +183,12 @@ def diff_reports(baseline: Dict[str, Any], current: Dict[str, Any],
             cells.append({"key": list(key), "label": label,
                           "status": "missing", "checks": []})
             continue
+        cell_tols = tolerances
+        if cell_tolerances and key in cell_tolerances:
+            cell_tols = dict(tolerances)
+            cell_tols.update(cell_tolerances[key])
         checks = diff_metrics(base_index[key], current_index[key],
-                              tolerances)
+                              cell_tols)
         regressed = False
         for check in checks:
             if check["status"] == "regression":

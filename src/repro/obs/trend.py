@@ -1,0 +1,197 @@
+"""Shared statistics helpers for variance-aware benchmarking.
+
+This module is the single home for the robust statistics used across the
+perf pipeline: per-round sample summaries (min/median/MAD plus a bootstrap
+confidence interval), changepoint detection over perf-history series, and
+the sparkline rendering used by ``repro perf`` trend tables.
+
+Everything here is deterministic: the bootstrap uses a fixed-seed
+``random.Random`` so summaries are reproducible across runs and platforms,
+which keeps benchjson reports and tests stable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "median",
+    "mad",
+    "bootstrap_ci",
+    "summarize",
+    "detect_changepoint",
+    "sparkline",
+    "MIN_TREND_POINTS",
+]
+
+#: Minimum series length before changepoint detection will commit to a verdict.
+MIN_TREND_POINTS = 6
+
+#: Bootstrap defaults shared by ``summarize`` and ``bootstrap_ci``.
+BOOTSTRAP_RESAMPLES = 200
+BOOTSTRAP_SEED = 7
+CONFIDENCE = 0.95
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of a non-empty sequence (mean of middle pair for even n)."""
+    if not values:
+        raise ValueError("median() of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float], center: Optional[float] = None) -> float:
+    """Median absolute deviation around ``center`` (default: the median)."""
+    if not values:
+        raise ValueError("mad() of empty sequence")
+    if center is None:
+        center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = CONFIDENCE,
+    resamples: int = BOOTSTRAP_RESAMPLES,
+    seed: int = BOOTSTRAP_SEED,
+) -> "tuple[float, float]":
+    """Percentile bootstrap confidence interval for the median.
+
+    Deterministic (fixed seed) so that repeated summaries of the same
+    samples agree bit-for-bit.  Degenerates gracefully: a single sample
+    yields a zero-width interval.
+    """
+    if not values:
+        raise ValueError("bootstrap_ci() of empty sequence")
+    vals = [float(v) for v in values]
+    n = len(vals)
+    if n == 1:
+        return (vals[0], vals[0])
+    rng = random.Random(seed)
+    stats = []
+    for _ in range(resamples):
+        sample = [vals[rng.randrange(n)] for _ in range(n)]
+        stats.append(median(sample))
+    stats.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lo_idx = int(alpha * (resamples - 1))
+    hi_idx = int((1.0 - alpha) * (resamples - 1))
+    return (stats[lo_idx], stats[hi_idx])
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Robust summary of raw per-round samples.
+
+    Returns count/min/max/mean/median/mad plus the bootstrap CI bounds
+    ``ci_low``/``ci_high`` for the median.
+    """
+    if not values:
+        raise ValueError("summarize() of empty sequence")
+    vals = [float(v) for v in values]
+    med = median(vals)
+    lo, hi = bootstrap_ci(vals)
+    return {
+        "count": len(vals),
+        "min": min(vals),
+        "max": max(vals),
+        "mean": sum(vals) / len(vals),
+        "median": med,
+        "mad": mad(vals, center=med),
+        "ci_low": lo,
+        "ci_high": hi,
+    }
+
+
+def _abs_deviation(values: Sequence[float]) -> float:
+    center = median(values)
+    return sum(abs(v - center) for v in values)
+
+
+def detect_changepoint(
+    values: Sequence[float],
+    *,
+    min_points: int = MIN_TREND_POINTS,
+    min_segment: int = 2,
+    noise_factor: float = 4.0,
+    min_shift_ratio: float = 0.10,
+) -> Dict[str, object]:
+    """Detect a single level shift in a series via best binary split.
+
+    The split minimises the summed absolute deviation of each segment from
+    its own median (an L1 changepoint).  The shift is *significant* only if
+    it clears both a noise bound (``noise_factor`` times the larger segment
+    MAD) and a relative floor (``min_shift_ratio`` of the level), so flat
+    series with noise stay unflagged while an injected step is caught.
+
+    Returns a dict with ``status`` one of:
+
+    - ``"insufficient"`` — fewer than ``min_points`` observations; carries
+      ``points`` and ``needed`` so callers can render the note.
+    - ``"stable"`` — best split exists but the shift is within noise.
+    - ``"changepoint"`` — significant shift; ``index`` is the first index of
+      the post-shift segment, with ``before``/``after`` segment medians,
+      ``shift``, ``ratio`` and ``direction`` (``"regression"`` when the
+      series moved up, ``"improvement"`` when down).
+    """
+    vals = [float(v) for v in values]
+    n = len(vals)
+    if n < max(min_points, 2 * min_segment):
+        return {
+            "status": "insufficient",
+            "points": n,
+            "needed": max(min_points, 2 * min_segment),
+        }
+    best_cost = None
+    best_index = min_segment
+    for k in range(min_segment, n - min_segment + 1):
+        cost = _abs_deviation(vals[:k]) + _abs_deviation(vals[k:])
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_index = k
+    left = vals[:best_index]
+    right = vals[best_index:]
+    before = median(left)
+    after = median(right)
+    shift = after - before
+    scale = max(mad(left), mad(right))
+    floor = min_shift_ratio * max(abs(before), abs(after))
+    significant = abs(shift) > max(noise_factor * scale, floor) and shift != 0.0
+    result: Dict[str, object] = {
+        "status": "changepoint" if significant else "stable",
+        "index": best_index,
+        "before": before,
+        "after": after,
+        "shift": shift,
+        "scale": scale,
+        "ratio": (after / before) if before else None,
+        "points": n,
+    }
+    if significant:
+        result["direction"] = "regression" if shift > 0 else "improvement"
+    return result
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a unicode sparkline for a series (empty string for no data)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo = min(vals)
+    hi = max(vals)
+    if hi <= lo:
+        return _SPARK_BLOCKS[3] * len(vals)
+    span = hi - lo
+    out: List[str] = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK_BLOCKS) - 1) + 0.5)
+        out.append(_SPARK_BLOCKS[idx])
+    return "".join(out)

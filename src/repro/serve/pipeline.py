@@ -48,7 +48,7 @@ from typing import Any, Dict, Optional
 
 from ..core import verify
 from ..models import build_model
-from ..obs import SpanProfiler, ledger
+from ..obs import SpanProfiler, ledger, perf
 from .jobs import Job, JobEventTracer, JobState
 from .telemetry import ServiceMetrics
 
@@ -151,6 +151,21 @@ class VerificationPipeline:
                 ledger.record_request(self.ledger_dir, job.request_hash,
                                       run_id, request=request.to_dict(),
                                       request_id=job.request_id)
+                # Every executed (non-cached) archive also contributes
+                # one trajectory point to the perf history store, keyed
+                # by the same content-addressed request hash.
+                # Best-effort: a broken history file must never fail
+                # the job — the run itself is already archived.
+                try:
+                    perf.record_run_point(
+                        self.ledger_dir,
+                        ledger.run_document(result,
+                                            config=options.summary()),
+                        run_id=run_id,
+                        request_hash=job.request_hash,
+                        source="service")
+                except OSError:
+                    pass
             job.run_id = run_id
             job.events.append("archived", run_id=run_id,
                               request_hash=job.request_hash)

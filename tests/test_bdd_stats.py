@@ -17,6 +17,7 @@ EXPECTED_KEYS = {
     "bounded_and_aborts", "reorder_runs", "reorder_swaps",
     "reorder_time_ms", "reorder_nodes_before", "reorder_nodes_after",
     "opcache_evictions", "levelized_calls", "levelized_requests",
+    "levelized_peak_width",
 }
 
 

@@ -137,7 +137,8 @@ class TestKernelSweep:
             doc["bdd_stats"] = {
                 key: value for key, value in doc["bdd_stats"].items()
                 if key not in ("cache_evictions", "opcache_evictions",
-                               "levelized_calls", "levelized_requests")
+                               "levelized_calls", "levelized_requests",
+                               "levelized_peak_width")
                 and not key.endswith(("_hits", "_misses"))}
             if default_apply() != "recursive":
                 # The dict kernel has no levelized engine, so under a
